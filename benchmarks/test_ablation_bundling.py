@@ -1,0 +1,37 @@
+"""Ablation (section 3.2): version-granularity bundling.
+
+Bundling 8 lines per version-list entry divides metadata overhead by 8
+(50% -> 6% worst case) but "requires copying an entire bundle on the
+first write".  We measure both sides: the analytic capacity saving and
+the measured commit-cycle cost of the bundle copies on a write-heavy run.
+"""
+
+from repro.common.config import MVMConfig, SimConfig
+from repro.harness.runner import run_once
+from repro.mvm.overhead import capacity_overhead
+
+from conftest import PROFILE, THREADS
+
+
+def run(bundle_lines):
+    config = SimConfig(mvm=MVMConfig(bundle_lines=bundle_lines))
+    result = run_once("ssca2", "SI-TM", THREADS, seed=1,
+                      profile=PROFILE, config=config)
+    return result
+
+
+def test_bundling_tradeoff(once, benchmark):
+    def experiment():
+        return {bundle: {
+            "makespan": run(bundle).makespan_cycles,
+            "worst_case_overhead": capacity_overhead(
+                MVMConfig(bundle_lines=bundle), live_versions=1),
+        } for bundle in (1, 8)}
+
+    results = once(experiment)
+    benchmark.extra_info["results"] = results
+    # capacity: bundling divides the worst case by 8 (50% -> 6.25%)
+    assert results[8]["worst_case_overhead"] == \
+        results[1]["worst_case_overhead"] / 8
+    # performance: bundle copies cost extra commit cycles
+    assert results[8]["makespan"] >= results[1]["makespan"]

@@ -1,0 +1,35 @@
+"""Ablation (section 3.1, Figure 4): version coalescing.
+
+Coalescing bounds live versions per line by the number of concurrent
+transactions; without it, version counts are limited only by GC, so the
+maximum live depth grows and the 4-version cap starts biting.
+"""
+
+from repro.common.config import MVMConfig, SimConfig, VersionCapPolicy
+from repro.harness.runner import run_once
+
+from conftest import PROFILE, THREADS
+
+
+def run(coalescing):
+    config = SimConfig(mvm=MVMConfig(
+        cap_policy=VersionCapPolicy.UNBOUNDED, coalescing=coalescing))
+    result = run_once("list", "SI-TM", THREADS, seed=1, profile=PROFILE,
+                      config=config)
+    return result.mvm_stats
+
+
+def test_coalescing_bounds_live_versions(once, benchmark):
+    def experiment():
+        return {"on": run(True), "off": run(False)}
+
+    stats = once(experiment)
+    benchmark.extra_info["stats"] = stats
+    assert stats["on"]["versions_coalesced"] > 0
+    assert stats["off"]["versions_coalesced"] == 0
+    # with coalescing the retained depth never exceeds the bound the
+    # paper derives (concurrent transactions + 1 = threads + 1)
+    assert stats["on"]["max_live_versions"] <= THREADS + 1
+    # and coalescing retains no more versions than the uncoalesced MVM
+    assert stats["on"]["max_live_versions"] <= \
+        stats["off"]["max_live_versions"]

@@ -1,0 +1,27 @@
+"""Figure 1: read-write vs write-write aborts under 2PL.
+
+Paper claim: 75%-99% of all transaction aborts in STAMP-class applications
+are caused by read-write conflicts — the motivation for snapshot
+isolation's "only abort on write-write" policy.
+"""
+
+from repro.harness.experiments import figure1
+
+from conftest import PROFILE, SEEDS, THREADS
+
+
+def test_fig1_read_write_aborts_dominate(once, benchmark):
+    rows = once(figure1, profile=PROFILE, threads=THREADS, seeds=SEEDS)
+    benchmark.extra_info["rows"] = [
+        {"workload": r.workload, "rw_pct": round(r.read_write_pct, 1),
+         "ww_pct": round(r.write_write_pct, 1),
+         "aborts": r.total_aborts} for r in rows]
+    # aggregate read-write share across benchmarks with measurable aborts
+    rw = sum(r.read_write_pct * r.total_aborts for r in rows)
+    ww = sum(r.write_write_pct * r.total_aborts for r in rows)
+    assert rw + ww > 0
+    assert rw / (rw + ww) >= 0.75, "paper: >=75% of aborts are read-write"
+    # every individual benchmark with enough aborts is read-write dominated
+    for row in rows:
+        if row.total_aborts >= 20:
+            assert row.read_write_pct >= 50.0, row.workload

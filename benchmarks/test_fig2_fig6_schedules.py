@@ -1,0 +1,31 @@
+"""Figures 2 and 6: the example schedules under each consistency model."""
+
+from repro.harness.experiments import figure2, figure6
+
+
+def test_fig2_example_schedule(once, benchmark):
+    outcomes = once(figure2)
+    by_system = {o.system: o for o in outcomes}
+    benchmark.extra_info["outcomes"] = {
+        o.system: {"committed": o.committed, "aborted": o.aborted}
+        for o in outcomes}
+    # the paper's Figure 2 narrative, exactly:
+    assert sorted(by_system["2PL"].aborted) == ["TX1", "TX2", "TX3"]
+    assert sorted(by_system["SONTM"].committed) == ["TX0", "TX1"]
+    assert sorted(by_system["SONTM"].aborted) == ["TX2", "TX3"]
+    assert sorted(by_system["SI-TM"].committed) == ["TX0", "TX1", "TX2"]
+    assert by_system["SI-TM"].aborted == ["TX3"]
+    assert by_system["SI-TM"].abort_causes["TX3"] == "write-write"
+
+
+def test_fig6_temporal_vs_type_dependencies(once, benchmark):
+    outcomes = once(figure6)
+    by_system = {o.system: o for o in outcomes}
+    benchmark.extra_info["outcomes"] = {
+        o.system: {"committed": o.committed, "aborted": o.aborted}
+        for o in outcomes}
+    # CS's temporal cycle aborts the long reader...
+    assert "TX0" in by_system["SONTM"].aborted
+    # ...while SI and SSI (type-based, same-direction edges) commit it
+    assert sorted(by_system["SI-TM"].committed) == ["TX0", "TX1"]
+    assert sorted(by_system["SSI-TM"].committed) == ["TX0", "TX1"]

@@ -1,0 +1,40 @@
+"""Figure 8: application speedup over a single thread.
+
+Shape targets (section 6.4, loosely): SI-TM scales on the read-heavy
+benchmarks where 2PL flattens or degrades (Array, List, Vacation); on
+kmeans/ssca2/labyrinth the three systems track each other because the TM
+policy is not the bottleneck.
+"""
+
+from repro.harness.experiments import figure8
+
+from conftest import PROFILE, SEEDS
+
+# trimmed sweep: the harness CLI regenerates the full 1..32-thread curves;
+# the bench asserts the shape on a 3-point sweep to stay CI-friendly
+THREAD_COUNTS = (1, 2, 4, 8)
+WORKLOADS = ["array", "list", "vacation", "kmeans", "ssca2"]
+
+
+def test_fig8_speedup(once, benchmark):
+    series = once(figure8, profile=PROFILE, thread_counts=THREAD_COUNTS,
+                  seeds=SEEDS, workloads=WORKLOADS)
+    by_key = {(s.workload, s.system): s.speedup for s in series}
+    benchmark.extra_info["series"] = [
+        {"workload": s.workload, "system": s.system,
+         "threads": s.threads,
+         "speedup": [round(v, 2) for v in s.speedup]} for s in series]
+
+    def final(workload, system):
+        return by_key[(workload, system)][-1]
+
+    # SI-TM scales where the paper says it does
+    for workload in ("array", "list", "vacation"):
+        assert final(workload, "SI-TM") > 1.5, workload
+        # ...and beats the 2PL baseline at the highest thread count
+        assert final(workload, "SI-TM") > final(workload, "2PL"), workload
+    # on the insensitive kernels nobody is catastrophically worse
+    for workload in ("kmeans", "ssca2"):
+        values = [final(workload, system)
+                  for system in ("2PL", "SONTM", "SI-TM")]
+        assert max(values) < 10 * max(min(values), 0.1), workload

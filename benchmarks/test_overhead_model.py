@@ -1,0 +1,17 @@
+"""Section 3.2: the MVM capacity/bandwidth overhead arithmetic."""
+
+import pytest
+
+from repro.harness.experiments import overheads
+
+
+def test_overhead_model(once, benchmark):
+    rows = once(overheads)
+    benchmark.extra_info["rows"] = rows
+    by_bundle = {r["bundle_lines"]: r for r in rows}
+    # the paper's quoted numbers
+    assert by_bundle[1]["overhead_full_versions_pct"] == pytest.approx(12.5)
+    assert by_bundle[1]["overhead_worst_case_pct"] == pytest.approx(50.0)
+    assert by_bundle[1]["bandwidth_best_case_pct"] == pytest.approx(12.5)
+    # bundling 8 lines divides the worst case by 8 ("reduced ... to 6%")
+    assert by_bundle[8]["overhead_worst_case_pct"] == pytest.approx(6.25)

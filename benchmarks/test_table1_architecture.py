@@ -1,0 +1,25 @@
+"""Table 1: the simulated architecture parameters."""
+
+from repro.common.config import table1_dict
+
+
+def test_table1_parameters(once, benchmark):
+    table = once(table1_dict)
+    benchmark.extra_info["table1"] = table
+    assert table == {
+        "CPU Cores": 32,
+        "CPU Clock (GHz)": 3.0,
+        "L1D cache size (KB)": 32,
+        "L1 associativity": 4,
+        "L1 latency (cycles)": 4,
+        "L2 cache size (KB)": 256,
+        "L2 associativity": 8,
+        "L2 latency (cycles)": 8,
+        "L3 cache size (MB)": 32,
+        "L3 MVM partition (MB)": 8,
+        "L3 associativity": 16,
+        "L3 latency (cycles)": 30,
+        "Memory controllers": 4,
+        "Memory bandwidth (GB/s)": 10.0,
+        "Memory latency (cycles)": 100,
+    }

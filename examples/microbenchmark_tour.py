@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""A miniature of the paper's evaluation: abort rates and throughput for
+the three RSTM microbenchmarks (Array, List, Red-Black Tree) under 2PL,
+SONTM and SI-TM — Figure 7/8 in one screen.
+
+The Array benchmark is the paper's showcase: long full-array read
+transactions make 2PL livelock while SI commits every one of them.
+
+Run:  python examples/microbenchmark_tour.py          (~1 minute)
+      python examples/microbenchmark_tour.py --threads 16
+"""
+
+import argparse
+
+from repro.harness.runner import run_seeds
+from repro.harness.report import format_table
+
+SYSTEMS = ("2PL", "SONTM", "SI-TM")
+BENCHMARKS = ("array", "list", "rbtree")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--profile", default="test",
+                        choices=("test", "quick", "full"))
+    parser.add_argument("--seeds", type=int, default=2)
+    args = parser.parse_args()
+
+    rows = []
+    for benchmark in BENCHMARKS:
+        baseline = None
+        for system in SYSTEMS:
+            agg = run_seeds(benchmark, system, args.threads,
+                            profile=args.profile, seeds=args.seeds)
+            if system == "2PL":
+                baseline = agg.aborts or 1.0
+            rows.append([
+                benchmark, system, f"{agg.aborts:.0f}",
+                f"{agg.aborts / baseline:.3f}",
+                f"{agg.throughput:.1f}",
+                "yes" if agg.all_verified else "NO",
+            ])
+    print(format_table(
+        ["benchmark", "system", "aborts", "vs 2PL",
+         "commits/Mcycle", "consistent"],
+        rows,
+        title=f"Microbenchmarks at {args.threads} threads "
+              f"({args.profile} profile, {args.seeds} seeds)"))
+    print("\nSI-TM's abort column collapses on Array and List (read-write "
+          "conflicts vanish under snapshots); RBTree narrows because "
+          "rebalancing writes still collide — the paper's Figure 7 shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Unbounded transactions (section 4.3).
+
+Conventional HTMs use the L1 cache as the version buffer: Intel's Haswell
+"aborts every transaction that accesses more than 16 KByte of data", and
+associativity conflicts can kill transactions after a handful of writes.
+SI-TM spills versions to multiversioned memory instead, so transaction
+footprint is bounded only by memory.
+
+This script runs a bulk-update transaction with a growing write set under
+
+* a bounded 2PL HTM (version buffer limited to 64 lines), and
+* SI-TM (unbounded),
+
+and prints where the bounded system stops committing.
+
+Run:  python examples/unbounded_transactions.py
+"""
+
+from repro import (
+    Engine,
+    Machine,
+    SimConfig,
+    SplitRandom,
+    TMConfig,
+    TransactionSpec,
+    Write,
+)
+from repro.common.errors import SimulationError
+from repro.tm import SnapshotIsolationTM, TwoPhaseLockingTM
+
+BUFFER_LINES = 64
+
+
+def bulk_update(base, lines, words_per_line):
+    """One transaction writing one word in each of ``lines`` lines."""
+
+    def body():
+        for i in range(lines):
+            yield Write(base + i * words_per_line, i)
+
+    return body
+
+
+def try_commit(system_cls, config, lines):
+    machine = Machine(config)
+    words_per_line = machine.address_map.words_per_line
+    base = machine.mvmalloc(lines * words_per_line)
+    tm = system_cls(machine, SplitRandom(1))
+    engine = Engine(
+        tm, [[TransactionSpec(bulk_update(base, lines, words_per_line),
+                              "bulk")]])
+    try:
+        stats = engine.run()
+    except SimulationError:
+        return False  # exceeded the retry bound: hopeless
+    return stats.total_commits == 1 and stats.total_aborts == 0
+
+
+def main():
+    bounded = SimConfig(tm=TMConfig(version_buffer_lines=BUFFER_LINES,
+                                    max_retries=3))
+    unbounded = SimConfig(tm=TMConfig(max_retries=3))
+    print(f"{'write set (lines)':>18s}  {'bounded 2PL':>12s}  {'SI-TM':>6s}")
+    for lines in (16, 32, 64, 65, 128, 1024, 4096):
+        ok_2pl = try_commit(TwoPhaseLockingTM, bounded, lines)
+        ok_si = try_commit(SnapshotIsolationTM, unbounded, lines)
+        print(f"{lines:18d}  {'commit' if ok_2pl else 'ABORT':>12s}  "
+              f"{'commit' if ok_si else 'ABORT':>6s}")
+    print(f"\nThe bounded HTM dies the moment the write set exceeds its "
+          f"{BUFFER_LINES}-line version buffer; SI-TM writes versions to "
+          f"multiversioned memory and never hits a capacity wall "
+          f"(section 4.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""The section 5 workflow: detect write skew, auto-fix it, verify.
+
+Reproduces the paper's two anomalies end to end:
+
+* **Listing 1** — a bank's ``withdraw`` checks ``checking + saving``
+  but debits only one account; two concurrent withdraws under SI can
+  overdraw the customer.
+* **Listing 2** — the linked list's ``remove``; concurrent removes of
+  adjacent elements corrupt the list.
+
+For each, the script runs the program under SI-TM across many schedules
+with tracing, builds the Cahill-style dependency graph, prints the
+witnesses (with source attribution), applies automatic **read promotion**,
+and shows that the fixed program is clean and consistent.
+
+Run:  python examples/write_skew_tool.py
+"""
+
+from repro import Machine, Read, Write, Compute, TransactionSpec
+from repro.skew import Scenario, WriteSkewTool
+from repro.structures import TxLinkedList
+
+
+def withdraw_scenario(rng):
+    """Listing 1: the write-skew-prone bank withdraw."""
+    machine = Machine()
+    checking = machine.mvmalloc(1)
+    saving = machine.mvmalloc(1)
+    machine.plain_store(checking, 60)
+    machine.plain_store(saving, 60)
+
+    def withdraw(from_checking):
+        def body():
+            checking_balance = yield Read(
+                checking, site="withdraw.py:2 read checking")
+            saving_balance = yield Read(
+                saving, site="withdraw.py:2 read saving")
+            yield Compute(20)
+            if checking_balance + saving_balance > 100:
+                if from_checking:
+                    yield Write(checking, checking_balance - 100,
+                                site="withdraw.py:4 debit checking")
+                else:
+                    yield Write(saving, saving_balance - 100,
+                                site="withdraw.py:6 debit saving")
+        return body
+
+    programs = [[TransactionSpec(withdraw(True), "withdraw")],
+                [TransactionSpec(withdraw(False), "withdraw")]]
+
+    def invariant_holds():
+        return (machine.plain_load(checking)
+                + machine.plain_load(saving)) >= 0
+
+    return Scenario(machine, programs, invariant_holds)
+
+
+def list_scenario(rng):
+    """Listing 2: adjacent removes on the unsafe linked list."""
+    machine = Machine()
+    lst = TxLinkedList(machine)  # skew_safe=False: the library bug
+    lst.populate([1, 2, 3, 4, 5, 6])
+    programs = [
+        [TransactionSpec(lambda: lst.remove(2), "list.remove")],
+        [TransactionSpec(lambda: lst.remove(3), "list.remove")],
+        [TransactionSpec(lambda: lst.remove(4), "list.remove")],
+        [TransactionSpec(lambda: lst.remove(5), "list.remove")],
+    ]
+
+    def consistent():
+        return lst.to_list() == [1, 6]
+
+    return Scenario(machine, programs, consistent)
+
+
+def analyse(name, scenario_factory):
+    print(f"=== {name} ===")
+    tool = WriteSkewTool(scenario_factory, schedules=12)
+    result = tool.analyse()
+    print(f"schedules run:            {result.schedules_run}")
+    print(f"write-skew witnesses:     {len(result.witnesses)}")
+    print(f"inconsistent schedules:   {result.inconsistent_schedules}")
+    if result.witnesses:
+        witness = result.witnesses[0]
+        print(f"example witness:          transactions {witness.labels}")
+        for site in sorted(witness.read_sites):
+            print(f"  anomalous read at:      {site}")
+    promoted = tool.fix(result)
+    print(f"reads promoted:           {len(promoted)}")
+    verified = tool.verify_fix(promoted)
+    print(f"after fix — witnesses:    {len(verified.witnesses)}, "
+          f"inconsistent schedules: {verified.inconsistent_schedules}")
+    print()
+
+
+def main():
+    analyse("Listing 1: bank withdraw", withdraw_scenario)
+    analyse("Listing 2: linked-list remove", list_scenario)
+    print("Read promotion inserted the anomalous reads into the write set "
+          "for validation (creating no versions), forcing a write-write "
+          "conflict in exactly the anomalous schedules — the paper's fix.")
+
+
+if __name__ == "__main__":
+    main()

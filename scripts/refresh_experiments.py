@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Refresh the measured tables embedded in EXPERIMENTS.md from results/.
+
+EXPERIMENTS.md quotes the quick-profile harness outputs verbatim.  After
+regenerating ``results/fig1_quick.txt`` etc. with the CLI, run this script
+to splice the fresh tables into the document, keeping the narrative
+untouched.  Each spliced block is the fenced code block immediately
+following a known heading.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC = ROOT / "EXPERIMENTS.md"
+
+#: heading marker -> (results file, lines to drop from its head)
+SPLICES = {
+    "## Figure 1 — read-write vs write-write aborts under 2PL":
+        ("fig1_quick.txt", 1),
+    "## Figure 7 — aborts relative to 2PL":
+        ("fig7_quick.txt", 1),
+    "## Figure 8 — application speedup":
+        ("fig8_quick.txt", 1),
+    "## Table 2 / Appendix A — accesses per MVM version (unbounded, census)":
+        ("table2_quick.txt", 1),
+}
+
+
+def splice_block(text: str, heading: str, table: str) -> str:
+    """Replace the first fenced block after ``heading`` with ``table``."""
+    pattern = re.compile(
+        re.escape(heading) + r"(.*?```\n)(.*?)(\n```)", re.DOTALL)
+    match = pattern.search(text)
+    if not match:
+        raise SystemExit(f"heading not found or has no fenced block: "
+                         f"{heading!r}")
+    return (text[:match.start(2)] + table.rstrip("\n")
+            + text[match.end(2):])
+
+
+def main() -> int:
+    text = DOC.read_text()
+    for heading, (filename, drop) in SPLICES.items():
+        source = ROOT / "results" / filename
+        if not source.is_file():
+            print(f"skip {filename}: not generated")
+            continue
+        lines = source.read_text().splitlines()[drop:]
+        text = splice_block(text, heading, "\n".join(lines))
+        print(f"spliced {filename}")
+    DOC.write_text(text)
+    print("EXPERIMENTS.md refreshed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

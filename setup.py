@@ -1,0 +1,4 @@
+"""Setuptools shim for legacy editable installs (offline env lacks wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Shared substrate: errors, configuration, deterministic randomness."""
+
+from repro.common.config import (
+    CacheConfig,
+    ConflictGranularity,
+    MachineConfig,
+    MVMConfig,
+    SimConfig,
+    TMConfig,
+    VersionCapPolicy,
+    table1_dict,
+)
+from repro.common.errors import (
+    AbortCause,
+    AllocationError,
+    ConfigError,
+    MVMError,
+    ReproError,
+    SimulationError,
+    SkewToolError,
+    StructureCorrupted,
+    TimestampOverflowError,
+    TMError,
+    TransactionAborted,
+)
+from repro.common.rng import SplitRandom, derive_seed, seeds_for_runs
+
+__all__ = [
+    "AbortCause",
+    "AllocationError",
+    "CacheConfig",
+    "ConfigError",
+    "ConflictGranularity",
+    "MachineConfig",
+    "MVMConfig",
+    "MVMError",
+    "ReproError",
+    "SimConfig",
+    "SimulationError",
+    "SkewToolError",
+    "StructureCorrupted",
+    "SplitRandom",
+    "TimestampOverflowError",
+    "TMConfig",
+    "TMError",
+    "TransactionAborted",
+    "VersionCapPolicy",
+    "derive_seed",
+    "seeds_for_runs",
+    "table1_dict",
+]

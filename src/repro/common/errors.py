@@ -1,0 +1,117 @@
+"""Exception hierarchy for the SI-TM reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching programming errors.  Transaction
+aborts are *control flow*, not errors, and are modelled by
+:class:`TransactionAborted`, which carries a machine-readable
+:class:`AbortCause` taxonomy used by the Figure 1 / Figure 7 experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine or workload configuration was supplied."""
+
+
+class MemoryError_(ReproError):
+    """An invalid memory operation (bad address, double free, ...)."""
+
+
+class AllocationError(MemoryError_):
+    """The heap allocator ran out of space or was misused."""
+
+
+class MVMError(ReproError):
+    """An invalid multiversioned-memory operation."""
+
+
+class TimestampOverflowError(MVMError):
+    """The global timestamp counter overflowed (section 4.1).
+
+    The paper handles this by aborting all active transactions and raising an
+    interrupt; the simulator surfaces it as this exception so the runtime can
+    implement that policy.
+    """
+
+
+class TMError(ReproError):
+    """Misuse of the transactional-memory API (e.g. read outside a txn)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an inconsistency."""
+
+
+class SkewToolError(ReproError):
+    """The write-skew analysis tool was driven incorrectly."""
+
+
+class StructureCorrupted(ReproError):
+    """A transactional data structure reached an impossible shape.
+
+    Raised by traversal guards when a pointer cycle (the observable result
+    of an un-fixed write-skew anomaly, section 5) would otherwise loop a
+    transaction forever.
+    """
+
+
+class AbortCause(enum.Enum):
+    """Why a transaction aborted.
+
+    The taxonomy follows the paper: 2PL aborts on read-write and write-write
+    conflicts (Figure 1 splits these), SI-TM aborts only on write-write
+    conflicts plus the MVM resource causes of section 3.1, and SSI-TM adds
+    dangerous-structure aborts (section 5.2).
+    """
+
+    #: Eager read-write conflict (2PL: a reader hit a concurrent writer's
+    #: write set, or a writer hit a concurrent reader's read set).
+    READ_WRITE = "read-write"
+    #: Write-write conflict (all systems).
+    WRITE_WRITE = "write-write"
+    #: SONTM: the serializability-order-number range became empty.
+    SON_RANGE_EMPTY = "son-range-empty"
+    #: SI-TM: creating this version would exceed the version cap (section 3.1).
+    VERSION_OVERFLOW = "version-overflow"
+    #: SI-TM drop-oldest policy: a read could not find a version old enough.
+    SNAPSHOT_TOO_OLD = "snapshot-too-old"
+    #: Conventional HTM: the L1 version buffer overflowed (section 4.3).
+    VERSION_BUFFER_OVERFLOW = "version-buffer-overflow"
+    #: SSI-TM: incoming and outgoing rw-antidependency observed (section 5.2).
+    DANGEROUS_STRUCTURE = "dangerous-structure"
+    #: Global timestamp counter overflow (section 4.1).
+    TIMESTAMP_OVERFLOW = "timestamp-overflow"
+    #: The user's transaction body requested an explicit abort/retry.
+    EXPLICIT = "explicit"
+
+    @property
+    def is_read_write(self) -> bool:
+        """True when the cause counts as a read-write abort in Figure 1."""
+        return self in (AbortCause.READ_WRITE, AbortCause.DANGEROUS_STRUCTURE)
+
+    @property
+    def is_write_write(self) -> bool:
+        """True when the cause counts as a write-write abort in Figure 1."""
+        return self is AbortCause.WRITE_WRITE
+
+
+class TransactionAborted(Exception):
+    """Raised inside a transaction body when the transaction must abort.
+
+    This intentionally derives from :class:`Exception`, not
+    :class:`ReproError`: it is control flow used by the retry loop in
+    :mod:`repro.tm.api`, and user code should never swallow it.
+    """
+
+    def __init__(self, cause: AbortCause, detail: str = ""):
+        self.cause = cause
+        self.detail = detail
+        super().__init__(f"transaction aborted ({cause.value})"
+                         + (f": {detail}" if detail else ""))

@@ -1,0 +1,56 @@
+"""Experiment harness: runners, per-figure drivers, report rendering, CLI."""
+
+from repro.harness.claims import ClaimResult, all_passed, check_claims
+from repro.harness.experiments import (
+    FIGURE1_BENCHMARKS,
+    FIGURE_SYSTEMS,
+    Figure1Row,
+    Figure7Cell,
+    Figure8Series,
+    ScheduleOutcome,
+    census_tail_fraction,
+    figure1,
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    overheads,
+    table2,
+)
+from repro.harness.report import (
+    bar_chart,
+    line_chart,
+    format_relative,
+    format_series,
+    format_table,
+)
+from repro.harness.runner import Aggregate, RunResult, run_once, run_seeds
+
+__all__ = [
+    "Aggregate",
+    "ClaimResult",
+    "all_passed",
+    "check_claims",
+    "FIGURE1_BENCHMARKS",
+    "FIGURE_SYSTEMS",
+    "Figure1Row",
+    "Figure7Cell",
+    "Figure8Series",
+    "RunResult",
+    "ScheduleOutcome",
+    "bar_chart",
+    "census_tail_fraction",
+    "figure1",
+    "figure2",
+    "figure6",
+    "figure7",
+    "figure8",
+    "format_relative",
+    "format_series",
+    "format_table",
+    "line_chart",
+    "overheads",
+    "run_once",
+    "run_seeds",
+    "table2",
+]

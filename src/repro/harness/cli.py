@@ -1,0 +1,213 @@
+"""Command-line harness: regenerate every figure and table of the paper.
+
+Usage::
+
+    sitm-harness fig1  [--profile quick] [--threads 16] [--seeds 3]
+    sitm-harness fig2
+    sitm-harness fig6
+    sitm-harness fig7  [--profile quick] [--seeds 3]
+    sitm-harness fig8  [--profile quick] [--seeds 3]
+    sitm-harness table1
+    sitm-harness table2 [--profile quick]
+    sitm-harness overheads
+    sitm-harness all   [--profile test]
+
+``--profile`` selects the workload scaling profile (see
+:mod:`repro.workloads.base`); ``full`` is closest to the paper but slow in
+pure Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.common.config import table1_dict
+from repro.harness import experiments
+from repro.harness.claims import all_passed, check_claims
+from repro.harness import export
+from repro.harness.report import (format_relative, format_series,
+                                  format_table, line_chart)
+
+
+def _fig1(args) -> str:
+    rows = experiments.figure1(args.profile, args.threads, args.seeds)
+    _export(args, export.figure1_rows(rows))
+    return format_table(
+        ["benchmark", "read-write %", "write-write %", "aborts/run"],
+        [[r.workload, f"{r.read_write_pct:.1f}", f"{r.write_write_pct:.1f}",
+          f"{r.total_aborts:.0f}"] for r in rows],
+        title="Figure 1: abort causes under 2PL")
+
+
+def _export(args, rows) -> None:
+    """Write machine-readable rows when --csv/--json were given."""
+    if getattr(args, "csv", None):
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(export.to_csv(rows))
+    if getattr(args, "json", None):
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(export.to_json(rows))
+
+
+def _schedule_table(outcomes, title: str) -> str:
+    return format_table(
+        ["system", "committed", "aborted", "causes"],
+        [[o.system, " ".join(o.committed) or "-",
+          " ".join(o.aborted) or "-",
+          " ".join(f"{k}:{v}" for k, v in o.abort_causes.items()) or "-"]
+         for o in outcomes],
+        title=title)
+
+
+def _fig2(args) -> str:
+    return _schedule_table(experiments.figure2(),
+                           "Figure 2: example schedule outcomes")
+
+
+def _fig6(args) -> str:
+    return _schedule_table(experiments.figure6(),
+                           "Figure 6: temporal cyclic dependency")
+
+
+def _fig7(args) -> str:
+    systems = args.systems or list(experiments.FIGURE_SYSTEMS)
+    if "2PL" not in systems:
+        systems = ["2PL"] + systems
+    cells = experiments.figure7(args.profile, seeds=args.seeds,
+                                workloads=args.workloads, systems=systems)
+    _export(args, export.figure7_rows(cells))
+    headers = (["benchmark", "threads"] + systems
+               + [f"{s}/2PL" for s in systems if s != "2PL"])
+    rows = []
+    for c in cells:
+        row = [c.workload, c.threads]
+        row += [f"{c.aborts[s]:.0f}" for s in systems]
+        row += [format_relative(c.relative[s]) for s in systems
+                if s != "2PL"]
+        rows.append(row)
+    return format_table(headers, rows,
+                        title="Figure 7: aborts relative to 2PL")
+
+
+def _fig8(args) -> str:
+    series = experiments.figure8(args.profile, seeds=args.seeds,
+                                 workloads=args.workloads,
+                                 systems=args.systems)
+    _export(args, export.figure8_rows(series))
+    lines = ["Figure 8: speedup over one thread"]
+    for s in series:
+        lines.append(format_series(f"{s.workload:10s} {s.system:6s}",
+                                   s.threads, s.speedup))
+    if args.chart:
+        by_workload = {}
+        for s in series:
+            by_workload.setdefault(s.workload, {})[s.system] = s.speedup
+        for workload, curves in by_workload.items():
+            lines.append("")
+            lines.append(line_chart(curves, series[0].threads,
+                                    title=f"{workload} speedup"))
+    return "\n".join(lines)
+
+
+def _table1(args) -> str:
+    return format_table(["parameter", "value"],
+                        [[k, v] for k, v in table1_dict().items()],
+                        title="Table 1: simulated architecture")
+
+
+def _table2(args) -> str:
+    results = experiments.table2(args.profile, workloads=args.workloads)
+    headers = ["version"] + list(results)
+    depth_rows = {}
+    for name, rows in results.items():
+        for row in rows:
+            depth_rows.setdefault(row["version"], {})[name] = row["accesses"]
+    table_rows = [[version] + [cells.get(name, 0) for name in results]
+                  for version, cells in depth_rows.items()]
+    return format_table(headers, table_rows,
+                        title="Table 2: accesses per MVM version (unbounded)")
+
+
+def _claims(args) -> str:
+    results = check_claims(profile=args.profile, threads=args.threads,
+                           seeds=args.seeds)
+    table = format_table(
+        ["claim", "description", "expected", "measured", "ok"],
+        [[r.claim_id, r.description, r.expected, r.measured,
+          "PASS" if r.passed else "FAIL"] for r in results],
+        title="Headline-claim verification")
+    verdict = "ALL CLAIMS PASS" if all_passed(results) else "FAILURES PRESENT"
+    return table + f"\n\n{verdict}"
+
+
+def _overheads(args) -> str:
+    rows = experiments.overheads()
+    return format_table(
+        ["bundle", "overhead @4 versions %", "worst case %",
+         "bandwidth best case %"],
+        [[r["bundle_lines"], f"{r['overhead_full_versions_pct']:.1f}",
+          f"{r['overhead_worst_case_pct']:.1f}",
+          f"{r['bandwidth_best_case_pct']:.1f}"] for r in rows],
+        title="Section 3.2: MVM overhead model")
+
+
+_COMMANDS = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "table1": _table1,
+    "table2": _table2,
+    "overheads": _overheads,
+    "claims": _claims,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The harness argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="sitm-harness",
+        description="Regenerate the SI-TM paper's figures and tables.")
+    parser.add_argument("command", choices=list(_COMMANDS) + ["all"])
+    parser.add_argument("--profile", default="quick",
+                        choices=("test", "quick", "full"))
+    parser.add_argument("--threads", type=int, default=16,
+                        help="thread count for fig1")
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="independent seeds per cell (paper uses 5)")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="restrict to these workloads")
+    parser.add_argument("--systems", nargs="*", default=None,
+                        choices=("2PL", "SONTM", "SI-TM", "SSI-TM", "LogTM"),
+                        help="systems for fig7/fig8 (default: the paper's "
+                             "three; add SSI-TM to measure the extension)")
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    parser.add_argument("--chart", action="store_true",
+                        help="fig8: also draw ASCII speedup charts")
+    parser.add_argument("--csv", default=None,
+                        help="fig1/fig7/fig8: write rows to this CSV file")
+    parser.add_argument("--json", default=None,
+                        help="fig1/fig7/fig8: write rows to this JSON file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "all":
+        report = "\n\n".join(fn(args) for fn in _COMMANDS.values())
+    else:
+        report = _COMMANDS[args.command](args)
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

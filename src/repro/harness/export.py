@@ -1,0 +1,84 @@
+"""Machine-readable experiment exports (CSV and JSON).
+
+The text tables are for humans; plotting scripts and CI dashboards want
+rows.  These helpers flatten the experiment drivers' structured results
+into plain dict-rows, serialise them, and back the CLI's ``--csv``/
+``--json`` options.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Sequence
+
+from repro.harness.experiments import (
+    Figure1Row,
+    Figure7Cell,
+    Figure8Series,
+    ScheduleOutcome,
+)
+
+
+def figure1_rows(rows: Sequence[Figure1Row]) -> List[dict]:
+    """Flatten Figure 1 results."""
+    return [{"workload": r.workload,
+             "read_write_pct": round(r.read_write_pct, 2),
+             "write_write_pct": round(r.write_write_pct, 2),
+             "aborts_per_run": round(r.total_aborts, 2)} for r in rows]
+
+
+def figure7_rows(cells: Sequence[Figure7Cell]) -> List[dict]:
+    """Flatten Figure 7 results: one row per (workload, threads, system)."""
+    out = []
+    for cell in cells:
+        for system, aborts in cell.aborts.items():
+            relative = cell.relative.get(system)
+            out.append({
+                "workload": cell.workload,
+                "threads": cell.threads,
+                "system": system,
+                "aborts": round(aborts, 2),
+                "relative_to_2pl": (round(relative, 6)
+                                    if relative is not None else ""),
+            })
+    return out
+
+
+def figure8_rows(series: Sequence[Figure8Series]) -> List[dict]:
+    """Flatten Figure 8 results: one row per (workload, system, threads)."""
+    out = []
+    for entry in series:
+        for threads, speedup in zip(entry.threads, entry.speedup):
+            out.append({"workload": entry.workload,
+                        "system": entry.system,
+                        "threads": threads,
+                        "speedup": round(speedup, 4)})
+    return out
+
+
+def schedule_rows(outcomes: Sequence[ScheduleOutcome]) -> List[dict]:
+    """Flatten Figure 2/6 outcomes."""
+    return [{"system": o.system,
+             "committed": " ".join(o.committed),
+             "aborted": " ".join(o.aborted),
+             "causes": " ".join(f"{k}:{v}"
+                                for k, v in o.abort_causes.items())}
+            for o in outcomes]
+
+
+def to_csv(rows: Sequence[Dict[str, object]]) -> str:
+    """Serialise dict-rows as CSV (columns from the first row)."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def to_json(rows: Sequence[Dict[str, object]]) -> str:
+    """Serialise dict-rows as pretty JSON."""
+    return json.dumps(list(rows), indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,118 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The harness prints the same rows/series the paper's figures plot; these
+helpers keep the formatting consistent (fixed-width ASCII tables that read
+well in a terminal and diff cleanly in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               if _is_numeric(cell) else cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("e", "").replace("-", "") \
+        .replace("+", "").replace(".", "")
+    return stripped.isdigit()
+
+
+def format_relative(value: Optional[float]) -> str:
+    """Render an abort count relative to the 2PL baseline (Figure 7)."""
+    if value is None:
+        return "n/a"
+    if value == 0:
+        return "0"
+    if value < 0.001:
+        return f"{value:.1e}"
+    return f"{value:.3f}"
+
+
+def format_series(label: str, xs: Sequence[int],
+                  ys: Sequence[float]) -> str:
+    """Render one figure series as ``label: x=y, x=y, ...``."""
+    points = ", ".join(f"{x}={_cell(float(y))}" for x, y in zip(xs, ys))
+    return f"{label}: {points}"
+
+
+def line_chart(series: Dict[str, Sequence[float]], xs: Sequence[int],
+               width: int = 64, height: int = 12, title: str = "") -> str:
+    """ASCII line chart: one mark per series (Figure 8's speedup curves).
+
+    ``series`` maps a label to y-values aligned with ``xs``.  Each series
+    is drawn with the first letter of its label; collisions show ``*``.
+    """
+    lines = [title] if title else []
+    all_values = [v for ys in series.values() for v in ys]
+    if not all_values or not xs:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    top = max(all_values) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    columns = [int(i * (width - 1) / max(1, len(xs) - 1))
+               for i in range(len(xs))]
+    for label, ys in series.items():
+        mark = label[0] if label else "?"
+        for column, value in zip(columns, ys):
+            row = height - 1 - int((value / top) * (height - 1))
+            row = min(height - 1, max(0, row))
+            cell = grid[row][column]
+            grid[row][column] = mark if cell == " " else "*"
+    for row_index, row in enumerate(grid):
+        value_at = top * (height - 1 - row_index) / (height - 1)
+        lines.append(f"{value_at:6.1f} |{''.join(row)}")
+    axis = [" "] * width
+    for column, x in zip(columns, xs):
+        text = str(x)
+        for offset, ch in enumerate(text):
+            if column + offset < width:
+                axis[column + offset] = ch
+    lines.append("       +" + "-" * width)
+    lines.append("        " + "".join(axis))
+    legend = "  ".join(f"{label[0]}={label}" for label in series)
+    lines.append("        " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(items: Dict[str, float], width: int = 40,
+              title: str = "") -> str:
+    """ASCII horizontal bar chart (for Figure 1's percentage bars)."""
+    lines = [title] if title else []
+    top = max(items.values(), default=1.0) or 1.0
+    label_width = max((len(k) for k in items), default=0)
+    for key, value in items.items():
+        bar = "#" * int(round(width * value / top))
+        lines.append(f"{key.ljust(label_width)} |{bar} {value:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Experiment runner: one simulation = (workload, system, threads, seed).
+
+The runner owns machine construction (applying per-experiment MVM/TM
+configuration such as the unbounded-version census mode), engine
+execution, and aggregation across seeds — the paper averages every
+measurement over 5 runs with different random seeds and reports <5%
+standard deviation; :func:`run_seeds` reproduces that protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.config import SimConfig
+from repro.common.errors import AbortCause, ConfigError
+from repro.common.rng import SplitRandom, derive_seed
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.sim.stats import RunStats
+from repro.tm import SYSTEMS
+from repro.workloads import REGISTRY
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    workload: str
+    system: str
+    threads: int
+    seed: int
+    commits: int
+    aborts: int
+    abort_rate: float
+    read_write_aborts: int
+    write_write_aborts: int
+    makespan_cycles: int
+    reads: int
+    writes: int
+    verified: Optional[bool]
+    mvm_stats: Dict[str, int] = field(default_factory=dict)
+    census_rows: Optional[List[dict]] = None
+    abort_causes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per megacycle (Figure 8's metric)."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.commits / (self.makespan_cycles / 1e6)
+
+
+@dataclass
+class Aggregate:
+    """Seed-averaged metrics for one (workload, system, threads) cell."""
+
+    workload: str
+    system: str
+    threads: int
+    runs: List[RunResult]
+
+    @property
+    def abort_rate(self) -> float:
+        """Mean abort rate across seeds."""
+        return sum(r.abort_rate for r in self.runs) / len(self.runs)
+
+    @property
+    def aborts(self) -> float:
+        """Mean absolute abort count across seeds."""
+        return sum(r.aborts for r in self.runs) / len(self.runs)
+
+    @property
+    def throughput(self) -> float:
+        """Mean commits-per-megacycle across seeds."""
+        return sum(r.throughput for r in self.runs) / len(self.runs)
+
+    @property
+    def makespan(self) -> float:
+        """Mean makespan cycles across seeds."""
+        return sum(r.makespan_cycles for r in self.runs) / len(self.runs)
+
+    @property
+    def read_write_fraction(self) -> Optional[float]:
+        """Fraction of conflict aborts that are read-write (Figure 1)."""
+        rw = sum(r.read_write_aborts for r in self.runs)
+        ww = sum(r.write_write_aborts for r in self.runs)
+        return rw / (rw + ww) if rw + ww else None
+
+    @property
+    def all_verified(self) -> bool:
+        """All seeds passed the workload's consistency check (or had none)."""
+        return all(r.verified in (None, True) for r in self.runs)
+
+
+def run_once(workload: str, system: str, threads: int, seed: int,
+             profile: str = "quick",
+             config: Optional[SimConfig] = None) -> RunResult:
+    """Run one simulation and collect its statistics."""
+    if system not in SYSTEMS:
+        raise ConfigError(f"unknown system {system!r}; known: {sorted(SYSTEMS)}")
+    config = config or SimConfig()
+    if threads > config.machine.cores:
+        config = config.replace(
+            machine=dataclasses.replace(config.machine, cores=threads))
+    machine = Machine(config)
+    rng = SplitRandom(derive_seed(seed, workload, system, threads))
+    bench = REGISTRY.create(workload, profile=profile)
+    instance = bench.setup(machine, threads, rng.split("workload"))
+    tm = SYSTEMS[system](machine, rng.split("tm"))
+    engine = Engine(tm, instance.programs)
+    stats: RunStats = engine.run()
+    verified = instance.verify() if instance.verify is not None else None
+    census_rows = (machine.mvm.census.rows()
+                   if machine.mvm.census is not None else None)
+    return RunResult(
+        workload=workload, system=system, threads=threads, seed=seed,
+        commits=stats.total_commits, aborts=stats.total_aborts,
+        abort_rate=stats.abort_rate,
+        read_write_aborts=stats.read_write_aborts,
+        write_write_aborts=stats.write_write_aborts,
+        makespan_cycles=stats.makespan_cycles,
+        reads=sum(t.reads for t in stats.threads),
+        writes=sum(t.writes for t in stats.threads),
+        verified=verified,
+        mvm_stats=machine.mvm.stats(),
+        census_rows=census_rows,
+        abort_causes={c.value: n for c, n in stats.abort_causes.items()},
+    )
+
+
+def run_seeds(workload: str, system: str, threads: int,
+              profile: str = "quick", seeds: int = 3, seed0: int = 1,
+              config: Optional[SimConfig] = None) -> Aggregate:
+    """Average one experiment cell over ``seeds`` independent runs."""
+    runs = [run_once(workload, system, threads, seed0 + i, profile, config)
+            for i in range(seeds)]
+    return Aggregate(workload, system, threads, runs)

@@ -1,0 +1,17 @@
+"""Memory substrate: addressing, backing store, heap, cache hierarchy."""
+
+from repro.mem.address import MVM_REGION_BASE, AddressMap
+from repro.mem.backing import BackingStore
+from repro.mem.cache import CacheHierarchy, CoreCaches, SetAssociativeCache
+from repro.mem.heap import BumpAllocator, Heap
+
+__all__ = [
+    "MVM_REGION_BASE",
+    "AddressMap",
+    "BackingStore",
+    "BumpAllocator",
+    "CacheHierarchy",
+    "CoreCaches",
+    "Heap",
+    "SetAssociativeCache",
+]

@@ -1,0 +1,54 @@
+"""Address arithmetic.
+
+The simulator is word-addressed: every address names one machine word
+(8 bytes by default).  Cache lines group ``words_per_line`` consecutive
+words; conflict detection, caching and versioning all operate on *line*
+identifiers, matching the paper's per-cache-line metadata (sections 3, 4.2).
+
+Memory is split into two regions mirroring section 4.4:
+
+* the **conventional region** — ordinary heap/stack data, updated in place;
+* the **MVM region** — multiversioned shared memory handed out by
+  ``mvmalloc()``; transactional copy-on-write versioning applies only here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: First word address of the multiversioned region.  The value is arbitrary
+#: but far above any conventional allocation, so region membership is a
+#: single comparison (the hardware uses a physical-address partition).
+MVM_REGION_BASE = 1 << 40
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Maps word addresses to lines, words-in-line, and regions."""
+
+    words_per_line: int = 8
+
+    def line_of(self, addr: int) -> int:
+        """Line identifier containing word ``addr``."""
+        return addr // self.words_per_line
+
+    def word_in_line(self, addr: int) -> int:
+        """Offset of ``addr`` within its line, in words."""
+        return addr % self.words_per_line
+
+    def line_base(self, line: int) -> int:
+        """First word address of ``line``."""
+        return line * self.words_per_line
+
+    def words_of_line(self, line: int) -> range:
+        """All word addresses belonging to ``line``."""
+        base = self.line_base(line)
+        return range(base, base + self.words_per_line)
+
+    def is_mvm(self, addr: int) -> bool:
+        """True when ``addr`` lies in the multiversioned region."""
+        return addr >= MVM_REGION_BASE
+
+    def is_mvm_line(self, line: int) -> bool:
+        """True when ``line`` lies in the multiversioned region."""
+        return self.line_base(line) >= MVM_REGION_BASE

@@ -1,0 +1,42 @@
+"""Flat word-addressed backing store.
+
+This models DRAM contents for the *conventional* region and for the
+newest-committed state of the MVM region (the MVM controller in
+:mod:`repro.mvm` layers version history on top).  Reads of never-written
+words return zero, like zero-initialised physical memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class BackingStore:
+    """Sparse word-addressed memory."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def load(self, addr: int) -> int:
+        """Return the word at ``addr`` (0 if never stored)."""
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        """Store ``value`` at ``addr``."""
+        self._words[addr] = value
+
+    def load_line(self, words: range) -> Tuple[int, ...]:
+        """Return the tuple of word values for a whole line."""
+        return tuple(self._words.get(a, 0) for a in words)
+
+    def store_line(self, words: range, values) -> None:
+        """Store a whole line of word values."""
+        for addr, value in zip(words, values):
+            self._words[addr] = value
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate (address, value) pairs of all stored words."""
+        return iter(self._words.items())

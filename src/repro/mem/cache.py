@@ -1,0 +1,230 @@
+"""Set-associative cache model with LRU replacement.
+
+The model tracks *which lines are resident*, not their contents (contents
+live in :class:`repro.mem.backing.BackingStore` and, for versioned lines, in
+the MVM).  Its job is timing: deciding at which level an access hits so the
+engine can charge the Table 1 latency, and exposing invalidation hooks used
+by the coherence broadcasts of the eager baselines.
+
+Per-set LRU is implemented with ordered dicts (insertion order + move-to-end),
+which is both exact and fast enough for the scaled workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.config import CacheConfig
+
+
+class SetAssociativeCache:
+    """One cache level, tracking resident line identifiers."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self._sets: Dict[int, Dict[int, None]] = {}
+        self._num_sets = config.num_sets
+        self._ways = config.associativity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_of(self, line: int) -> Dict[int, None]:
+        index = line % self._num_sets
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = self._sets[index] = {}
+        return entries
+
+    def lookup(self, line: int) -> bool:
+        """Probe for ``line``; update LRU and hit/miss counters."""
+        entries = self._set_of(line)
+        if line in entries:
+            self.hits += 1
+            # move-to-end == most recently used
+            del entries[line]
+            entries[line] = None
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, line: int) -> Optional[int]:
+        """Insert ``line``; return the evicted line, if any."""
+        entries = self._set_of(line)
+        if line in entries:
+            del entries[line]
+            entries[line] = None
+            return None
+        victim = None
+        if len(entries) >= self._ways:
+            victim = next(iter(entries))
+            del entries[victim]
+            self.evictions += 1
+        entries[line] = None
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Remove ``line`` if resident; return whether it was."""
+        entries = self._sets.get(line % self._num_sets)
+        if entries and line in entries:
+            del entries[line]
+            return True
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Probe without touching LRU state or counters."""
+        entries = self._sets.get(line % self._num_sets)
+        return bool(entries) and line in entries
+
+    def flush(self) -> None:
+        """Drop every resident line (counters are preserved)."""
+        self._sets.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self._sets.values())
+
+
+class CoreCaches:
+    """The private L1 + L2 of one core."""
+
+    def __init__(self, core_id: int, l1: CacheConfig, l2: CacheConfig):
+        self.core_id = core_id
+        self.l1 = SetAssociativeCache(l1, f"core{core_id}.L1")
+        self.l2 = SetAssociativeCache(l2, f"core{core_id}.L2")
+
+    def invalidate(self, line: int) -> None:
+        """Invalidate ``line`` from both private levels (coherence)."""
+        self.l1.invalidate(line)
+        self.l2.invalidate(line)
+
+    def flush(self) -> None:
+        """Drop all private cache state."""
+        self.l1.flush()
+        self.l2.flush()
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core, shared L3, DRAM behind it.
+
+    ``access`` returns the latency of the access and fills all levels on the
+    way in.  A small *translation cache* for MVM version-list entries can be
+    layered on top by the MVM controller (section 4.1's X-Late cache);
+    this class only models data lines.
+    """
+
+    LEVEL_L1 = "L1"
+    LEVEL_L2 = "L2"
+    LEVEL_L3 = "L3"
+    LEVEL_MEM = "MEM"
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self.cores = [CoreCaches(i, machine.l1d, machine.l2)
+                      for i in range(machine.cores)]
+        self.l3 = SetAssociativeCache(machine.l3, "L3")
+        self.level_counts = {self.LEVEL_L1: 0, self.LEVEL_L2: 0,
+                             self.LEVEL_L3: 0, self.LEVEL_MEM: 0}
+        #: directory-style sharer tracking: line -> set of core ids whose
+        #: private caches may hold it.  Kept approximately (eviction of a
+        #: line from a private cache does not eagerly clear the bit, as in
+        #: real sparse directories) and reconciled on invalidation.
+        self._sharers: Dict[int, set] = {}
+        self.invalidations_sent = 0
+
+    def access(self, core_id: int, line: int) -> int:
+        """Access ``line`` from ``core_id``; return latency in cycles."""
+        latency, _ = self.access_tracked(core_id, line)
+        return latency
+
+    def access_tracked(self, core_id: int, line: int):
+        """Access ``line``; return ``(latency, evicted_private_line)``.
+
+        ``evicted_private_line`` is the line pushed out of this core's
+        private hierarchy (its L2 victim), or ``None`` — SI-TM uses it to
+        model transactional-line spills to the MVM (section 4.2).
+        """
+        core = self.cores[core_id]
+        m = self.machine
+        sharers = self._sharers.get(line)
+        if sharers is None:
+            sharers = self._sharers[line] = set()
+        sharers.add(core_id)
+        if core.l1.lookup(line):
+            self.level_counts[self.LEVEL_L1] += 1
+            return m.l1d.latency_cycles, None
+        if core.l2.lookup(line):
+            core.l1.fill(line)
+            self.level_counts[self.LEVEL_L2] += 1
+            return m.l2.latency_cycles, None
+        if self.l3.lookup(line):
+            victim = core.l2.fill(line)
+            core.l1.fill(line)
+            self.level_counts[self.LEVEL_L3] += 1
+            return m.l3.latency_cycles, victim
+        self.l3.fill(line)
+        victim = core.l2.fill(line)
+        core.l1.fill(line)
+        self.level_counts[self.LEVEL_MEM] += 1
+        return m.memory_latency_cycles, victim
+
+    def shared_access(self, line: int) -> int:
+        """Access ``line`` at the shared level only (MVM controller path).
+
+        Used for version-list lookups and commit-time version installs,
+        which bypass the private caches (section 4.2: versioning happens
+        at the L3/MVM level).
+        """
+        m = self.machine
+        if self.l3.lookup(line):
+            self.level_counts[self.LEVEL_L3] += 1
+            return m.l3.latency_cycles
+        self.l3.fill(line)
+        self.level_counts[self.LEVEL_MEM] += 1
+        return m.memory_latency_cycles
+
+    def invalidate_everywhere(self, line: int, except_core: Optional[int] = None) -> int:
+        """Invalidate ``line`` from sharers' private caches.
+
+        Uses the directory's sharer set so only caches that may hold the
+        line receive an invalidation; returns how many were sent (eager
+        systems charge coherence cost per recipient).
+        """
+        sharers = self._sharers.get(line)
+        if not sharers:
+            return 0
+        sent = 0
+        for core_id in list(sharers):
+            if core_id != except_core:
+                self.cores[core_id].invalidate(line)
+                sharers.discard(core_id)
+                sent += 1
+        self.invalidations_sent += sent
+        return sent
+
+    def sharer_count(self, line: int, except_core: Optional[int] = None) -> int:
+        """Number of cores the directory lists as possible sharers."""
+        sharers = self._sharers.get(line)
+        if not sharers:
+            return 0
+        return len(sharers - ({except_core} if except_core is not None
+                              else set()))
+
+    def invalidate_core(self, core_id: int, line: int) -> None:
+        """Invalidate ``line`` from one core's private caches.
+
+        Used at SI-TM commit to force subsequent transactions on other
+        cores to re-fetch the newest version (section 4.4: "snapshots need
+        to be invalidated during commit").
+        """
+        self.cores[core_id].invalidate(line)
+
+    def stats(self) -> dict:
+        """Aggregate hit/miss statistics across levels."""
+        return {
+            "levels": dict(self.level_counts),
+            "l3": {"hits": self.l3.hits, "misses": self.l3.misses,
+                   "evictions": self.l3.evictions},
+        }

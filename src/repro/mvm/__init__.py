@@ -1,0 +1,40 @@
+"""Multiversioned memory: version lists, timestamps, controller, overheads."""
+
+from repro.mvm.census import VersionCensus
+from repro.mvm.checkpoint import Checkpoint, CheckpointManager
+from repro.mvm.dedup import DedupIndex, DedupReport
+from repro.mvm.controller import MVMController
+from repro.mvm.overhead import (
+    OverheadReport,
+    bandwidth_overhead_best_case,
+    capacity_overhead,
+    copy_on_write_amplification,
+    metadata_bits_per_address,
+    report,
+)
+from repro.mvm.timestamps import ActiveTransactionTable, GlobalClock
+from repro.mvm.version_list import (
+    CapExceeded,
+    SnapshotTooOld,
+    VersionList,
+)
+
+__all__ = [
+    "ActiveTransactionTable",
+    "Checkpoint",
+    "CheckpointManager",
+    "DedupIndex",
+    "DedupReport",
+    "CapExceeded",
+    "GlobalClock",
+    "MVMController",
+    "OverheadReport",
+    "SnapshotTooOld",
+    "VersionCensus",
+    "VersionList",
+    "bandwidth_overhead_best_case",
+    "capacity_overhead",
+    "copy_on_write_amplification",
+    "metadata_bits_per_address",
+    "report",
+]

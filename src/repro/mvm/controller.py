@@ -1,0 +1,305 @@
+"""The multiversioned memory controller (sections 3 and 4.2).
+
+:class:`MVMController` owns the version lists for every line in the MVM
+region and implements the controller-side halves of the transactional
+actions:
+
+* ``snapshot_read`` — return the most current version older than the
+  calling transaction's start timestamp (TM READ);
+* ``validate_line`` / ``install_line`` / ``rollback_line`` — commit-time
+  timestamp-based write-write conflict detection and optimistic version
+  installation with rollback (TM COMMIT);
+* ``plain_read`` / ``plain_write`` — non-transactional accesses, which see
+  and update the most current version in place;
+* garbage collection and version coalescing, delegated to
+  :class:`~repro.mvm.version_list.VersionList` using the oldest-active
+  priority queue of :class:`~repro.mvm.timestamps.ActiveTransactionTable`;
+* transient (uncommitted, evicted) line storage keyed by temporary owner
+  IDs — the paper reserves the N largest timestamps as temporary IDs so
+  uncommitted evicted lines stay private to their transaction;
+* the version-depth census of Appendix A and the word-granularity
+  conflict filter of section 4.2.
+
+The controller is purely *functional* state; all timing (indirection-lookup
+latency, translation cache) is charged by the TM systems through the cache
+model, keeping mechanism and cost model separate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.common.config import MVMConfig
+from repro.common.errors import MVMError
+from repro.mem.address import AddressMap
+from repro.mem.backing import BackingStore
+from repro.mvm.census import VersionCensus
+from repro.mvm.dedup import DedupIndex
+from repro.mvm.timestamps import ActiveTransactionTable, GlobalClock
+from repro.mvm.version_list import (
+    CapExceeded,
+    LineData,
+    SnapshotTooOld,
+    VersionList,
+)
+
+__all__ = ["MVMController", "CapExceeded", "SnapshotTooOld"]
+
+
+class MVMController:
+    """Version management for the multiversioned memory region."""
+
+    def __init__(self, config: MVMConfig, address_map: AddressMap,
+                 clock: Optional[GlobalClock] = None):
+        self.config = config
+        self.address_map = address_map
+        self.clock = clock or GlobalClock(delta=config.commit_delta)
+        self.active = ActiveTransactionTable()
+        self._lines: Dict[int, VersionList] = {}
+        #: uncommitted lines evicted from private caches, (line, owner) -> data
+        self._transient: Dict[Tuple[int, int], LineData] = {}
+        self.census = VersionCensus() if config.census else None
+        #: cumulative dedup-opportunity census over installed version data
+        self.dedup = (DedupIndex(address_map.words_per_line)
+                      if config.dedup else None)
+        #: bundles (groups of ``bundle_lines`` lines) already materialised
+        #: by a first copy-on-write (section 3.2 bundling)
+        self._materialised_bundles: set = set()
+        # counters
+        self.bundle_copies = 0
+        self.versions_installed = 0
+        self.versions_coalesced = 0
+        self.versions_collected = 0
+        self.ww_conflicts_detected = 0
+        self.ww_conflicts_filtered = 0
+
+    # ------------------------------------------------------------------
+    # version-list access
+
+    def _list_of(self, line: int) -> VersionList:
+        vlist = self._lines.get(line)
+        if vlist is None:
+            vlist = self._lines[line] = VersionList()
+        return vlist
+
+    def versions_of(self, line: int) -> Tuple[int, ...]:
+        """Timestamps of the committed versions of ``line`` (oldest first)."""
+        vlist = self._lines.get(line)
+        return vlist.timestamps if vlist else ()
+
+    def live_version_count(self, line: int) -> int:
+        """Number of committed versions currently retained for ``line``."""
+        vlist = self._lines.get(line)
+        return len(vlist) if vlist else 0
+
+    def max_live_versions(self) -> int:
+        """Largest version count across all lines (coalescing diagnostics)."""
+        return max((len(v) for v in self._lines.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # transactional reads
+
+    def snapshot_read(self, line: int, start_ts: int) -> Optional[LineData]:
+        """TM READ: the most current version older than ``start_ts``.
+
+        Returns ``None`` for a never-written line (zero line).  Raises
+        :class:`SnapshotTooOld` when the snapshot's version was discarded
+        (only possible under the DROP_OLDEST cap policy).
+        """
+        vlist = self._lines.get(line)
+        if vlist is None:
+            return None
+        data, depth = vlist.read_at(start_ts)
+        if self.census is not None and depth:
+            self.census.record(depth)
+        return data
+
+    # ------------------------------------------------------------------
+    # commit protocol
+
+    def validate_line(self, line: int, start_ts: int) -> bool:
+        """Write-write check: has ``line`` a version newer than ``start_ts``?
+
+        True means a concurrent, already-committed transaction wrote the
+        line after this transaction's snapshot — a write-write conflict.
+        """
+        vlist = self._lines.get(line)
+        if vlist is None:
+            return False
+        newest = vlist.newest_timestamp()
+        conflict = newest is not None and newest > start_ts
+        if conflict:
+            self.ww_conflicts_detected += 1
+        return conflict
+
+    def words_conflict(self, line: int, start_ts: int,
+                       written_words: Dict[int, int]) -> bool:
+        """Word-granularity refinement of a line-level conflict (section 4.2).
+
+        Compares both the concurrent committed version and the committing
+        write set against the snapshot version: if the sets of *actually
+        changed* words are disjoint (false sharing) or the committing
+        writes are silent stores, the conflict is dismissed and the counts
+        as filtered.
+        """
+        vlist = self._lines.get(line)
+        if vlist is None:
+            return False
+        newest = vlist.newest_data()
+        try:
+            snapshot, _ = vlist.read_at(start_ts)
+        except SnapshotTooOld:
+            return True
+        if snapshot is None:
+            snapshot = tuple([0] * self.address_map.words_per_line)
+        assert newest is not None
+        their_changed = {i for i, (a, b) in enumerate(zip(snapshot, newest))
+                         if a != b}
+        our_changed = {w for w, v in written_words.items()
+                       if snapshot[w] != v}
+        if their_changed & our_changed:
+            return True
+        self.ww_conflicts_filtered += 1
+        return False
+
+    def install_line(self, line: int, end_ts: int, data: LineData) -> None:
+        """Install a committed version of ``line`` at ``end_ts``.
+
+        Raises :class:`CapExceeded` under the ABORT_WRITER policy; the
+        caller (TM COMMIT) turns that into a VERSION_OVERFLOW abort and
+        rolls back any versions it already installed.
+        """
+        vlist = self._list_of(line)
+        coalesced, dropped = vlist.install(
+            end_ts, data, self.config, self.active)
+        if self.dedup is not None:
+            self.dedup.add(data)
+        self.versions_installed += 1
+        if coalesced:
+            self.versions_coalesced += 1
+        self.versions_collected += dropped
+
+    def bundle_copy_lines(self, line: int) -> int:
+        """Extra lines copied when ``line``'s bundle first materialises.
+
+        Section 3.2: bundling ``bundle_lines`` lines per version-list entry
+        divides metadata overhead but "requires copying an entire bundle on
+        the first write".  Returns how many *additional* line copies this
+        write incurs (0 once the bundle is materialised, and always 0 for
+        unbundled configurations).
+        """
+        if self.config.bundle_lines <= 1:
+            return 0
+        bundle = line // self.config.bundle_lines
+        if bundle in self._materialised_bundles:
+            return 0
+        self._materialised_bundles.add(bundle)
+        self.bundle_copies += 1
+        return self.config.bundle_lines - 1
+
+    def rollback_line(self, line: int, end_ts: int) -> None:
+        """Remove the version an aborting committer installed (section 4.2)."""
+        vlist = self._lines.get(line)
+        if vlist is None:
+            raise MVMError(f"rollback of line {line} with no versions")
+        vlist.remove_version(end_ts)
+        self.versions_installed -= 1
+
+    # ------------------------------------------------------------------
+    # non-transactional accesses (section 3)
+
+    def plain_read(self, line: int) -> Optional[LineData]:
+        """Non-transactional read: the newest version."""
+        vlist = self._lines.get(line)
+        return vlist.newest_data() if vlist else None
+
+    def plain_write(self, line: int, data: LineData) -> None:
+        """Non-transactional write: modify the most current version in place."""
+        self._list_of(line).overwrite_in_place(data)
+
+    # ------------------------------------------------------------------
+    # transient (evicted uncommitted) lines — section 4.2 temporary IDs
+
+    def store_transient(self, line: int, owner: int, data: LineData) -> None:
+        """Buffer an uncommitted line evicted from ``owner``'s private cache."""
+        self._transient[(line, owner)] = data
+
+    def load_transient(self, line: int, owner: int) -> Optional[LineData]:
+        """Fetch an evicted uncommitted line, visible only to its owner."""
+        return self._transient.get((line, owner))
+
+    def drop_transients(self, owner: int, lines: Iterable[int]) -> None:
+        """Discard a transaction's transient lines on commit or abort."""
+        for line in lines:
+            self._transient.pop((line, owner), None)
+
+    # ------------------------------------------------------------------
+    # maintenance
+
+    def truncate_after(self, timestamp: int) -> int:
+        """Roll every line back to its newest version at ``timestamp``.
+
+        Checkpoint rollback (section 3.3).  Lines whose versions are all
+        newer than ``timestamp`` fall back to their implicit base (the
+        pre-transactional state) when it still exists.  Returns versions
+        discarded.
+        """
+        dropped = 0
+        empty_lines = []
+        for line, vlist in self._lines.items():
+            dropped += vlist.truncate_after(timestamp)
+            if len(vlist) == 0:
+                empty_lines.append(line)
+        for line in empty_lines:
+            del self._lines[line]
+        self.versions_installed = max(0, self.versions_installed - dropped)
+        return dropped
+
+    def collect_all(self) -> int:
+        """Background sweep: GC every line against the oldest active snapshot.
+
+        The paper GCs on write; a background sweep is the natural software
+        analogue for long idle phases.  Returns versions deleted.
+        """
+        oldest = self.active.oldest()
+        dropped = 0
+        for vlist in self._lines.values():
+            dropped += vlist.collect_garbage(oldest)
+        self.versions_collected += dropped
+        return dropped
+
+    def flush_all_versions(self, backing: BackingStore) -> None:
+        """Timestamp-overflow handler: persist newest versions, drop history.
+
+        All active transactions must already have been aborted.  Each
+        line's newest data survives as a fresh timestamp-0 base version
+        (so every later snapshot still reads it); a copy also goes to the
+        backing store as a checkpoint.  History and the clock reset
+        (section 4.1's software interrupt).
+        """
+        if len(self.active):
+            raise MVMError("cannot reset with active transactions")
+        survivors: Dict[int, VersionList] = {}
+        for line, vlist in self._lines.items():
+            data = vlist.newest_data()
+            if data is None:
+                continue
+            backing.store_line(self.address_map.words_of_line(line), data)
+            fresh = VersionList()
+            fresh.overwrite_in_place(data)
+            survivors[line] = fresh
+        self._lines = survivors
+        self._transient.clear()
+        self.clock.reset_after_overflow()
+
+    def stats(self) -> dict:
+        """Controller counters for reports."""
+        return {
+            "versions_installed": self.versions_installed,
+            "versions_coalesced": self.versions_coalesced,
+            "versions_collected": self.versions_collected,
+            "ww_conflicts_detected": self.ww_conflicts_detected,
+            "ww_conflicts_filtered": self.ww_conflicts_filtered,
+            "max_live_versions": self.max_live_versions(),
+            "start_stalls": self.clock.start_stalls,
+        }

@@ -1,0 +1,78 @@
+"""Line deduplication accounting on the indirection layer (section 3.3).
+
+HICAMP-style deduplication maps multiple addresses to one physical line
+when their contents are identical — the paper notes the MVM's indirection
+layer enables this "particularly well for common cases like the zero
+cache line".  This module measures the opportunity: a content-addressed
+index over installed version data reporting how many physical lines a
+deduplicating MVM would save, with the zero line tracked separately.
+
+The index is *accounting only*: functional storage stays per-version (the
+simulator has no memory pressure), which keeps the measurement honest —
+it reports what the hardware feature would save, not a Python-level
+optimisation.  It censuses the cumulative stream of installed version
+data: every committed copy-on-write line is recorded, so the report
+answers "of all version lines the MVM allocated, how many were duplicate
+content?"
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Tuple
+
+LineData = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DedupReport:
+    """Capacity savings a deduplicating MVM would realise."""
+
+    #: physical lines a non-deduplicating MVM stores
+    total_lines: int
+    #: distinct line contents (what a deduplicating MVM stores)
+    unique_lines: int
+    #: stored lines that are all zeros (the paper's headline case)
+    zero_lines: int
+
+    @property
+    def saved_lines(self) -> int:
+        """Lines deduplication eliminates."""
+        return self.total_lines - self.unique_lines
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fraction of line storage saved."""
+        if self.total_lines == 0:
+            return 0.0
+        return self.saved_lines / self.total_lines
+
+
+class DedupIndex:
+    """Content-addressed census of stored line data."""
+
+    def __init__(self, words_per_line: int = 8):
+        self._counts: Counter = Counter()
+        self._zero = tuple([0] * words_per_line)
+
+    def add(self, data: LineData) -> bool:
+        """Record one stored line; True when it deduplicated."""
+        duplicate = self._counts[data] > 0
+        self._counts[data] += 1
+        return duplicate
+
+    def remove(self, data: LineData) -> None:
+        """Un-record a line (version rollback or GC)."""
+        if self._counts[data] > 0:
+            self._counts[data] -= 1
+            if self._counts[data] == 0:
+                del self._counts[data]
+
+    def report(self) -> DedupReport:
+        """Current savings snapshot."""
+        total = sum(self._counts.values())
+        return DedupReport(
+            total_lines=total,
+            unique_lines=len(self._counts),
+            zero_lines=self._counts.get(self._zero, 0))

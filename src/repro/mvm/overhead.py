@@ -1,0 +1,92 @@
+"""Analytic MVM capacity and bandwidth overhead model (section 3.2).
+
+The indirection layer stores, per line address, ``max_versions`` pointers
+and ``max_versions`` timestamps.  With 32-bit pointers and timestamps and
+512-bit (64-byte) lines the paper derives:
+
+* four live versions per address -> ``2 * 32 / 512 = 12.5%`` metadata
+  overhead per line;
+* one live version (worst case)  -> ``50%`` per allocated MVM line;
+* bundling 8 lines per version-list entry divides the worst case by 8
+  (-> ~6%), trading capacity overhead for copy-on-write write amplification;
+* a metadata line holds eight 64-bit version references, so the best-case
+  read-bandwidth increase is one reference per data line: 64/512 = 12.5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import MVMConfig
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Capacity/bandwidth overheads for a given MVM configuration."""
+
+    metadata_bits_per_address: int
+    line_bits: int
+    overhead_at_full_versions: float
+    overhead_worst_case: float
+    bandwidth_best_case: float
+    entries_per_metadata_line: float
+
+
+def metadata_bits_per_address(config: MVMConfig) -> int:
+    """Version-list bits stored per line address."""
+    return config.max_versions * (config.pointer_bits + config.timestamp_bits)
+
+
+def capacity_overhead(config: MVMConfig, live_versions: int,
+                      line_bytes: int = 64) -> float:
+    """Metadata overhead as a fraction of live data for a line.
+
+    ``live_versions`` is how many data versions currently exist for the
+    address; the version-list entry is always fully provisioned, so fewer
+    live versions mean proportionally higher overhead (50% worst case with
+    one live version, 12.5% with four, for the default configuration).
+    Bundling divides the per-address metadata across ``bundle_lines`` lines.
+    """
+    if live_versions < 1:
+        raise ValueError("need at least one live version")
+    line_bits = line_bytes * 8
+    meta = metadata_bits_per_address(config) / config.bundle_lines
+    return meta / (live_versions * line_bits)
+
+
+def bandwidth_overhead_best_case(config: MVMConfig,
+                                 line_bytes: int = 64) -> float:
+    """Best-case read-bandwidth increase from fetching version references.
+
+    A version *reference* is one pointer + one timestamp (64 bits by
+    default); a metadata line holds eight of them, and with perfect
+    locality a data-line access amortises to fetching a single reference:
+    ``64 / 512 = 12.5%`` extra bandwidth — the paper's best case.
+    """
+    line_bits = line_bytes * 8
+    entry_bits = config.pointer_bits + config.timestamp_bits
+    return entry_bits / line_bits
+
+
+def copy_on_write_amplification(config: MVMConfig) -> int:
+    """Lines copied on the first transactional write to a bundle.
+
+    Bundling (section 3.2) requires copying the whole bundle on first
+    write: the capacity saving costs write amplification.
+    """
+    return config.bundle_lines
+
+
+def report(config: MVMConfig, line_bytes: int = 64) -> OverheadReport:
+    """Full section 3.2 overhead report for ``config``."""
+    line_bits = line_bytes * 8
+    entry_bits = config.pointer_bits + config.timestamp_bits
+    return OverheadReport(
+        metadata_bits_per_address=metadata_bits_per_address(config),
+        line_bits=line_bits,
+        overhead_at_full_versions=capacity_overhead(
+            config, config.max_versions, line_bytes),
+        overhead_worst_case=capacity_overhead(config, 1, line_bytes),
+        bandwidth_best_case=bandwidth_overhead_best_case(config, line_bytes),
+        entries_per_metadata_line=line_bits / entry_bits,
+    )

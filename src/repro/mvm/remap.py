@@ -1,0 +1,115 @@
+"""Line remapping on the indirection layer (section 3.3).
+
+Two more of the paper's indirection-layer applications:
+
+* **fine-grain chipkill** — "deactivate defect memory cells on a per line
+  basis to improve reliability and yield": a defective physical line is
+  remapped to a line from a spare pool; software addresses never change.
+* **bit steering** — "redirect traffic in heterogeneous memory systems
+  transparently to software": lines are steered between memory tiers with
+  different access latencies (e.g. fast stacked DRAM vs capacity-optimised
+  slow memory).
+
+Both are pure indirection-table operations: the MVM already dereferences
+a version-list entry per access, so adding a remap/tier attribute costs
+no extra lookup.  The :class:`LineRemapper` keeps that bookkeeping and
+answers two questions per line — *which physical line actually serves
+this address* and *how many extra cycles its tier adds* — plus repair and
+migration statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.common.errors import ConfigError, MVMError
+
+#: default tier latencies (extra cycles on top of the base memory access)
+DEFAULT_TIERS = {"fast": -40, "normal": 0, "slow": 120}
+
+
+@dataclass(frozen=True)
+class RemapStats:
+    """Reliability/placement counters."""
+
+    deactivated_lines: int
+    spares_remaining: int
+    steered_lines: int
+    repairs_denied: int
+
+
+class LineRemapper:
+    """Chipkill-style spare remapping + tier steering for line addresses."""
+
+    def __init__(self, spare_lines: int = 64,
+                 tiers: Optional[Dict[str, int]] = None):
+        if spare_lines < 0:
+            raise ConfigError("spare_lines must be >= 0")
+        self._tiers = dict(tiers) if tiers is not None else dict(DEFAULT_TIERS)
+        if "normal" not in self._tiers:
+            raise ConfigError('tier table must define "normal"')
+        #: spare physical lines, allocated top-down from a reserved region
+        self._spare_pool = [(-2 - i) for i in range(spare_lines)]
+        self._remap: Dict[int, int] = {}
+        self._dead: Set[int] = set()
+        self._tier_of: Dict[int, str] = {}
+        self.repairs_denied = 0
+
+    # ------------------------------------------------------------------
+    # chipkill
+
+    def deactivate(self, line: int) -> Optional[int]:
+        """Mark ``line`` defective; remap it to a spare.
+
+        Returns the spare's physical id, or ``None`` (and counts a denied
+        repair) when the spare pool is exhausted — the yield limit.
+        """
+        if line in self._dead:
+            raise MVMError(f"line {line:#x} already deactivated")
+        if not self._spare_pool:
+            self.repairs_denied += 1
+            return None
+        spare = self._spare_pool.pop()
+        self._dead.add(line)
+        self._remap[line] = spare
+        return spare
+
+    def is_deactivated(self, line: int) -> bool:
+        """True when ``line``'s original cells are out of service."""
+        return line in self._dead
+
+    def resolve(self, line: int) -> int:
+        """Physical line serving address ``line`` (identity when healthy)."""
+        return self._remap.get(line, line)
+
+    # ------------------------------------------------------------------
+    # bit steering
+
+    def steer(self, line: int, tier: str) -> None:
+        """Place ``line`` in a memory tier."""
+        if tier not in self._tiers:
+            raise ConfigError(
+                f"unknown tier {tier!r}; known: {sorted(self._tiers)}")
+        if tier == "normal":
+            self._tier_of.pop(line, None)
+        else:
+            self._tier_of[line] = tier
+
+    def tier(self, line: int) -> str:
+        """Current tier of ``line``."""
+        return self._tier_of.get(line, "normal")
+
+    def latency_adjustment(self, line: int) -> int:
+        """Extra cycles (possibly negative for fast tiers) for ``line``."""
+        return self._tiers[self.tier(line)]
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> RemapStats:
+        """Current repair/placement counters."""
+        return RemapStats(
+            deactivated_lines=len(self._dead),
+            spares_remaining=len(self._spare_pool),
+            steered_lines=len(self._tier_of),
+            repairs_denied=self.repairs_denied)

@@ -1,0 +1,141 @@
+"""Global timestamp infrastructure (sections 4.1 and 4.2).
+
+The uncore holds a single global timestamp counter plus vectors of start and
+end timestamps.  Three mechanisms from the paper are modelled exactly:
+
+* **Unique start/end timestamps** via atomic increment of the global counter.
+* **The Δ-commit race protocol** (section 4.2): a committing transaction
+  obtains ``end_ts = global + Δ`` while incrementing the visible counter by
+  one, so transactions that start *during* the commit get start timestamps
+  below the commit's end timestamp and cannot observe a half-installed write
+  set.  If Δ+1 transactions start while a commit is in flight, the starter
+  must stall.  On commit completion the counter jumps to the end timestamp.
+* **Counter overflow** (section 4.1): on overflow all active transactions
+  abort and control traps to software; we surface
+  :class:`~repro.common.errors.TimestampOverflowError`.
+
+The oldest-active-transaction priority queue that drives garbage collection
+(section 3.1) lives in :class:`ActiveTransactionTable`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional
+
+from repro.common.errors import MVMError, TimestampOverflowError
+
+
+class GlobalClock:
+    """The global timestamp counter with the Δ-commit protocol."""
+
+    def __init__(self, delta: int = 64, max_timestamp: Optional[int] = None):
+        if delta < 1:
+            raise MVMError("delta must be >= 1")
+        self._now = 0
+        self._delta = delta
+        self._max = max_timestamp
+        #: end timestamps of commits currently in flight
+        self._pending_commits: List[int] = []
+        self.start_stalls = 0
+
+    @property
+    def now(self) -> int:
+        """Current visible value of the global counter."""
+        return self._now
+
+    @property
+    def delta(self) -> int:
+        """The Δ headroom reserved per in-flight commit."""
+        return self._delta
+
+    def _bump(self, amount: int = 1) -> None:
+        if self._max is not None and self._now + amount > self._max:
+            raise TimestampOverflowError(
+                f"timestamp counter would exceed {self._max}")
+        self._now += amount
+
+    def next_start(self) -> Optional[int]:
+        """Obtain a start timestamp, or ``None`` if the starter must stall.
+
+        A starter stalls when incrementing the visible counter would reach
+        the end timestamp of an in-flight commit (the Δ+1'th start during
+        that commit).
+        """
+        if self._pending_commits and self._now + 1 >= self._pending_commits[0]:
+            self.start_stalls += 1
+            return None
+        self._bump()
+        return self._now
+
+    def begin_commit(self) -> int:
+        """Reserve an end timestamp ``global + Δ`` for a starting commit."""
+        end_ts = self._now + self._delta
+        if self._max is not None and end_ts > self._max:
+            raise TimestampOverflowError(
+                f"timestamp counter would exceed {self._max}")
+        self._bump()
+        bisect.insort(self._pending_commits, end_ts)
+        return end_ts
+
+    def finish_commit(self, end_ts: int) -> None:
+        """Complete a commit: the global counter jumps to its end timestamp."""
+        idx = bisect.bisect_left(self._pending_commits, end_ts)
+        if idx >= len(self._pending_commits) or self._pending_commits[idx] != end_ts:
+            raise MVMError(f"finish_commit of unknown end timestamp {end_ts}")
+        self._pending_commits.pop(idx)
+        if end_ts > self._now:
+            self._now = end_ts
+
+    def abandon_commit(self, end_ts: int) -> None:
+        """A committing transaction aborted; release its reservation."""
+        self.finish_commit(end_ts)
+
+    def reset_after_overflow(self) -> None:
+        """Software overflow handler: restart the counter from zero.
+
+        Callers must have aborted all active transactions and discarded all
+        version history first (the MVM controller does this).
+        """
+        self._now = 0
+        self._pending_commits.clear()
+
+
+class ActiveTransactionTable:
+    """Sorted multiset of the start timestamps of in-flight transactions.
+
+    The head is the oldest active transaction, which bounds how much version
+    history garbage collection must retain (section 3.1).  ``any_started_in``
+    answers the coalescing question of Figure 4: did any active transaction
+    start between two candidate version timestamps?
+    """
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+
+    def add(self, start_ts: int) -> None:
+        """Register a transaction's start timestamp."""
+        bisect.insort(self._starts, start_ts)
+
+    def remove(self, start_ts: int) -> None:
+        """Remove a start timestamp on commit or abort."""
+        idx = bisect.bisect_left(self._starts, start_ts)
+        if idx >= len(self._starts) or self._starts[idx] != start_ts:
+            raise MVMError(f"unknown active start timestamp {start_ts}")
+        self._starts.pop(idx)
+
+    def oldest(self) -> Optional[int]:
+        """Start timestamp of the oldest in-flight transaction."""
+        return self._starts[0] if self._starts else None
+
+    def any_started_in(self, lo: int, hi: int) -> bool:
+        """Any active transaction with ``lo < start_ts < hi``?"""
+        idx = bisect.bisect_right(self._starts, lo)
+        return idx < len(self._starts) and self._starts[idx] < hi
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __contains__(self, start_ts: int) -> bool:
+        idx = bisect.bisect_left(self._starts, start_ts)
+        return idx < len(self._starts) and self._starts[idx] == start_ts

@@ -1,0 +1,17 @@
+"""Discrete-event simulation: machine state, engine, statistics."""
+
+from repro.sim.engine import Engine, Tracer, TransactionSpec
+from repro.sim.machine import Machine
+from repro.sim.stats import RunStats, ThreadStats
+from repro.sim.timeline import Interval, TimelineRecorder
+
+__all__ = [
+    "Engine",
+    "Interval",
+    "TimelineRecorder",
+    "Machine",
+    "RunStats",
+    "ThreadStats",
+    "Tracer",
+    "TransactionSpec",
+]

@@ -1,0 +1,281 @@
+"""The discrete-event multicore engine.
+
+This is the reproduction's substitute for ZSim (see DESIGN.md): instead of
+simulating x86 instructions cycle by cycle, each simulated thread is a
+coroutine that yields one *transactional operation* at a time, and the
+engine always advances the thread with the **smallest local clock**.  Every
+operation is charged its latency from the cache/MVM timing model, so long
+transactions genuinely overlap in simulated time with many short ones —
+the property that produces the conflict patterns of Figures 1 and 7 — and
+the per-thread clocks directly yield the makespans behind Figure 8.
+
+Determinism: ties on the clock break by thread id, all randomness flows
+from :class:`~repro.common.rng.SplitRandom` streams, so a run is a pure
+function of (workload, system, seed).
+
+Abort handling follows the TM API contract (:mod:`repro.tm.api`):
+
+* self-aborts surface as :class:`TransactionAborted` from ``read``,
+  ``write`` or ``commit``;
+* eager requester-wins policies *doom* a victim transaction; the engine
+  notices the doom mark before the victim's next operation and aborts it
+  there (the victim's partially executed work stays charged — re-execution
+  cost is exactly what makes high abort rates expensive);
+* after an abort the engine re-runs the body from scratch (software
+  rollback + restart, as in the paper's baseline) after the system's
+  backoff delay.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable, Iterator, List, Optional
+
+from repro.common.errors import (
+    AbortCause,
+    SimulationError,
+    TransactionAborted,
+)
+from repro.sim.stats import RunStats
+from repro.tm.api import StallRequested, TMSystem, Txn
+from repro.tm.ops import Abort, Compute, Op, Read, Write
+
+#: a transaction body: called fresh per attempt, yields Ops
+BodyFactory = Callable[[], Generator[Op, object, None]]
+
+
+@dataclass(frozen=True)
+class TransactionSpec:
+    """One logical transaction a thread must execute.
+
+    ``serializable=True`` enforces read-write conflict detection for this
+    transaction under SI by promoting **all** of its reads (section 5.1:
+    "programmers can always enforce serializability by enforcing
+    read-write conflict detection for all or a subset of transactions").
+    It has no effect under the already-serializable systems.
+    """
+
+    body_factory: BodyFactory
+    label: str = "txn"
+    serializable: bool = False
+
+
+class Tracer:
+    """Observer interface for the write-skew tool (section 5.1).
+
+    The engine invokes these hooks for every transactional event; the
+    default implementations do nothing, so tracing costs one attribute
+    lookup per event when disabled.
+    """
+
+    def on_begin(self, txn: Txn) -> None:  # noqa: D102
+        pass
+
+    def on_read(self, txn: Txn, addr: int, site: str) -> None:  # noqa: D102
+        pass
+
+    def on_write(self, txn: Txn, addr: int, site: str) -> None:  # noqa: D102
+        pass
+
+    def on_commit(self, txn: Txn) -> None:  # noqa: D102
+        pass
+
+    def on_abort(self, txn: Txn, cause: AbortCause) -> None:  # noqa: D102
+        pass
+
+
+class _ThreadState:
+    """Mutable execution state of one simulated thread."""
+
+    __slots__ = ("thread_id", "specs", "spec", "txn", "gen", "pending",
+                 "retries", "clock", "done", "redo_op")
+
+    def __init__(self, thread_id: int, specs: Iterator[TransactionSpec]):
+        self.thread_id = thread_id
+        self.specs = specs
+        self.spec: Optional[TransactionSpec] = None
+        self.txn: Optional[Txn] = None
+        self.gen: Optional[Generator] = None
+        self.pending: object = None
+        self.retries = 0
+        self.clock = 0
+        self.done = False
+        #: operation to re-issue after a NACK stall (LogTM-class systems)
+        self.redo_op: object = None
+
+
+class Engine:
+    """Drives thread programs through one TM system to completion."""
+
+    #: cycles charged when a begin must stall (Δ-protocol, section 4.2)
+    STALL_CYCLES = 20
+
+    def __init__(self, tm: TMSystem,
+                 programs: Iterable[Iterable[TransactionSpec]],
+                 tracer: Optional[Tracer] = None,
+                 promote_sites: Optional[set] = None):
+        self.tm = tm
+        self.machine = tm.machine
+        # explicit None test: a tracer with __len__ (e.g. TraceRecorder)
+        # is falsy while empty and must not be discarded
+        self.tracer = tracer if tracer is not None else Tracer()
+        #: source sites whose reads are force-promoted — the write-skew
+        #: tool's automatic read-promotion fix (section 5.1)
+        self.promote_sites = promote_sites or set()
+        # Restart-cost jitter, applied after every abort regardless of the
+        # TM system's backoff policy.  Real restarts never take identical
+        # time twice; in a deterministic simulator, charging them equally
+        # can lock two eager transactions into mutually aborting forever.
+        self._restart_jitter = tm.rng.split("engine-restart-jitter")
+        self.threads: List[_ThreadState] = [
+            _ThreadState(i, iter(program))
+            for i, program in enumerate(programs)]
+        if len(self.threads) > self.machine.config.machine.cores:
+            raise SimulationError(
+                f"{len(self.threads)} threads exceed "
+                f"{self.machine.config.machine.cores} cores")
+        self.stats = RunStats(len(self.threads))
+        tm.stats = self.stats
+        self._steps = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: Optional[int] = None) -> RunStats:
+        """Run every thread program to completion; return the statistics."""
+        heap = [(t.clock, t.thread_id) for t in self.threads]
+        heapq.heapify(heap)
+        while heap:
+            if max_steps is not None and self._steps >= max_steps:
+                raise SimulationError(f"exceeded {max_steps} engine steps")
+            self._steps += 1
+            clock, tid = heapq.heappop(heap)
+            thread = self.threads[tid]
+            if thread.clock != clock:
+                # stale heap entry; reschedule with the current clock
+                heapq.heappush(heap, (thread.clock, tid))
+                continue
+            self._step(thread)
+            if not thread.done:
+                heapq.heappush(heap, (thread.clock, tid))
+            else:
+                self.stats.threads[tid].cycles = thread.clock
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def _step(self, thread: _ThreadState) -> None:
+        """Execute one operation (or begin/commit/abort) of ``thread``."""
+        if thread.spec is None:
+            nxt = next(thread.specs, None)
+            if nxt is None:
+                thread.done = True
+                return
+            thread.spec = nxt
+            thread.retries = 0
+        if thread.txn is None:
+            self._begin(thread)
+            return
+        txn = thread.txn
+        if txn.doomed is not None:
+            self._abort(thread, txn.doomed)
+            return
+        if thread.redo_op is not None:
+            op, thread.redo_op = thread.redo_op, None
+            thread.pending = None
+            try:
+                self._dispatch(thread, txn, op)
+            except StallRequested as stall:
+                thread.clock += stall.cycles
+                thread.redo_op = op
+            except TransactionAborted as aborted:
+                self._abort(thread, aborted.cause)
+            return
+        try:
+            op = thread.gen.send(thread.pending)
+        except StopIteration:
+            try:
+                self._commit(thread)
+            except TransactionAborted as aborted:
+                self._abort(thread, aborted.cause)
+            return
+        except TransactionAborted as aborted:
+            self._abort(thread, aborted.cause)
+            return
+        thread.pending = None
+        try:
+            self._dispatch(thread, txn, op)
+        except StallRequested as stall:
+            thread.clock += stall.cycles
+            thread.redo_op = op
+        except TransactionAborted as aborted:
+            self._abort(thread, aborted.cause)
+
+    def _dispatch(self, thread: _ThreadState, txn: Txn, op: Op) -> None:
+        tstats = self.stats.threads[thread.thread_id]
+        if type(op) is Read:
+            promote = (op.promote
+                       or thread.spec.serializable
+                       or (op.site in self.promote_sites
+                           if self.promote_sites else False))
+            value, cycles = self.tm.read(txn, op.addr, promote=promote)
+            thread.pending = value
+            thread.clock += cycles
+            tstats.reads += 1
+            self.tracer.on_read(txn, op.addr, op.site)
+        elif type(op) is Write:
+            cycles = self.tm.write(txn, op.addr, op.value)
+            thread.clock += cycles
+            tstats.writes += 1
+            self.tracer.on_write(txn, op.addr, op.site)
+        elif type(op) is Compute:
+            thread.clock += op.cycles * self.machine.config.compute_cycles
+        elif type(op) is Abort:
+            raise TransactionAborted(AbortCause.EXPLICIT)
+        else:
+            raise SimulationError(f"unknown operation {op!r}")
+
+    def _begin(self, thread: _ThreadState) -> None:
+        txn, cycles = self.tm.begin(
+            thread.thread_id, thread.spec.label, thread.retries)
+        thread.clock += cycles
+        if txn is None:
+            thread.clock += self.STALL_CYCLES
+            return
+        thread.txn = txn
+        thread.gen = thread.spec.body_factory()
+        thread.pending = None
+        self.tracer.on_begin(txn)
+
+    def _commit(self, thread: _ThreadState) -> None:
+        txn = thread.txn
+        assert txn is not None
+        if txn.doomed is not None:
+            self._abort(thread, txn.doomed)
+            return
+        cycles = self.tm.commit(txn, thread.clock)
+        thread.clock += cycles
+        self.stats.record_commit(thread.thread_id, thread.spec.label,
+                                 thread.retries)
+        self.tracer.on_commit(txn)
+        thread.spec = None
+        thread.txn = None
+        thread.gen = None
+
+    def _abort(self, thread: _ThreadState, cause: AbortCause) -> None:
+        txn = thread.txn
+        assert txn is not None
+        cycles = self.tm.abort(txn, cause)
+        thread.clock += cycles + self._restart_jitter.randrange(16)
+        self.stats.record_abort(thread.thread_id, thread.spec.label, cause)
+        self.tracer.on_abort(txn, cause)
+        if thread.gen is not None:
+            thread.gen.close()
+        thread.txn = None
+        thread.gen = None
+        thread.redo_op = None
+        thread.retries += 1
+        limit = self.machine.config.tm.max_retries
+        if limit and thread.retries > limit:
+            raise SimulationError(
+                f"transaction {thread.spec.label!r} exceeded {limit} retries")

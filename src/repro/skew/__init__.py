@@ -1,0 +1,49 @@
+"""Write-skew detection, analysis and read-promotion (section 5)."""
+
+from repro.skew.graph import (
+    SkewReport,
+    SkewWitness,
+    build_graph,
+    find_write_skews,
+)
+from repro.skew.serialization import (
+    cycles,
+    is_conflict_serializable,
+    precedence_graph,
+    si_anomaly_cycles,
+)
+from repro.skew.static import (
+    Footprint,
+    FootprintAnalyzer,
+    SkewCandidate,
+    StaticReport,
+)
+from repro.skew.tool import Scenario, ToolResult, WriteSkewTool
+from repro.skew.trace import (
+    EventKind,
+    TracedTransaction,
+    TraceEvent,
+    TraceRecorder,
+)
+
+__all__ = [
+    "EventKind",
+    "Footprint",
+    "FootprintAnalyzer",
+    "SkewCandidate",
+    "StaticReport",
+    "Scenario",
+    "SkewReport",
+    "SkewWitness",
+    "ToolResult",
+    "TraceEvent",
+    "TraceRecorder",
+    "TracedTransaction",
+    "WriteSkewTool",
+    "build_graph",
+    "cycles",
+    "find_write_skews",
+    "is_conflict_serializable",
+    "precedence_graph",
+    "si_anomaly_cycles",
+]

@@ -1,0 +1,186 @@
+"""Transactional trace capture (section 5.1).
+
+The paper's tool instruments applications with PIN, intercepting
+TM BEGIN / TM READ / TM WRITE / TM COMMIT and recording a globally ordered
+trace plus the source location of every access.  Here the TM runtime *is*
+ours, so the recorder is simply an engine :class:`~repro.sim.engine.Tracer`
+— strictly easier, equally faithful (see DESIGN.md).
+
+Like the paper's tool, the heavy lifting is deferred to post-processing
+(:mod:`repro.skew.graph`): recording appends one event object per
+operation and nothing more, minimising perturbation of the schedule under
+test.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, IO, Iterable, List, Optional, Tuple
+
+from repro.common.errors import AbortCause
+from repro.sim.engine import Tracer
+from repro.tm.api import Txn
+
+
+class EventKind(enum.Enum):
+    """Trace event types, matching the paper's intercepted operations."""
+
+    BEGIN = "TM_BEGIN"
+    READ = "TM_READ"
+    WRITE = "TM_WRITE"
+    COMMIT = "TM_COMMIT"
+    ABORT = "TM_ABORT"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One globally ordered transactional event."""
+
+    index: int
+    kind: EventKind
+    txn_uid: int
+    thread_id: int
+    label: str
+    addr: Optional[int] = None
+    site: str = ""
+
+
+@dataclass
+class TracedTransaction:
+    """Reassembled per-transaction view of the trace."""
+
+    uid: int
+    thread_id: int
+    label: str
+    begin_index: int
+    commit_index: Optional[int] = None
+    aborted: bool = False
+    #: (addr, site) pairs in program order
+    reads: List[Tuple[int, str]] = field(default_factory=list)
+    writes: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def committed(self) -> bool:
+        """True when the transaction committed."""
+        return self.commit_index is not None
+
+    @property
+    def read_addrs(self) -> set:
+        """Distinct read addresses."""
+        return {addr for addr, _ in self.reads}
+
+    @property
+    def write_addrs(self) -> set:
+        """Distinct written addresses."""
+        return {addr for addr, _ in self.writes}
+
+    def concurrent_with(self, other: "TracedTransaction") -> bool:
+        """Did the two transactions overlap in the global event order?"""
+        if self.commit_index is None or other.commit_index is None:
+            return False
+        return (self.begin_index < other.commit_index
+                and other.begin_index < self.commit_index)
+
+
+class TraceRecorder(Tracer):
+    """Engine tracer that records a globally ordered transactional trace."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._next_uid = 0
+        self._open: Dict[int, int] = {}  # thread_id -> txn uid
+        self.transactions: Dict[int, TracedTransaction] = {}
+
+    def _emit(self, kind: EventKind, txn: Txn, addr: Optional[int] = None,
+              site: str = "") -> TraceEvent:
+        uid = self._open[txn.thread_id]
+        event = TraceEvent(len(self.events), kind, uid, txn.thread_id,
+                           txn.label, addr, site)
+        self.events.append(event)
+        return event
+
+    def on_begin(self, txn: Txn) -> None:
+        uid = self._next_uid
+        self._next_uid += 1
+        self._open[txn.thread_id] = uid
+        self.transactions[uid] = TracedTransaction(
+            uid, txn.thread_id, txn.label, begin_index=len(self.events))
+        self.events.append(TraceEvent(
+            len(self.events), EventKind.BEGIN, uid, txn.thread_id, txn.label))
+
+    def on_read(self, txn: Txn, addr: int, site: str) -> None:
+        event = self._emit(EventKind.READ, txn, addr, site)
+        self.transactions[event.txn_uid].reads.append((addr, site))
+
+    def on_write(self, txn: Txn, addr: int, site: str) -> None:
+        event = self._emit(EventKind.WRITE, txn, addr, site)
+        self.transactions[event.txn_uid].writes.append((addr, site))
+
+    def on_commit(self, txn: Txn) -> None:
+        event = self._emit(EventKind.COMMIT, txn)
+        self.transactions[event.txn_uid].commit_index = event.index
+
+    def on_abort(self, txn: Txn, cause: AbortCause) -> None:
+        event = self._emit(EventKind.ABORT, txn)
+        self.transactions[event.txn_uid].aborted = True
+
+    # ------------------------------------------------------------------
+
+    def committed_transactions(self) -> List[TracedTransaction]:
+        """All committed transactions, in begin order."""
+        return sorted((t for t in self.transactions.values() if t.committed),
+                      key=lambda t: t.begin_index)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # persistence — the paper's tool writes the trace during execution and
+    # defers analysis to an offline post-processing pass; these make the
+    # same split possible here (one JSON object per line).
+
+    def dump_jsonl(self, stream: IO[str]) -> int:
+        """Write the trace as JSON lines; returns the event count."""
+        for event in self.events:
+            stream.write(json.dumps({
+                "index": event.index,
+                "kind": event.kind.value,
+                "txn": event.txn_uid,
+                "thread": event.thread_id,
+                "label": event.label,
+                "addr": event.addr,
+                "site": event.site,
+            }) + "\n")
+        return len(self.events)
+
+    @classmethod
+    def load_jsonl(cls, lines: Iterable[str]) -> "TraceRecorder":
+        """Rebuild a recorder (events + per-transaction views) from JSONL."""
+        recorder = cls()
+        for line in lines:
+            if not line.strip():
+                continue
+            raw = json.loads(line)
+            kind = EventKind(raw["kind"])
+            event = TraceEvent(raw["index"], kind, raw["txn"], raw["thread"],
+                               raw["label"], raw["addr"], raw["site"])
+            recorder.events.append(event)
+            uid = event.txn_uid
+            if kind is EventKind.BEGIN:
+                recorder.transactions[uid] = TracedTransaction(
+                    uid, event.thread_id, event.label,
+                    begin_index=event.index)
+                recorder._next_uid = max(recorder._next_uid, uid + 1)
+            elif kind is EventKind.READ:
+                recorder.transactions[uid].reads.append(
+                    (event.addr, event.site))
+            elif kind is EventKind.WRITE:
+                recorder.transactions[uid].writes.append(
+                    (event.addr, event.site))
+            elif kind is EventKind.COMMIT:
+                recorder.transactions[uid].commit_index = event.index
+            elif kind is EventKind.ABORT:
+                recorder.transactions[uid].aborted = True
+        return recorder

@@ -1,0 +1,26 @@
+"""Transactional data structures built on the TM operation protocol."""
+
+from repro.structures.array import TxArray
+from repro.structures.base import NULL, TxStructure, read, write
+from repro.structures.dlist import TxDoublyLinkedList
+from repro.structures.hashmap import TxHashMap
+from repro.structures.linked_list import TxLinkedList
+from repro.structures.queue import QueueFull, TxCounter, TxQueue
+from repro.structures.rbtree import TxRedBlackTree
+from repro.structures.skiplist import TxSkipList
+
+__all__ = [
+    "NULL",
+    "QueueFull",
+    "TxArray",
+    "TxCounter",
+    "TxDoublyLinkedList",
+    "TxHashMap",
+    "TxLinkedList",
+    "TxQueue",
+    "TxRedBlackTree",
+    "TxSkipList",
+    "TxStructure",
+    "read",
+    "write",
+]

@@ -1,0 +1,80 @@
+"""Base plumbing for transactional data structures.
+
+Every structure in this package is written once against the TM operation
+protocol: methods are generators that ``yield`` :class:`~repro.tm.ops.Read`
+and :class:`~repro.tm.ops.Write` descriptors and compose with
+``yield from``.  A structure method can therefore run inside any
+transaction body, under any of the four TM systems, unchanged — the
+reproduction's analogue of RSTM's container library (section 6.2).
+
+Conventions:
+
+* the null pointer is address ``0`` (the heap never hands out address 0);
+* nodes are allocated **line-aligned**, one node per cache line, so
+  line-granularity conflict detection conflicts per *element* — matching
+  the behaviour the paper measures for List and RBTree;
+* every read/write carries a ``site`` tag (``"structure.method:field"``)
+  so the write-skew tool can attribute anomalies to source locations,
+  like the paper's PIN callstack backtraces (section 5.1);
+* methods take no TM handle: the engine supplies TM semantics, the
+  structure supplies pure access patterns.
+
+Setup (``build``/``populate`` class methods) runs non-transactionally via
+:class:`~repro.sim.machine.Machine` plain accesses, mirroring STAMP's
+single-threaded initialisation phases.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.common.errors import StructureCorrupted
+from repro.sim.machine import Machine
+from repro.tm.ops import Op, Read, Write
+
+NULL = 0
+
+TxGen = Generator[Op, object, object]
+
+
+def read(addr: int, site: str = "", promote: bool = False) -> TxGen:
+    """Yield one transactional load and return its value."""
+    value = yield Read(addr, promote=promote, site=site)
+    return value
+
+
+def write(addr: int, value: int, site: str = "") -> TxGen:
+    """Yield one transactional store."""
+    yield Write(addr, value, site=site)
+    return None
+
+
+class TxStructure:
+    """Common base: remembers the machine and allocates in the MVM region."""
+
+    #: traversal-step bound; a pointer cycle created by an un-fixed write
+    #: skew would otherwise spin a transaction forever
+    TRAVERSAL_CAP = 1 << 17
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    def _guard(self, steps: int, where: str) -> None:
+        """Fail fast when a traversal ran impossibly long (cycle)."""
+        if steps > self.TRAVERSAL_CAP:
+            raise StructureCorrupted(
+                f"{where}: traversal exceeded {self.TRAVERSAL_CAP} steps; "
+                "the structure likely contains a pointer cycle caused by a "
+                "write-skew anomaly (see repro.skew)")
+
+    def _alloc(self, words: int) -> int:
+        """Allocate shared multiversioned memory for structure state."""
+        return self.machine.mvmalloc(words)
+
+    def _plain(self, addr: int) -> int:
+        """Non-transactional read (setup/verification only)."""
+        return self.machine.plain_load(addr)
+
+    def _plain_store(self, addr: int, value: int) -> None:
+        """Non-transactional write (setup only)."""
+        self.machine.plain_store(addr, value)

@@ -1,0 +1,145 @@
+"""Transactional sorted singly-linked list (the *List* microbenchmark).
+
+The paper's Listing 2: ``remove`` unlinks a node by redirecting the
+predecessor's ``next`` pointer.  Under snapshot isolation, two concurrent
+removes of *adjacent* elements have disjoint write sets and both commit —
+dropping a node from the list (a write-skew anomaly).  The fix the paper
+gives (Listing 2, line 10) is to also null the removed node's ``next``
+pointer, forcing a write-write conflict in exactly that schedule.
+
+``TxLinkedList(machine, skew_safe=False)`` reproduces the anomalous
+library version; ``skew_safe=True`` applies the fix.  The write-skew tool
+(:mod:`repro.skew`) finds the anomaly in the former and verifies its
+absence in the latter.
+
+Node layout (one line-aligned allocation per node)::
+
+    word 0: value
+    word 1: next pointer
+
+A sentinel head node (value = -inf marker) simplifies edge cases, as in
+the RSTM implementation.
+"""
+
+from __future__ import annotations
+
+from repro.sim.machine import Machine
+from repro.structures.base import NULL, TxGen, TxStructure, read, write
+
+#: sentinel key smaller than any user value
+_HEAD_KEY = -(1 << 62)
+
+_VALUE = 0
+_NEXT = 1
+
+
+class TxLinkedList(TxStructure):
+    """Sorted singly-linked list with optional write-skew fix."""
+
+    def __init__(self, machine: Machine, skew_safe: bool = False):
+        super().__init__(machine)
+        self.skew_safe = skew_safe
+        self.head = self._new_node(_HEAD_KEY, NULL)
+
+    def _new_node(self, value: int, next_ptr: int) -> int:
+        node = self._alloc(2)
+        self._plain_store(node + _VALUE, value)
+        self._plain_store(node + _NEXT, next_ptr)
+        return node
+
+    # ------------------------------------------------------------------
+    # transactional operations (generators)
+
+    def lookup(self, value: int) -> TxGen:
+        """Return True when ``value`` is in the list."""
+        node = yield from read(self.head + _NEXT, site="list.lookup:next")
+        steps = 0
+        while node != NULL:
+            steps += 1
+            self._guard(steps, "list.lookup")
+            node_value = yield from read(node + _VALUE,
+                                         site="list.lookup:value")
+            if node_value >= value:
+                return node_value == value
+            node = yield from read(node + _NEXT, site="list.lookup:next")
+        return False
+
+    def insert(self, value: int) -> TxGen:
+        """Insert ``value`` keeping the list sorted; False if present."""
+        prev = self.head
+        nxt = yield from read(prev + _NEXT, site="list.insert:next")
+        steps = 0
+        while nxt != NULL:
+            steps += 1
+            self._guard(steps, "list.insert")
+            nxt_value = yield from read(nxt + _VALUE, site="list.insert:value")
+            if nxt_value >= value:
+                if nxt_value == value:
+                    return False
+                break
+            prev = nxt
+            nxt = yield from read(prev + _NEXT, site="list.insert:next")
+        node = self._new_node(value, NULL)
+        # link: node.next = nxt; prev.next = node
+        yield from write(node + _NEXT, nxt, site="list.insert:link")
+        yield from write(prev + _NEXT, node, site="list.insert:link")
+        return True
+
+    def remove(self, value: int) -> TxGen:
+        """Remove ``value``; return False when absent.
+
+        This is Listing 2 of the paper.  Without ``skew_safe`` the removed
+        node's ``next`` pointer is left intact, admitting the adjacent-
+        remove write skew under SI.
+        """
+        prev = self.head
+        nxt = yield from read(prev + _NEXT, site="list.remove:next")
+        steps = 0
+        while nxt != NULL:
+            steps += 1
+            self._guard(steps, "list.remove")
+            nxt_value = yield from read(nxt + _VALUE, site="list.remove:value")
+            if nxt_value >= value:
+                break
+            prev = nxt
+            nxt = yield from read(prev + _NEXT, site="list.remove:next")
+        if nxt == NULL:
+            return False
+        nxt_value = yield from read(nxt + _VALUE, site="list.remove:value")
+        if nxt_value != value:
+            return False
+        successor = yield from read(nxt + _NEXT, site="list.remove:succ")
+        yield from write(prev + _NEXT, successor, site="list.remove:unlink")
+        if self.skew_safe:
+            # Listing 2 line 10: force a write-write conflict between
+            # concurrent removes of adjacent elements.
+            yield from write(nxt + _NEXT, NULL, site="list.remove:fix")
+        return True
+
+    def length(self) -> TxGen:
+        """Transactionally count elements (long read transaction)."""
+        count = 0
+        node = yield from read(self.head + _NEXT, site="list.length:next")
+        while node != NULL:
+            count += 1
+            self._guard(count, "list.length")
+            node = yield from read(node + _NEXT, site="list.length:next")
+        return count
+
+    # ------------------------------------------------------------------
+    # non-transactional setup/inspection
+
+    def populate(self, values) -> None:
+        """Build the list outside any transaction (sorted insert)."""
+        for value in sorted(values, reverse=True):
+            node = self._new_node(value, self._plain(self.head + _NEXT))
+            self._plain_store(self.head + _NEXT, node)
+
+    def to_list(self) -> list:
+        """Plain contents in order, for tests."""
+        items = []
+        node = self._plain(self.head + _NEXT)
+        while node != NULL:
+            items.append(self._plain(node + _VALUE))
+            node = self._plain(node + _NEXT)
+        return items

@@ -1,0 +1,110 @@
+"""Transactional bounded FIFO queue and shared counter.
+
+The queue backs intruder's packet-reassembly pipeline and labyrinth's
+work-list; both head and tail words are contention hot spots, which is why
+these kernels keep some aborts even under SI (dequeue/enqueue are
+read-modify-write on the cursor words — true write-write conflicts).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReproError
+from repro.sim.machine import Machine
+from repro.structures.base import TxGen, TxStructure, read, write
+
+
+class QueueFull(ReproError):
+    """Enqueue on a full bounded queue."""
+
+
+class TxQueue(TxStructure):
+    """Bounded circular FIFO of words.
+
+    Layout: ``[head, tail, slot0 .. slot(capacity-1)]``; head/tail occupy
+    separate lines to avoid false sharing between producers and consumers.
+    """
+
+    def __init__(self, machine: Machine, capacity: int = 256):
+        super().__init__(machine)
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        per_line = machine.address_map.words_per_line
+        self.capacity = capacity
+        self.head_addr = self._alloc(1)
+        self.tail_addr = self._alloc(1)
+        self.slots = self._alloc(((capacity + per_line - 1) // per_line)
+                                 * per_line)
+        self._plain_store(self.head_addr, 0)
+        self._plain_store(self.tail_addr, 0)
+
+    def enqueue(self, value: int) -> TxGen:
+        """Append ``value``; returns False when the queue is full."""
+        head = yield from read(self.head_addr, site="queue.enq:head")
+        tail = yield from read(self.tail_addr, site="queue.enq:tail")
+        if tail - head >= self.capacity:
+            return False
+        yield from write(self.slots + tail % self.capacity, value,
+                         site="queue.enq:slot")
+        yield from write(self.tail_addr, tail + 1, site="queue.enq:tail")
+        return True
+
+    def dequeue(self) -> TxGen:
+        """Pop the oldest value; returns ``None`` when empty."""
+        head = yield from read(self.head_addr, site="queue.deq:head")
+        tail = yield from read(self.tail_addr, site="queue.deq:tail")
+        if head >= tail:
+            return None
+        value = yield from read(self.slots + head % self.capacity,
+                                site="queue.deq:slot")
+        yield from write(self.head_addr, head + 1, site="queue.deq:head")
+        return value
+
+    def size(self) -> TxGen:
+        """Transactionally read the element count."""
+        head = yield from read(self.head_addr, site="queue.size:head")
+        tail = yield from read(self.tail_addr, site="queue.size:tail")
+        return tail - head
+
+    # ------------------------------------------------------------------
+
+    def populate(self, values) -> None:
+        """Non-transactional bulk enqueue (setup)."""
+        head = self._plain(self.head_addr)
+        tail = self._plain(self.tail_addr)
+        for value in values:
+            if tail - head >= self.capacity:
+                raise QueueFull(f"capacity {self.capacity} exceeded in setup")
+            self._plain_store(self.slots + tail % self.capacity, value)
+            tail += 1
+        self._plain_store(self.tail_addr, tail)
+
+    def drain_plain(self) -> list:
+        """Plain contents oldest-first, for tests."""
+        head = self._plain(self.head_addr)
+        tail = self._plain(self.tail_addr)
+        return [self._plain(self.slots + i % self.capacity)
+                for i in range(head, tail)]
+
+
+class TxCounter(TxStructure):
+    """A single shared transactional counter word."""
+
+    def __init__(self, machine: Machine, initial: int = 0):
+        super().__init__(machine)
+        self.addr = self._alloc(1)
+        self._plain_store(self.addr, initial)
+
+    def get(self) -> TxGen:
+        """Transactionally read the counter."""
+        return read(self.addr, site="counter.get")
+
+    def add(self, delta: int = 1) -> TxGen:
+        """Read-modify-write increment; returns the new value."""
+        value = yield from read(self.addr, site="counter.add:read")
+        yield from write(self.addr, value + delta, site="counter.add:write")
+        return value + delta
+
+    @property
+    def value(self) -> int:
+        """Plain (committed) value, for tests."""
+        return self._plain(self.addr)

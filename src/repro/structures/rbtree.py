@@ -1,0 +1,457 @@
+"""Transactional red-black tree (the *RBTree* microbenchmark, §6.2).
+
+A classic CLRS red-black tree over multiversioned memory.  Every field
+access is a transactional read or write, so a single ``insert`` or
+``remove`` touches a logarithmic path plus rebalancing writes — the
+paper's observation that "a single update operation can lead to many
+transactional writes due to rebalancing" is directly visible in the write
+sets this structure produces.
+
+No nil sentinel node is used: leaves are NULL pointers and fix-up routines
+carry the parent explicitly.  A shared nil node would be transactionally
+*written* during deletion fix-up (CLRS temporarily sets ``nil.parent``),
+creating artificial write-write hot spots that the real RSTM container
+avoids the same way.
+
+Node layout (one line-aligned allocation)::
+
+    word 0: key     word 1: value   word 2: left
+    word 3: right   word 4: parent  word 5: color (0 black, 1 red)
+
+The tree root pointer lives in its own line-aligned word.
+
+Section 5.1 reports *multiple write skews* in the STAMP/RSTM red-black
+tree; the anomaly surface here is structural: concurrent updates read
+overlapping search/rebalance paths but write disjoint node sets, so under
+plain SI both commit and the red-black invariants (or even the pointer
+structure) break.  The ``skew_safe=True`` variant applies the paper's
+read-promotion fix at the granularity their tool produces: **every read
+performed by an update operation is promoted** (validated at commit like
+a write, creating no version), which restores serializability among
+updates while read-only lookups keep SI's zero-overhead commit.  This
+also reproduces the paper's RBTree observation that "for insert and
+delete operations only, the three TM implementations perform similar"
+while lookups never abort.
+"""
+
+from __future__ import annotations
+
+from repro.sim.machine import Machine
+from repro.structures.base import NULL, TxGen, TxStructure, read, write
+
+KEY = 0
+VALUE = 1
+LEFT = 2
+RIGHT = 3
+PARENT = 4
+COLOR = 5
+
+BLACK = 0
+RED = 1
+
+
+class TxRedBlackTree(TxStructure):
+    """Transactional red-black tree with insert/remove/lookup."""
+
+    def __init__(self, machine: Machine, skew_safe: bool = False):
+        super().__init__(machine)
+        self.skew_safe = skew_safe
+        self.root_ptr = self._alloc(1)
+        self._plain_store(self.root_ptr, NULL)
+
+    # ------------------------------------------------------------------
+    # field helpers
+
+    def _get(self, node: int, field: int, site: str,
+             promote: bool = False) -> TxGen:
+        return read(node + field, site=site, promote=promote)
+
+    def _upget(self, node: int, field: int, site: str) -> TxGen:
+        """Update-path read: promoted when ``skew_safe`` (section 5.1).
+
+        Promoting every read an update performs makes update transactions
+        validate their whole footprint at commit, restoring
+        serializability among updates while leaving read-only lookups
+        zero-overhead -- the read-promotion fix the paper's tool applies
+        to the RBTree's "multiple write skews".
+        """
+        return read(node + field, site=site, promote=self.skew_safe)
+
+    def _set(self, node: int, field: int, value: int, site: str) -> TxGen:
+        return write(node + field, value, site=site)
+
+    def _root(self, update: bool = False) -> TxGen:
+        return read(self.root_ptr, site="rbtree:root",
+                    promote=self.skew_safe and update)
+
+    def _set_root(self, node: int) -> TxGen:
+        return write(self.root_ptr, node, site="rbtree:root")
+
+    def _new_node(self, key: int, value: int) -> int:
+        node = self._alloc(6)
+        self._plain_store(node + KEY, key)
+        self._plain_store(node + VALUE, value)
+        self._plain_store(node + LEFT, NULL)
+        self._plain_store(node + RIGHT, NULL)
+        self._plain_store(node + PARENT, NULL)
+        self._plain_store(node + COLOR, RED)
+        return node
+
+    def _is_red(self, node: int) -> TxGen:
+        if node == NULL:
+            return False
+        color = yield from self._upget(node, COLOR, "rbtree:color")
+        return color == RED
+
+    # ------------------------------------------------------------------
+    # rotations
+
+    def _rotate_left(self, x: int) -> TxGen:
+        y = yield from self._upget(x, RIGHT, "rbtree.rot:right")
+        y_left = yield from self._upget(y, LEFT, "rbtree.rot:left")
+        yield from self._set(x, RIGHT, y_left, "rbtree.rot:link")
+        if y_left != NULL:
+            yield from self._set(y_left, PARENT, x, "rbtree.rot:parent")
+        x_parent = yield from self._upget(x, PARENT, "rbtree.rot:parent")
+        yield from self._set(y, PARENT, x_parent, "rbtree.rot:parent")
+        if x_parent == NULL:
+            yield from self._set_root(y)
+        else:
+            parent_left = yield from self._upget(x_parent, LEFT, "rbtree.rot:pl")
+            if parent_left == x:
+                yield from self._set(x_parent, LEFT, y, "rbtree.rot:link")
+            else:
+                yield from self._set(x_parent, RIGHT, y, "rbtree.rot:link")
+        yield from self._set(y, LEFT, x, "rbtree.rot:link")
+        yield from self._set(x, PARENT, y, "rbtree.rot:parent")
+
+    def _rotate_right(self, x: int) -> TxGen:
+        y = yield from self._upget(x, LEFT, "rbtree.rot:left")
+        y_right = yield from self._upget(y, RIGHT, "rbtree.rot:right")
+        yield from self._set(x, LEFT, y_right, "rbtree.rot:link")
+        if y_right != NULL:
+            yield from self._set(y_right, PARENT, x, "rbtree.rot:parent")
+        x_parent = yield from self._upget(x, PARENT, "rbtree.rot:parent")
+        yield from self._set(y, PARENT, x_parent, "rbtree.rot:parent")
+        if x_parent == NULL:
+            yield from self._set_root(y)
+        else:
+            parent_right = yield from self._upget(x_parent, RIGHT, "rbtree.rot:pr")
+            if parent_right == x:
+                yield from self._set(x_parent, RIGHT, y, "rbtree.rot:link")
+            else:
+                yield from self._set(x_parent, LEFT, y, "rbtree.rot:link")
+        yield from self._set(y, RIGHT, x, "rbtree.rot:link")
+        yield from self._set(x, PARENT, y, "rbtree.rot:parent")
+
+    # ------------------------------------------------------------------
+    # lookup
+
+    def lookup(self, key: int) -> TxGen:
+        """Return the stored value, or ``None`` when absent (read-only)."""
+        node = yield from self._root()
+        steps = 0
+        while node != NULL:
+            steps += 1
+            self._guard(steps, "rbtree.lookup")
+            node_key = yield from self._get(node, KEY, "rbtree.lookup:key")
+            if key == node_key:
+                value = yield from self._get(node, VALUE, "rbtree.lookup:val")
+                return value
+            field = LEFT if key < node_key else RIGHT
+            node = yield from self._get(node, field, "rbtree.lookup:child")
+        return None
+
+    # ------------------------------------------------------------------
+    # insert
+
+    def insert(self, key: int, value: int = 0) -> TxGen:
+        """Insert ``key``; returns False when the key already exists."""
+        parent = NULL
+        node = yield from self._root(update=True)
+        steps = 0
+        while node != NULL:
+            steps += 1
+            self._guard(steps, "rbtree.insert")
+            parent = node
+            node_key = yield from self._upget(node, KEY, "rbtree.insert:key")
+            if key == node_key:
+                return False
+            field = LEFT if key < node_key else RIGHT
+            node = yield from self._upget(node, field, "rbtree.insert:child")
+        fresh = self._new_node(key, value)
+        yield from self._set(fresh, PARENT, parent, "rbtree.insert:parent")
+        if parent == NULL:
+            yield from self._set_root(fresh)
+        else:
+            parent_key = yield from self._upget(parent, KEY, "rbtree.insert:key")
+            field = LEFT if key < parent_key else RIGHT
+            yield from self._set(parent, field, fresh, "rbtree.insert:link")
+        yield from self._insert_fixup(fresh)
+        return True
+
+    def _insert_fixup(self, z: int) -> TxGen:
+        steps = 0
+        while True:
+            steps += 1
+            self._guard(steps, "rbtree.insert_fixup")
+            parent = yield from self._upget(z, PARENT, "rbtree.fix:parent")
+            parent_red = yield from self._is_red(parent)
+            if not parent_red:
+                break
+            grand = yield from self._upget(parent, PARENT, "rbtree.fix:grand")
+            grand_left = yield from self._upget(grand, LEFT, "rbtree.fix:gl")
+            if parent == grand_left:
+                uncle = yield from self._upget(grand, RIGHT, "rbtree.fix:uncle")
+                uncle_red = yield from self._is_red(uncle)
+                if uncle_red:
+                    yield from self._set(parent, COLOR, BLACK, "rbtree.fix:c")
+                    yield from self._set(uncle, COLOR, BLACK, "rbtree.fix:c")
+                    yield from self._set(grand, COLOR, RED, "rbtree.fix:c")
+                    z = grand
+                    continue
+                parent_right = yield from self._upget(parent, RIGHT,
+                                                    "rbtree.fix:pr")
+                if z == parent_right:
+                    z = parent
+                    yield from self._rotate_left(z)
+                    parent = yield from self._upget(z, PARENT, "rbtree.fix:parent")
+                    grand = yield from self._upget(parent, PARENT,
+                                                 "rbtree.fix:grand")
+                yield from self._set(parent, COLOR, BLACK, "rbtree.fix:c")
+                yield from self._set(grand, COLOR, RED, "rbtree.fix:c")
+                yield from self._rotate_right(grand)
+            else:
+                uncle = yield from self._upget(grand, LEFT, "rbtree.fix:uncle")
+                uncle_red = yield from self._is_red(uncle)
+                if uncle_red:
+                    yield from self._set(parent, COLOR, BLACK, "rbtree.fix:c")
+                    yield from self._set(uncle, COLOR, BLACK, "rbtree.fix:c")
+                    yield from self._set(grand, COLOR, RED, "rbtree.fix:c")
+                    z = grand
+                    continue
+                parent_left = yield from self._upget(parent, LEFT,
+                                                   "rbtree.fix:pl")
+                if z == parent_left:
+                    z = parent
+                    yield from self._rotate_right(z)
+                    parent = yield from self._upget(z, PARENT, "rbtree.fix:parent")
+                    grand = yield from self._upget(parent, PARENT,
+                                                 "rbtree.fix:grand")
+                yield from self._set(parent, COLOR, BLACK, "rbtree.fix:c")
+                yield from self._set(grand, COLOR, RED, "rbtree.fix:c")
+                yield from self._rotate_left(grand)
+        root = yield from self._root(update=True)
+        root_red = yield from self._is_red(root)
+        if root_red:
+            yield from self._set(root, COLOR, BLACK, "rbtree.fix:c")
+
+    # ------------------------------------------------------------------
+    # remove
+
+    def remove(self, key: int) -> TxGen:
+        """Remove ``key``; returns False when absent."""
+        z = yield from self._root(update=True)
+        steps = 0
+        while z != NULL:
+            steps += 1
+            self._guard(steps, "rbtree.remove")
+            z_key = yield from self._upget(z, KEY, "rbtree.remove:key")
+            if key == z_key:
+                break
+            field = LEFT if key < z_key else RIGHT
+            z = yield from self._upget(z, field, "rbtree.remove:child")
+        if z == NULL:
+            return False
+        z_left = yield from self._upget(z, LEFT, "rbtree.remove:left")
+        z_right = yield from self._upget(z, RIGHT, "rbtree.remove:right")
+        if z_left != NULL and z_right != NULL:
+            # two children: splice the successor instead
+            succ = z_right
+            steps = 0
+            while True:
+                steps += 1
+                self._guard(steps, "rbtree.remove:succ")
+                succ_left = yield from self._upget(succ, LEFT,
+                                                 "rbtree.remove:succ")
+                if succ_left == NULL:
+                    break
+                succ = succ_left
+            succ_key = yield from self._upget(succ, KEY, "rbtree.remove:key")
+            succ_value = yield from self._upget(succ, VALUE, "rbtree.remove:val")
+            yield from self._set(z, KEY, succ_key, "rbtree.remove:copy")
+            yield from self._set(z, VALUE, succ_value, "rbtree.remove:copy")
+            z = succ
+            z_left = yield from self._upget(z, LEFT, "rbtree.remove:left")
+            z_right = yield from self._upget(z, RIGHT, "rbtree.remove:right")
+        # z now has at most one child
+        child = z_left if z_left != NULL else z_right
+        parent = yield from self._upget(z, PARENT, "rbtree.remove:parent")
+        if child != NULL:
+            yield from self._set(child, PARENT, parent, "rbtree.remove:link")
+        if parent == NULL:
+            yield from self._set_root(child)
+        else:
+            parent_left = yield from self._upget(parent, LEFT, "rbtree.remove:pl")
+            if parent_left == z:
+                yield from self._set(parent, LEFT, child, "rbtree.remove:link")
+            else:
+                yield from self._set(parent, RIGHT, child, "rbtree.remove:link")
+        z_red = yield from self._is_red(z)
+        if not z_red:
+            yield from self._remove_fixup(child, parent)
+        return True
+
+    def _remove_fixup(self, x: int, parent: int) -> TxGen:
+        """Restore black-height after removing a black node.
+
+        ``x`` (possibly NULL, counted black) carries an extra black;
+        ``parent`` is tracked explicitly because ``x`` may be NULL.
+        """
+        steps = 0
+        while parent != NULL:
+            steps += 1
+            self._guard(steps, "rbtree.remove_fixup")
+            x_red = yield from self._is_red(x)
+            if x_red:
+                break
+            parent_left = yield from self._upget(parent, LEFT, "rbtree.dfx:pl")
+            if x == parent_left:
+                w = yield from self._upget(parent, RIGHT, "rbtree.dfx:sib")
+                w_red = yield from self._is_red(w)
+                if w_red:
+                    yield from self._set(w, COLOR, BLACK, "rbtree.dfx:c")
+                    yield from self._set(parent, COLOR, RED, "rbtree.dfx:c")
+                    yield from self._rotate_left(parent)
+                    w = yield from self._upget(parent, RIGHT, "rbtree.dfx:sib")
+                w_left = yield from self._upget(w, LEFT, "rbtree.dfx:wl")
+                w_right = yield from self._upget(w, RIGHT, "rbtree.dfx:wr")
+                wl_red = yield from self._is_red(w_left)
+                wr_red = yield from self._is_red(w_right)
+                if not wl_red and not wr_red:
+                    yield from self._set(w, COLOR, RED, "rbtree.dfx:c")
+                    x = parent
+                    parent = yield from self._upget(x, PARENT, "rbtree.dfx:up")
+                    continue
+                if not wr_red:
+                    yield from self._set(w_left, COLOR, BLACK, "rbtree.dfx:c")
+                    yield from self._set(w, COLOR, RED, "rbtree.dfx:c")
+                    yield from self._rotate_right(w)
+                    w = yield from self._upget(parent, RIGHT, "rbtree.dfx:sib")
+                parent_color = yield from self._upget(parent, COLOR,
+                                                    "rbtree.dfx:c")
+                yield from self._set(w, COLOR, parent_color, "rbtree.dfx:c")
+                yield from self._set(parent, COLOR, BLACK, "rbtree.dfx:c")
+                w_right = yield from self._upget(w, RIGHT, "rbtree.dfx:wr")
+                if w_right != NULL:
+                    yield from self._set(w_right, COLOR, BLACK, "rbtree.dfx:c")
+                yield from self._rotate_left(parent)
+                x = yield from self._root(update=True)
+                break
+            else:
+                w = yield from self._upget(parent, LEFT, "rbtree.dfx:sib")
+                w_red = yield from self._is_red(w)
+                if w_red:
+                    yield from self._set(w, COLOR, BLACK, "rbtree.dfx:c")
+                    yield from self._set(parent, COLOR, RED, "rbtree.dfx:c")
+                    yield from self._rotate_right(parent)
+                    w = yield from self._upget(parent, LEFT, "rbtree.dfx:sib")
+                w_left = yield from self._upget(w, LEFT, "rbtree.dfx:wl")
+                w_right = yield from self._upget(w, RIGHT, "rbtree.dfx:wr")
+                wl_red = yield from self._is_red(w_left)
+                wr_red = yield from self._is_red(w_right)
+                if not wl_red and not wr_red:
+                    yield from self._set(w, COLOR, RED, "rbtree.dfx:c")
+                    x = parent
+                    parent = yield from self._upget(x, PARENT, "rbtree.dfx:up")
+                    continue
+                if not wl_red:
+                    yield from self._set(w_right, COLOR, BLACK, "rbtree.dfx:c")
+                    yield from self._set(w, COLOR, RED, "rbtree.dfx:c")
+                    yield from self._rotate_left(w)
+                    w = yield from self._upget(parent, LEFT, "rbtree.dfx:sib")
+                parent_color = yield from self._upget(parent, COLOR,
+                                                    "rbtree.dfx:c")
+                yield from self._set(w, COLOR, parent_color, "rbtree.dfx:c")
+                yield from self._set(parent, COLOR, BLACK, "rbtree.dfx:c")
+                w_left = yield from self._upget(w, LEFT, "rbtree.dfx:wl")
+                if w_left != NULL:
+                    yield from self._set(w_left, COLOR, BLACK, "rbtree.dfx:c")
+                yield from self._rotate_right(parent)
+                x = yield from self._root(update=True)
+                break
+        if x != NULL:
+            yield from self._set(x, COLOR, BLACK, "rbtree.dfx:c")
+
+    # ------------------------------------------------------------------
+    # non-transactional setup/inspection
+
+    def populate(self, keys) -> None:
+        """Build the tree outside any transaction via throwaway commits.
+
+        Setup uses the plain-memory path by driving the generator bodies
+        with a trivial interpreter that applies reads/writes immediately.
+        """
+        for key in keys:
+            self._run_plain(self.insert(int(key)))
+
+    def _run_plain(self, gen) -> object:
+        """Drive a structure generator against plain memory (setup only)."""
+        from repro.tm.ops import Read as _Read, Write as _Write
+        result = None
+        try:
+            op = next(gen)
+            while True:
+                if isinstance(op, _Read):
+                    op = gen.send(self._plain(op.addr))
+                elif isinstance(op, _Write):
+                    self._plain_store(op.addr, op.value)
+                    op = gen.send(None)
+                else:
+                    op = gen.send(None)
+        except StopIteration as stop:
+            result = stop.value
+        return result
+
+    def keys_inorder(self) -> list:
+        """Plain in-order key traversal, for tests."""
+        items = []
+
+        def walk(node: int) -> None:
+            if node == NULL:
+                return
+            walk(self._plain(node + LEFT))
+            items.append(self._plain(node + KEY))
+            walk(self._plain(node + RIGHT))
+
+        walk(self._plain(self.root_ptr))
+        return items
+
+    def check_invariants(self) -> bool:
+        """Red-black invariants hold on the committed state (tests)."""
+        root = self._plain(self.root_ptr)
+        if root == NULL:
+            return True
+        if self._plain(root + COLOR) == RED:
+            return False
+        ok = True
+
+        def walk(node: int) -> int:
+            nonlocal ok
+            if node == NULL:
+                return 1
+            color = self._plain(node + COLOR)
+            left = self._plain(node + LEFT)
+            right = self._plain(node + RIGHT)
+            if color == RED:
+                for child in (left, right):
+                    if child != NULL and self._plain(child + COLOR) == RED:
+                        ok = False
+            left_black = walk(left)
+            right_black = walk(right)
+            if left_black != right_black:
+                ok = False
+            return left_black + (1 if color == BLACK else 0)
+
+        walk(root)
+        return ok

@@ -1,0 +1,40 @@
+"""Transactional-memory systems: common API, 2PL, SONTM, SI-TM, SSI-TM, LogTM."""
+
+from typing import Dict, Type
+
+from repro.tm.api import CommitToken, TMSystem, Txn
+from repro.tm.backoff import ExponentialBackoff, NoBackoff
+from repro.tm.logtm import EagerLogTM
+from repro.tm.ops import Abort, Compute, Op, Read, Write
+from repro.tm.sitm import SnapshotIsolationTM
+from repro.tm.sontm import SONTM
+from repro.tm.ssi import SerializableSITM
+from repro.tm.twopl import TwoPhaseLockingTM
+
+#: registry used by the harness CLI and the experiment drivers
+SYSTEMS: Dict[str, Type[TMSystem]] = {
+    TwoPhaseLockingTM.name: TwoPhaseLockingTM,
+    SONTM.name: SONTM,
+    SnapshotIsolationTM.name: SnapshotIsolationTM,
+    SerializableSITM.name: SerializableSITM,
+    EagerLogTM.name: EagerLogTM,
+}
+
+__all__ = [
+    "Abort",
+    "EagerLogTM",
+    "CommitToken",
+    "Compute",
+    "ExponentialBackoff",
+    "NoBackoff",
+    "Op",
+    "Read",
+    "SONTM",
+    "SYSTEMS",
+    "SerializableSITM",
+    "SnapshotIsolationTM",
+    "TMSystem",
+    "TwoPhaseLockingTM",
+    "Txn",
+    "Write",
+]

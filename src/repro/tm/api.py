@@ -1,0 +1,247 @@
+"""The transactional-memory runtime API shared by all systems.
+
+This is the reproduction's analogue of the RSTM integration of section 6:
+workloads are written once against :class:`TMSystem`'s interface
+(``begin`` / ``read`` / ``write`` / ``commit`` / ``abort``) and run unchanged
+under 2PL, SONTM, SI-TM and SSI-TM.  Transaction *bodies* are generators
+yielding the descriptors of :mod:`repro.tm.ops`; the discrete-event engine
+(:mod:`repro.sim.engine`) drives bodies and calls into the TM system for
+every operation.
+
+Timing convention: every method returns the cycle cost of the action (or a
+``(value, cycles)`` pair for reads) so the engine can advance the calling
+thread's clock.  Conflicts surface as
+:class:`~repro.common.errors.TransactionAborted` for self-aborts, or by
+*dooming* a victim transaction (``txn.doom(cause)``) for eager
+requester-wins policies; the engine notices doomed transactions before
+their next operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.common.config import SimConfig
+from repro.common.errors import AbortCause, TMError
+from repro.common.rng import SplitRandom
+from repro.sim.machine import Machine
+from repro.sim.stats import RunStats
+from repro.tm.backoff import ExponentialBackoff, NoBackoff
+
+
+class StallRequested(Exception):
+    """An operation must wait and be retried (NACK-style eager HTMs).
+
+    LogTM-class systems stall a requester on conflict instead of aborting;
+    the engine charges ``cycles`` and re-issues the same operation.
+    """
+
+    def __init__(self, cycles: int):
+        self.cycles = cycles
+        super().__init__(f"stall {cycles} cycles")
+
+
+class Txn:
+    """Per-attempt transaction descriptor.
+
+    One :class:`Txn` exists per *attempt*: a retry after abort begins a new
+    transaction (fresh snapshot, fresh sets).  ``attempt`` counts prior
+    aborted attempts of the same logical transaction for backoff.
+    """
+
+    __slots__ = ("thread_id", "label", "attempt", "start_ts",
+                 "read_lines", "write_lines", "promoted_lines",
+                 "write_buffer", "doomed", "active", "start_removed",
+                 "son_lo", "son_hi", "after", "before",
+                 "inbound_rw", "outbound_rw", "consecutive_stalls",
+                 "undo_log")
+
+    def __init__(self, thread_id: int, label: str, attempt: int):
+        self.thread_id = thread_id
+        self.label = label
+        self.attempt = attempt
+        self.start_ts: Optional[int] = None
+        self.read_lines: Set[int] = set()
+        self.write_lines: Set[int] = set()
+        #: promoted reads (section 5.1) — validated like writes, no version
+        self.promoted_lines: Set[int] = set()
+        self.write_buffer: Dict[int, int] = {}
+        self.doomed: Optional[AbortCause] = None
+        self.active = True
+        #: whether the start timestamp was already removed from the
+        #: active-transaction table (set by SI-TM's commit path)
+        self.start_removed = False
+        # SONTM state (serializability-order-number range + edges)
+        self.son_lo = 0
+        self.son_hi: Optional[int] = None  # None = +infinity
+        self.after: Set[int] = set()   # thread ids that must precede us
+        self.before: Set[int] = set()  # thread ids that must follow us
+        # SSI-TM dangerous-structure flags (section 5.2)
+        self.inbound_rw = False
+        self.outbound_rw = False
+        # LogTM-style state: NACK/stall bookkeeping + in-place undo log
+        self.consecutive_stalls = 0
+        self.undo_log: list = []
+
+    def doom(self, cause: AbortCause) -> None:
+        """Mark this transaction for abort (requester-wins victim)."""
+        if self.doomed is None:
+            self.doomed = cause
+
+    @property
+    def is_read_only(self) -> bool:
+        """True when the transaction wrote nothing (and promoted nothing)."""
+        return not self.write_lines and not self.promoted_lines
+
+    def validation_lines(self) -> Set[int]:
+        """Lines checked for write-write conflicts at commit.
+
+        Promoted reads participate in validation without creating versions
+        (section 5.1).
+        """
+        return self.write_lines | self.promoted_lines
+
+
+class CommitToken:
+    """A serialising resource: at most one commit in flight at a time.
+
+    Lazy systems with bulk commits serialise them (section 4.2 discusses
+    this bottleneck); the 2PL baseline's commit token (section 6.1) is the
+    concrete instance.  ``acquire`` returns when the token becomes free, so
+    the caller can charge the wait.
+    """
+
+    def __init__(self) -> None:
+        self._busy_until = 0
+
+    def acquire(self, now: int, hold_cycles: int) -> int:
+        """Acquire at local time ``now``, holding for ``hold_cycles``.
+
+        Returns the wait (cycles spent queued before the token was granted).
+        """
+        wait = max(0, self._busy_until - now)
+        self._busy_until = max(self._busy_until, now) + hold_cycles
+        return wait
+
+
+class TMSystem:
+    """Abstract transactional-memory system.
+
+    Subclasses implement one concurrency-control policy each.  All share:
+    the machine (caches, backing store, MVM), the per-run statistics sink,
+    an abort-backoff policy, and the line-granularity bookkeeping helpers.
+    """
+
+    #: human-readable system name, used in reports
+    name = "abstract"
+    #: cycles to acquire/release the commit token
+    TOKEN_CYCLES = 10
+    #: cycles per line written back at commit, on top of the L3 access
+    WRITEBACK_CYCLES = 4
+
+    def __init__(self, machine: Machine, rng: SplitRandom):
+        self.machine = machine
+        self.config: SimConfig = machine.config
+        self.amap = machine.address_map
+        self.rng = rng
+        if self.config.tm.backoff_enabled and self.uses_backoff():
+            self.backoff = ExponentialBackoff(self.config.tm,
+                                              rng.split("backoff"))
+        else:
+            self.backoff = NoBackoff()
+        self.stats: Optional[RunStats] = None
+        #: transactions currently in flight, by thread id
+        self.active_txns: Dict[int, Txn] = {}
+
+    # -- policy hooks ---------------------------------------------------
+
+    def uses_backoff(self) -> bool:
+        """Whether this system applies exponential backoff after aborts."""
+        return True
+
+    def begin(self, thread_id: int, label: str,
+              attempt: int) -> Tuple[Optional[Txn], int]:
+        """Start a transaction; return ``(txn, cycles)``.
+
+        A ``None`` transaction means the thread must stall and retry begin
+        (SI-TM's Δ-protocol stall, section 4.2).
+        """
+        raise NotImplementedError
+
+    def read(self, txn: Txn, addr: int, promote: bool = False,
+             ) -> Tuple[int, int]:
+        """Transactional load; return ``(value, cycles)``."""
+        raise NotImplementedError
+
+    def write(self, txn: Txn, addr: int, value: int) -> int:
+        """Transactional store; return cycles."""
+        raise NotImplementedError
+
+    def commit(self, txn: Txn, now: int) -> int:
+        """Attempt to commit at local time ``now``; return cycles.
+
+        ``now`` is the committing thread's local clock, used to queue on
+        serialising resources (the commit token).  Raises
+        :class:`TransactionAborted` when validation fails; the engine then
+        calls :meth:`abort`.
+        """
+        raise NotImplementedError
+
+    def abort(self, txn: Txn, cause: AbortCause) -> int:
+        """Clean up an aborting transaction; return cycles (incl. backoff)."""
+        raise NotImplementedError
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _register(self, txn: Txn) -> None:
+        if txn.thread_id in self.active_txns:
+            raise TMError(
+                f"thread {txn.thread_id} already has an active transaction")
+        self.active_txns[txn.thread_id] = txn
+
+    def _deregister(self, txn: Txn) -> None:
+        txn.active = False
+        self.active_txns.pop(txn.thread_id, None)
+
+    def others(self, txn: Txn):
+        """Active transactions other than ``txn``."""
+        for tid, other in self.active_txns.items():
+            if tid != txn.thread_id and other.active:
+                yield other
+
+    def _backoff_cycles(self, txn: Txn) -> int:
+        delay = self.backoff.delay(txn.attempt + 1)
+        if self.stats is not None:
+            self.stats.threads[txn.thread_id].backoff_cycles += delay
+        return delay
+
+    def _buffered_read(self, txn: Txn, addr: int) -> Optional[int]:
+        """Value from the transaction's own write buffer, if written."""
+        return txn.write_buffer.get(addr)
+
+    def _check_version_buffer(self, txn: Txn) -> None:
+        """Bounded-HTM version-buffer overflow (section 4.3).
+
+        Conventional systems that buffer speculative writes in the L1 abort
+        when the write set outgrows it.  Disabled (0) by default to match
+        the paper's evaluation, which models perfect write sets.
+        """
+        limit = self.config.tm.version_buffer_lines
+        if limit and len(txn.write_lines) > limit:
+            from repro.common.errors import TransactionAborted
+            raise TransactionAborted(AbortCause.VERSION_BUFFER_OVERFLOW)
+
+    # -- plain (non-transactional) timed access ---------------------------
+
+    def plain_read(self, thread_id: int, addr: int) -> Tuple[int, int]:
+        """Non-transactional load with cache timing."""
+        line = self.amap.line_of(addr)
+        cycles = self.machine.caches.access(thread_id, line)
+        return self.machine.plain_load(addr), cycles
+
+    def plain_write(self, thread_id: int, addr: int, value: int) -> int:
+        """Non-transactional store with cache timing."""
+        line = self.amap.line_of(addr)
+        cycles = self.machine.caches.access(thread_id, line)
+        self.machine.plain_store(addr, value)
+        return cycles

@@ -1,0 +1,43 @@
+"""Randomised exponential backoff (section 6.4).
+
+The paper's eager baselines (2PL, SONTM) use exponential backoff to escape
+livelock from repeated mutual aborts — most visible in Genome — and the
+authors tuned it to optimise *performance*, not abort rate.  SI-TM's lazy
+commit guarantees progress without it, but the policy object is shared so
+ablation benches can switch it on or off per system.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import TMConfig
+from repro.common.rng import SplitRandom
+
+
+class ExponentialBackoff:
+    """Computes the delay (in cycles) to wait after the n-th abort."""
+
+    def __init__(self, config: TMConfig, rng: SplitRandom):
+        self._enabled = config.backoff_enabled
+        self._base = config.backoff_base_cycles
+        self._max_exponent = config.backoff_max_exponent
+        self._rng = rng
+
+    def delay(self, attempt: int) -> int:
+        """Backoff cycles after ``attempt`` consecutive aborts (1-based).
+
+        Uniformly random in ``[0, base * 2^min(attempt, max_exponent))`` —
+        the classic bounded-exponential scheme.  Returns 0 when disabled.
+        """
+        if not self._enabled or attempt <= 0:
+            return 0
+        exponent = min(attempt, self._max_exponent)
+        ceiling = self._base * (1 << exponent)
+        return self._rng.randrange(ceiling)
+
+
+class NoBackoff:
+    """Null policy: never wait (SI-TM's default — lazy commits guarantee
+    progress, section 2)."""
+
+    def delay(self, attempt: int) -> int:  # noqa: D102 — trivially documented above
+        return 0

@@ -1,0 +1,301 @@
+"""SI-TM: snapshot-isolation transactional memory (section 4).
+
+The paper's contribution.  Transactions read from a logical snapshot taken
+at TM BEGIN (a start timestamp into the multiversioned memory), buffer
+writes privately, and validate **only write-write conflicts** at commit by
+comparing the newest committed version timestamp of each written line with
+the start timestamp.  Consequences implemented here, following section 4:
+
+* **TM BEGIN** — one atomic increment of the global timestamp counter;
+  stalls only when Δ+1 transactions start during an in-flight commit.
+* **TM READ** — served from the write buffer or from the snapshot via the
+  MVM; *invisible readers*: no coherence traffic, no read-set tracking.
+  Reads of MVM lines that miss the private caches pay the indirection-layer
+  lookup, mitigated by the translation (X-Late) cache of Figure 5.
+* **TM WRITE** — buffered, line marked transactional, no broadcasts.
+  Unbounded: the write set spills to versioned memory rather than aborting.
+* **TM COMMIT** — read-only transactions commit with zero overhead.
+  Writers obtain an end timestamp via the Δ-protocol, validate their write
+  set against version-list timestamps (timestamp-based conflict detection:
+  one comparison against the whole committed history), install new
+  versions (with GC-on-write and coalescing inside the MVM), and invalidate
+  other cores' stale copies.  The optional word-granularity filter
+  dismisses false-sharing and silent-store conflicts (section 4.2).
+* **Aborts** are only: write-write conflicts, version-cap overflow
+  (section 3.1's policy), and snapshot-too-old under the DROP_OLDEST
+  policy.  No backoff is needed — committed work is never undone by a
+  concurrent reader, so lazy validation guarantees progress.
+
+**Promoted reads** (section 5.1) join the validation set but install no
+versions, exactly as the write-skew tool requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.common.config import CacheConfig
+from repro.common.errors import (
+    AbortCause,
+    TimestampOverflowError,
+    TMError,
+    TransactionAborted,
+)
+from repro.common.rng import SplitRandom
+from repro.mem.cache import SetAssociativeCache
+from repro.mvm.version_list import CapExceeded, SnapshotTooOld
+from repro.sim.machine import Machine
+from repro.tm.api import TMSystem, Txn
+
+
+class SnapshotIsolationTM(TMSystem):
+    """SI-TM: aborts on write-write conflicts only."""
+
+    name = "SI-TM"
+    #: version-list entries per metadata line (section 3.2: eight per line)
+    ENTRIES_PER_METADATA_LINE = 8
+    #: extra cycles for MVM controller version compare + line allocation
+    MVM_CONTROL_CYCLES = 2
+
+    def __init__(self, machine: Machine, rng: SplitRandom):
+        super().__init__(machine, rng)
+        self.mvm = machine.mvm
+        # X-Late translation cache (Figure 5): a small cache of version-list
+        # lines probed in parallel with the L2 to hide indirection latency.
+        self.xlate = SetAssociativeCache(
+            CacheConfig(size_bytes=16 * 1024, associativity=4,
+                        latency_cycles=0),
+            name="xlate")
+        #: set when the global timestamp counter overflowed; begins stall
+        #: until the last doomed transaction drains and the MVM resets
+        self._overflow_pending = False
+        self.timestamp_overflows = 0
+
+    def uses_backoff(self) -> bool:
+        """SI-TM needs no backoff: lazy commits guarantee progress."""
+        return False
+
+    # ------------------------------------------------------------------
+
+    def begin(self, thread_id: int, label: str,
+              attempt: int) -> Tuple[Optional[Txn], int]:
+        cycles = self.config.txn_overhead_cycles
+        if self._overflow_pending and not self._drain_overflow():
+            return None, cycles
+        try:
+            start_ts = self.machine.clock.next_start()
+        except TimestampOverflowError:
+            self._raise_overflow_interrupt()
+            return None, cycles
+        if start_ts is None:
+            # Δ-protocol stall: an in-flight commit exhausted its headroom.
+            return None, cycles
+        txn = Txn(thread_id, label, attempt)
+        txn.start_ts = start_ts
+        self.mvm.active.add(start_ts)
+        self._register(txn)
+        return txn, cycles
+
+    def _indirection_cycles(self, line: int) -> int:
+        """Latency of the version-list lookup for an L2-missing access.
+
+        One metadata line serves ENTRIES_PER_METADATA_LINE consecutive
+        data lines; a hit in the translation cache hides the lookup
+        entirely (probed in parallel with L2, section 3.2).
+        """
+        metadata_line = line // self.ENTRIES_PER_METADATA_LINE
+        if self.xlate.lookup(metadata_line):
+            return 0
+        self.xlate.fill(metadata_line)
+        return self.machine.caches.shared_access(metadata_line)
+
+    def read(self, txn: Txn, addr: int, promote: bool = False,
+             ) -> Tuple[int, int]:
+        line = self.amap.line_of(addr)
+        if promote and self.amap.is_mvm(addr):
+            # promotion = commit-time validation against version
+            # timestamps; conventional addresses have none (thread-private
+            # or immutable data), so promotion is a no-op there
+            txn.promoted_lines.add(line)
+        buffered = self._buffered_read(txn, addr)
+        if buffered is not None:
+            return buffered, self.config.machine.l1d.latency_cycles
+        cycles = self.machine.caches.access(txn.thread_id, line)
+        if not self.amap.is_mvm(addr):
+            return self.machine.backing.load(addr), cycles
+        if cycles > self.config.machine.l2.latency_cycles:
+            # L2 miss: the access reaches the MVM controller and pays the
+            # indirection lookup unless the translation cache hides it.
+            cycles += self._indirection_cycles(line)
+            cycles += self.MVM_CONTROL_CYCLES
+        try:
+            data = self.mvm.snapshot_read(line, txn.start_ts)
+        except SnapshotTooOld:
+            raise TransactionAborted(
+                AbortCause.SNAPSHOT_TOO_OLD,
+                f"line {line:#x} has no version <= {txn.start_ts}")
+        if data is None:
+            return 0, cycles
+        return data[self.amap.word_in_line(addr)], cycles
+
+    def write(self, txn: Txn, addr: int, value: int) -> int:
+        if not self.amap.is_mvm(addr):
+            # Only multiversioned memory carries version timestamps, so
+            # write-write conflicts on conventional addresses would go
+            # undetected — silent lost updates.  The paper requires
+            # transactionally written data to be mvmalloc'd (section 4.4);
+            # fail loudly instead of corrupting.
+            raise TMError(
+                f"SI-TM transactional write to conventional address "
+                f"{addr:#x}; transactional data must be allocated with "
+                f"mvmalloc() (section 4.4)")
+        line = self.amap.line_of(addr)
+        txn.write_lines.add(line)
+        txn.write_buffer[addr] = value
+        # Lazy detection: no coherence messages (section 4.2); the line is
+        # simply marked transactionally written in the L1 (write-allocate).
+        cycles, evicted = self.machine.caches.access_tracked(
+            txn.thread_id, line)
+        if evicted is not None and evicted in txn.write_lines:
+            # an uncommitted transactionally-written line left the private
+            # caches: the MVM stores it under a temporary ID, visible only
+            # to this transaction — this is how SI-TM avoids version-buffer
+            # overflow aborts (sections 4.2/4.3)
+            self.mvm.store_transient(evicted, txn.thread_id,
+                                     self.machine.line_data(evicted))
+            cycles += self.machine.caches.shared_access(evicted)
+        return cycles
+
+    # ------------------------------------------------------------------
+
+    def _validate(self, txn: Txn) -> None:
+        """Timestamp-based write-write validation (section 4.2)."""
+        word_filter = self.config.tm.word_grain_commit_filter
+        words_per_line = self.amap.words_per_line
+        for line in sorted(txn.validation_lines()):
+            if not self.mvm.validate_line(line, txn.start_ts):
+                continue
+            if word_filter and line in txn.write_lines:
+                written = {
+                    self.amap.word_in_line(addr): value
+                    for addr, value in txn.write_buffer.items()
+                    if self.amap.line_of(addr) == line}
+                if len(written) <= words_per_line and not \
+                        self.mvm.words_conflict(line, txn.start_ts, written):
+                    continue
+            raise TransactionAborted(
+                AbortCause.WRITE_WRITE, f"line {line:#x}")
+
+    def _build_line(self, txn: Txn, line: int) -> tuple:
+        """Merge buffered words onto the current newest version of ``line``.
+
+        After validation the newest version equals the snapshot-visible
+        one, so this is the snapshot merge; when the word-granularity
+        filter dismissed a false-sharing conflict, basing on the newest
+        version is what merges the two writers' disjoint words.
+        """
+        base = self.mvm.plain_read(line)
+        words = list(base) if base is not None \
+            else [0] * self.amap.words_per_line
+        base_addr = self.amap.line_base(line)
+        for addr, value in txn.write_buffer.items():
+            if self.amap.line_of(addr) == line:
+                words[addr - base_addr] = value
+        return tuple(words)
+
+    def commit(self, txn: Txn, now: int) -> int:
+        if txn.is_read_only:
+            # Read-only transactions commit with zero overhead: no end
+            # timestamp, no checks (section 4.2).
+            self._release(txn)
+            return 0
+        cycles = self.config.txn_overhead_cycles
+        try:
+            end_ts = self.machine.clock.begin_commit()
+        except TimestampOverflowError:
+            # the counter cannot mint an end timestamp: overflow interrupt
+            self._raise_overflow_interrupt()
+            self._release(txn)
+            raise TransactionAborted(AbortCause.TIMESTAMP_OVERFLOW)
+        try:
+            self._validate(txn)
+        except TransactionAborted:
+            self.machine.clock.abandon_commit(end_ts)
+            self._release(txn)
+            raise
+        # Release our snapshot before installing so coalescing considers
+        # only *other* transactions' start timestamps.
+        self._remove_start(txn)
+        installed = []
+        # the write path rejects conventional addresses, so every written
+        # line is multiversioned
+        mvm_lines = sorted(txn.write_lines)
+        try:
+            for line in mvm_lines:
+                data = self._build_line(txn, line)
+                self.mvm.install_line(line, end_ts, data)
+                installed.append(line)
+                cycles += (self.machine.caches.shared_access(line)
+                           + self.WRITEBACK_CYCLES
+                           + self.MVM_CONTROL_CYCLES)
+                # bundled configurations copy the whole bundle on its
+                # first write (section 3.2's capacity/write trade-off)
+                cycles += (self.mvm.bundle_copy_lines(line)
+                           * self.WRITEBACK_CYCLES)
+                self.machine.caches.invalidate_everywhere(
+                    line, except_core=txn.thread_id)
+        except CapExceeded:
+            # Optimistic commit is itself transactional: undo our versions.
+            for line in installed:
+                self.mvm.rollback_line(line, end_ts)
+            self.machine.clock.abandon_commit(end_ts)
+            self._release(txn)
+            raise TransactionAborted(AbortCause.VERSION_OVERFLOW)
+        self.machine.clock.finish_commit(end_ts)
+        self._release(txn)
+        return cycles
+
+    # ------------------------------------------------------------------
+
+    def _raise_overflow_interrupt(self) -> None:
+        """Section 4.1: on counter overflow, abort all active transactions
+        and trap to software; the software handler (here ``_drain_overflow``)
+        resets the counter once the last victim has drained."""
+        self.timestamp_overflows += 1
+        self._overflow_pending = True
+        for other in list(self.active_txns.values()):
+            other.doom(AbortCause.TIMESTAMP_OVERFLOW)
+
+    def _drain_overflow(self) -> bool:
+        """Complete the overflow interrupt once no transaction is active.
+
+        Persists the newest committed versions to the backing store,
+        discards version history, and restarts the counter from zero.
+        Returns True when normal operation may resume.
+        """
+        if self.active_txns or len(self.mvm.active):
+            return False
+        self.mvm.flush_all_versions(self.machine.backing)
+        self.xlate.flush()
+        self._overflow_pending = False
+        return True
+
+    def _remove_start(self, txn: Txn) -> None:
+        if not txn.start_removed and txn.start_ts is not None:
+            self.mvm.active.remove(txn.start_ts)
+            txn.start_removed = True
+
+    def _release(self, txn: Txn) -> None:
+        self._remove_start(txn)
+        self.mvm.drop_transients(txn.thread_id, txn.write_lines)
+        self._deregister(txn)
+
+    def abort(self, txn: Txn, cause: AbortCause) -> int:
+        # Commit-path aborts already released; make cleanup idempotent.
+        if txn.thread_id in self.active_txns \
+                and self.active_txns[txn.thread_id] is txn:
+            self._release(txn)
+        else:
+            self._remove_start(txn)
+        # No undo log to walk: previous versions still exist (section 4.3).
+        return self.config.txn_overhead_cycles + self._backoff_cycles(txn)

@@ -1,0 +1,66 @@
+"""Benchmark workloads: STAMP-like kernels + RSTM-like microbenchmarks.
+
+Importing this package populates :data:`repro.workloads.base.REGISTRY`
+with all ten benchmarks of the paper's evaluation (section 6.2):
+``array``, ``list``, ``rbtree`` (microbenchmarks) and ``genome``,
+``intruder``, ``kmeans``, ``labyrinth``, ``ssca2``, ``vacation``,
+``bayes`` (STAMP kernels).
+"""
+
+from repro.workloads import (  # noqa: F401 — imports populate the registry
+    bayes,
+    extra,
+    genome,
+    intruder,
+    kmeans,
+    labyrinth,
+    micro,
+    ssca2,
+    vacation,
+    yada,
+)
+from repro.workloads.base import (
+    PROFILES,
+    REGISTRY,
+    Workload,
+    WorkloadInstance,
+    WorkloadRegistry,
+    partition,
+)
+from repro.workloads.bayes import BayesBench
+from repro.workloads.extra import HashtableBench, PipelineBench
+from repro.workloads.genome import GenomeBench
+from repro.workloads.intruder import IntruderBench
+from repro.workloads.kmeans import KmeansBench
+from repro.workloads.labyrinth import LabyrinthBench
+from repro.workloads.micro import ArrayBench, ListBench, RBTreeBench
+from repro.workloads.ssca2 import SSCA2Bench
+from repro.workloads.vacation import VacationBench
+from repro.workloads.yada import YadaBench
+
+#: benchmark order used by the paper's figures
+PAPER_ORDER = ["array", "list", "rbtree", "genome", "intruder",
+               "kmeans", "labyrinth", "vacation", "ssca2", "bayes"]
+
+__all__ = [
+    "ArrayBench",
+    "BayesBench",
+    "GenomeBench",
+    "HashtableBench",
+    "IntruderBench",
+    "KmeansBench",
+    "LabyrinthBench",
+    "ListBench",
+    "PAPER_ORDER",
+    "PipelineBench",
+    "PROFILES",
+    "RBTreeBench",
+    "REGISTRY",
+    "SSCA2Bench",
+    "VacationBench",
+    "Workload",
+    "WorkloadInstance",
+    "WorkloadRegistry",
+    "YadaBench",
+    "partition",
+]

@@ -1,0 +1,130 @@
+"""Workload framework.
+
+A :class:`Workload` describes one benchmark (its shared structures and
+transaction mix); ``setup`` instantiates it on a machine and returns a
+:class:`WorkloadInstance` that hands the engine per-thread programs.  The
+instance also carries an optional consistency ``verify`` hook so tests can
+assert that serializable systems (and skew-fixed SI) leave structures
+healthy.
+
+Scaling profiles: the paper's STAMP runs execute billions of instructions
+on a cycle-accurate simulator; a pure-Python reproduction cannot (see
+DESIGN.md).  Every workload therefore exposes three profiles that keep the
+paper's *mix ratios and contention relationships* while shrinking sizes:
+
+* ``test``  — seconds-scale, for the pytest suite;
+* ``quick`` — the pytest-benchmark default;
+* ``full``  — the harness CLI default, closest to the paper's parameters
+  (the microbenchmarks keep the paper's structure sizes exactly).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.common.errors import ConfigError
+from repro.common.rng import SplitRandom
+from repro.sim.engine import TransactionSpec
+from repro.sim.machine import Machine
+
+PROFILES = ("test", "quick", "full")
+CONTENTION_LEVELS = ("low", "standard", "high")
+
+
+@dataclass
+class WorkloadInstance:
+    """One ready-to-run instantiation of a workload on a machine."""
+
+    machine: Machine
+    programs: Sequence[Sequence[TransactionSpec]]
+    verify: Optional[Callable[[], bool]] = None
+
+
+class Workload(abc.ABC):
+    """A benchmark: shared-state builder plus transaction mix."""
+
+    #: registry key and report label
+    name: str = "abstract"
+    #: one-line description for reports
+    description: str = ""
+
+    def __init__(self, profile: str = "quick",
+                 contention: str = "standard"):
+        if profile not in PROFILES:
+            raise ConfigError(
+                f"unknown profile {profile!r}; expected one of {PROFILES}")
+        if contention not in CONTENTION_LEVELS:
+            raise ConfigError(
+                f"unknown contention {contention!r}; expected one of "
+                f"{CONTENTION_LEVELS}")
+        self.profile = profile
+        self.contention = contention
+
+    @abc.abstractmethod
+    def setup(self, machine: Machine, num_threads: int,
+              rng: SplitRandom) -> WorkloadInstance:
+        """Build shared state and per-thread transaction programs.
+
+        The *total* number of transactions should be independent of
+        ``num_threads`` (work is partitioned, not multiplied) so that
+        Figure 8's speedup compares equal work at every thread count.
+        """
+
+    def _pick(self, test: int, quick: int, full: int) -> int:
+        """Choose a size parameter by profile."""
+        return {"test": test, "quick": quick, "full": full}[self.profile]
+
+    def _contended(self, low, standard, high):
+        """Choose a parameter by contention level (STAMP's -/+/++ analogue).
+
+        STAMP ships low- and high-contention configurations of several
+        applications; the level typically scales the shared-structure size
+        inversely (smaller structure = hotter lines) or the conflict
+        footprint directly.
+        """
+        return {"low": low, "standard": standard,
+                "high": high}[self.contention]
+
+
+class WorkloadRegistry:
+    """Name -> workload class registry used by the harness."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, Type[Workload]] = {}
+
+    def register(self, cls: Type[Workload]) -> Type[Workload]:
+        """Class decorator: register a workload under its ``name``."""
+        if cls.name in self._classes:
+            raise ConfigError(f"duplicate workload name {cls.name!r}")
+        self._classes[cls.name] = cls
+        return cls
+
+    def create(self, name: str, profile: str = "quick",
+               contention: str = "standard") -> Workload:
+        """Instantiate a registered workload."""
+        try:
+            cls = self._classes[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown workload {name!r}; known: {sorted(self._classes)}"
+            ) from None
+        return cls(profile=profile, contention=contention)
+
+    def names(self) -> List[str]:
+        """All registered workload names, sorted."""
+        return sorted(self._classes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+
+#: the process-wide registry
+REGISTRY = WorkloadRegistry()
+
+
+def partition(total: int, num_threads: int) -> List[int]:
+    """Split ``total`` transactions across threads as evenly as possible."""
+    base, extra = divmod(total, num_threads)
+    return [base + (1 if i < extra else 0) for i in range(num_threads)]

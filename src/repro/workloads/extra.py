@@ -1,0 +1,124 @@
+"""Extra microbenchmarks beyond the paper's three.
+
+These are not part of the paper's evaluation (and therefore not in
+``PAPER_ORDER``), but round out the workload library the way RSTM's
+microbenchmark suite does:
+
+* **hashtable** — point operations on a chained hash map.  Conflicts are
+  per-bucket; with a reasonable load factor all systems do well, making
+  this a useful *low-contention control* alongside Array's extremes.
+* **pipeline** — producers and consumers sharing a bounded FIFO queue.
+  Head and tail cursors are read-modify-write hot words: like kmeans,
+  this is a worst case where snapshots cannot help, but unlike kmeans
+  the conflicts concentrate on exactly two lines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.rng import SplitRandom
+from repro.sim.engine import TransactionSpec
+from repro.sim.machine import Machine
+from repro.structures import TxHashMap, TxQueue
+from repro.tm.ops import Compute
+from repro.workloads.base import (
+    REGISTRY,
+    Workload,
+    WorkloadInstance,
+    partition,
+)
+
+
+@REGISTRY.register
+class HashtableBench(Workload):
+    """Point get/put/remove mix over a chained hash map."""
+
+    name = "hashtable"
+    description = "hash map point ops; per-bucket conflicts only"
+
+    def setup(self, machine: Machine, num_threads: int,
+              rng: SplitRandom) -> WorkloadInstance:
+        keys = self._pick(test=128, quick=512, full=4096)
+        keys = max(32, int(keys * self._contended(4, 1, 0.25)))
+        total_txns = self._pick(test=200, quick=640, full=500 * num_threads)
+        buckets = max(16, keys // 4)
+        table = TxHashMap(machine, buckets=buckets)
+        init_rng = rng.split("init")
+        table.populate((k, init_rng.randrange(100))
+                       for k in range(0, keys, 2))
+
+        programs: List[List[TransactionSpec]] = []
+        for tid, count in enumerate(partition(total_txns, num_threads)):
+            thread_rng = rng.split("thread", tid)
+            specs = []
+            for _ in range(count):
+                key = thread_rng.randrange(keys)
+                roll = thread_rng.random()
+                if roll < 0.60:
+                    specs.append(TransactionSpec(
+                        lambda k=key: table.get(k), "hashtable.get"))
+                elif roll < 0.80:
+                    value = thread_rng.randrange(100)
+                    specs.append(TransactionSpec(
+                        lambda k=key, v=value: table.put(k, v),
+                        "hashtable.put"))
+                else:
+                    specs.append(TransactionSpec(
+                        lambda k=key: table.remove(k), "hashtable.remove"))
+            programs.append(specs)
+
+        def verify() -> bool:
+            return all(0 <= v < 100 for v in table.to_dict().values())
+
+        return WorkloadInstance(machine, programs, verify)
+
+
+@REGISTRY.register
+class PipelineBench(Workload):
+    """Producer/consumer traffic through one bounded FIFO."""
+
+    name = "pipeline"
+    description = "shared queue; RMW cursor hot spots (SI-neutral)"
+
+    def setup(self, machine: Machine, num_threads: int,
+              rng: SplitRandom) -> WorkloadInstance:
+        total_txns = self._pick(test=160, quick=480, full=300 * num_threads)
+        capacity = self._pick(test=128, quick=512, full=4096)
+        queue = TxQueue(machine, capacity=capacity)
+        queue.populate(range(1, capacity // 2))
+
+        def produce(value: int):
+            def body():
+                yield Compute(4)  # build the work item
+                yield from queue.enqueue(value)
+            return body
+
+        def consume():
+            def body():
+                item = yield from queue.dequeue()
+                if item is not None:
+                    yield Compute(8)  # process the work item
+                return item
+            return body
+
+        programs: List[List[TransactionSpec]] = []
+        for tid, count in enumerate(partition(total_txns, num_threads)):
+            thread_rng = rng.split("thread", tid)
+            specs = []
+            producing = tid % 2 == 0
+            for _ in range(count):
+                if producing:
+                    specs.append(TransactionSpec(
+                        produce(thread_rng.randrange(1, 1000)),
+                        "pipeline.produce"))
+                else:
+                    specs.append(TransactionSpec(consume(),
+                                                 "pipeline.consume"))
+            programs.append(specs)
+
+        def verify() -> bool:
+            items = queue.drain_plain()
+            return all(item > 0 for item in items)
+
+        return WorkloadInstance(machine, programs, verify)

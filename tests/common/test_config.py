@@ -1,0 +1,148 @@
+"""Configuration tests: Table 1 fidelity and validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    ConflictGranularity,
+    MachineConfig,
+    MVMConfig,
+    SimConfig,
+    TMConfig,
+    VersionCapPolicy,
+    table1_dict,
+)
+from repro.common.errors import ConfigError
+
+
+class TestTable1:
+    """Defaults must reproduce the paper's Table 1 exactly."""
+
+    def test_cores(self):
+        assert MachineConfig().cores == 32
+
+    def test_clock(self):
+        assert MachineConfig().clock_ghz == 3.0
+
+    def test_l1(self):
+        m = MachineConfig()
+        assert m.l1d.size_bytes == 32 * 1024
+        assert m.l1d.associativity == 4
+        assert m.l1d.latency_cycles == 4
+
+    def test_l2(self):
+        m = MachineConfig()
+        assert m.l2.size_bytes == 256 * 1024
+        assert m.l2.associativity == 8
+        assert m.l2.latency_cycles == 8
+
+    def test_l3(self):
+        m = MachineConfig()
+        assert m.l3.size_bytes == 32 * 1024 * 1024
+        assert m.l3.associativity == 16
+        assert m.l3.latency_cycles == 30
+
+    def test_mvm_partition(self):
+        assert MachineConfig().l3_mvm_partition_bytes == 8 * 1024 * 1024
+
+    def test_memory(self):
+        m = MachineConfig()
+        assert m.memory_controllers == 4
+        assert m.memory_bandwidth_gbps == 10.0
+        assert m.memory_latency_cycles == 100
+
+    def test_table1_dict_complete(self):
+        table = table1_dict()
+        assert table["CPU Cores"] == 32
+        assert table["L3 MVM partition (MB)"] == 8
+        assert len(table) == 15
+
+
+class TestCacheConfig:
+    def test_num_lines(self):
+        c = CacheConfig(size_bytes=32 * 1024, associativity=4,
+                        latency_cycles=4)
+        assert c.num_lines == 512
+        assert c.num_sets == 128
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(size_bytes=1000, associativity=3, latency_cycles=1)
+
+
+class TestMachineConfig:
+    def test_words_per_line(self):
+        assert MachineConfig().words_per_line == 8
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(cores=0)
+
+    def test_line_word_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(word_bytes=7)
+
+    def test_mixed_line_sizes_rejected(self):
+        bad_l1 = CacheConfig(size_bytes=32 * 1024, associativity=4,
+                             latency_cycles=4, line_bytes=32)
+        with pytest.raises(ConfigError):
+            MachineConfig(l1d=bad_l1)
+
+    def test_scaled_shrinks_caches(self):
+        scaled = MachineConfig().scaled(0.25)
+        assert scaled.l1d.num_lines == 128
+        assert scaled.l1d.num_lines % scaled.l1d.associativity == 0
+        assert scaled.l3_mvm_partition_bytes == 2 * 1024 * 1024
+
+    def test_scaled_preserves_associativity_floor(self):
+        scaled = MachineConfig().scaled(1e-9)
+        assert scaled.l1d.num_lines >= scaled.l1d.associativity
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MachineConfig().cores = 64
+
+
+class TestMVMConfig:
+    def test_defaults_match_paper(self):
+        c = MVMConfig()
+        assert c.max_versions == 4
+        assert c.pointer_bits == 32
+        assert c.timestamp_bits == 32
+        assert c.coalescing is True
+        assert c.cap_policy is VersionCapPolicy.ABORT_WRITER
+
+    def test_invalid_versions(self):
+        with pytest.raises(ConfigError):
+            MVMConfig(max_versions=0)
+
+    def test_invalid_bundle(self):
+        with pytest.raises(ConfigError):
+            MVMConfig(bundle_lines=0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigError):
+            MVMConfig(commit_delta=0)
+
+
+class TestTMConfig:
+    def test_defaults(self):
+        c = TMConfig()
+        assert c.granularity is ConflictGranularity.LINE
+        assert c.backoff_enabled is True
+        assert c.version_buffer_lines == 0
+
+    def test_invalid_backoff(self):
+        with pytest.raises(ConfigError):
+            TMConfig(backoff_base_cycles=0)
+        with pytest.raises(ConfigError):
+            TMConfig(backoff_max_exponent=-1)
+
+
+class TestSimConfig:
+    def test_replace(self):
+        c = SimConfig().replace(compute_cycles=3)
+        assert c.compute_cycles == 3
+        assert SimConfig().compute_cycles == 1

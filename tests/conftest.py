@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.common.rng import SplitRandom
+from repro.sim.engine import Engine, TransactionSpec
+from repro.sim.machine import Machine
+from repro.tm import SYSTEMS
+from repro.tm.ops import Read, Write
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A cold machine with default (Table 1) configuration."""
+    return Machine()
+
+
+@pytest.fixture
+def rng() -> SplitRandom:
+    """A deterministic root RNG."""
+    return SplitRandom(1234)
+
+
+def drive_plain(machine: Machine, gen):
+    """Run a transaction-body generator directly against plain memory.
+
+    Applies reads/writes immediately with no transactional semantics —
+    used to test structure algorithms sequentially.
+    """
+    result = None
+    try:
+        op = next(gen)
+        while True:
+            if isinstance(op, Read):
+                op = gen.send(machine.plain_load(op.addr))
+            elif isinstance(op, Write):
+                machine.plain_store(op.addr, op.value)
+                op = gen.send(None)
+            else:
+                op = gen.send(None)
+    except StopIteration as stop:
+        result = stop.value
+    return result
+
+
+def run_program(machine: Machine, system: str, programs, seed: int = 7,
+                tracer=None, promote_sites=None):
+    """Run per-thread spec lists under the named system; return stats."""
+    tm = SYSTEMS[system](machine, SplitRandom(seed))
+    engine = Engine(tm, programs, tracer=tracer, promote_sites=promote_sites)
+    return engine.run()
+
+
+def single_thread(machine: Machine, system: str, bodies, seed: int = 7):
+    """Run a list of transaction bodies on one thread; return stats."""
+    specs = [TransactionSpec(body, f"t{i}") for i, body in enumerate(bodies)]
+    return run_program(machine, system, [specs], seed)
+
+
+def spec(body, label: str = "txn") -> TransactionSpec:
+    """Shorthand TransactionSpec constructor."""
+    return TransactionSpec(body, label)

@@ -1,0 +1,27 @@
+"""Claims-module unit tests (cheap wiring checks; the full battery runs
+in benchmarks/test_claims.py)."""
+
+from repro.harness.claims import ClaimResult, all_passed
+
+
+class TestClaimResult:
+    def test_all_passed_true(self):
+        results = [ClaimResult("a", "d", "e", "m", True),
+                   ClaimResult("b", "d", "e", "m", True)]
+        assert all_passed(results)
+
+    def test_all_passed_false(self):
+        results = [ClaimResult("a", "d", "e", "m", True),
+                   ClaimResult("b", "d", "e", "m", False)]
+        assert not all_passed(results)
+
+    def test_empty_passes(self):
+        assert all_passed([])
+
+
+class TestCliIntegration:
+    def test_claims_command_registered(self):
+        from repro.harness.cli import build_parser
+
+        args = build_parser().parse_args(["claims", "--profile", "test"])
+        assert args.command == "claims"

@@ -1,0 +1,80 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_commands_accepted(self):
+        parser = build_parser()
+        for command in ("fig1", "fig2", "fig6", "fig7", "fig8",
+                        "table1", "table2", "overheads", "all"):
+            assert parser.parse_args([command]).command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_profile_choices(self):
+        args = build_parser().parse_args(["fig1", "--profile", "full"])
+        assert args.profile == "full"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--profile", "huge"])
+
+    def test_workload_filter(self):
+        args = build_parser().parse_args(
+            ["fig7", "--workloads", "array", "list"])
+        assert args.workloads == ["array", "list"]
+
+
+class TestExecution:
+    def test_fig2_prints_table(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "SI-TM" in out and "TX3" in out
+
+    def test_fig6_prints_table(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "SSI-TM" in out
+
+    def test_table1_prints_parameters(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU Cores" in out and "32" in out
+
+    def test_overheads_prints_percentages(self, capsys):
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        assert "12.5" in out and "50.0" in out
+
+    def test_fig7_restricted_run(self, capsys):
+        code = main(["fig7", "--profile", "test", "--seeds", "1",
+                     "--workloads", "rbtree"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rbtree" in out and "SI-TM/2PL" in out
+
+
+class TestExportFlags:
+    def test_fig1_csv_and_json(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig1.csv"
+        json_path = tmp_path / "fig1.json"
+        code = main(["fig1", "--profile", "test", "--threads", "2",
+                     "--seeds", "1", "--csv", str(csv_path),
+                     "--json", str(json_path)])
+        assert code == 0
+        assert "workload" in csv_path.read_text()
+        import json as json_module
+
+        rows = json_module.loads(json_path.read_text())
+        assert any(r["workload"] == "list" for r in rows)
+
+    def test_fig8_chart_flag(self, capsys):
+        code = main(["fig8", "--profile", "test", "--seeds", "1",
+                     "--workloads", "rbtree", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "|" in out  # the chart's y-axis

@@ -1,0 +1,86 @@
+"""Experiment-driver tests (tiny profiles — shape, not magnitude)."""
+
+import pytest
+
+from repro.harness import experiments
+
+
+class TestFigure1:
+    def test_rows_and_percentages(self):
+        rows = experiments.figure1(profile="test", threads=4, seeds=1)
+        assert len(rows) == len(experiments.FIGURE1_BENCHMARKS)
+        for row in rows:
+            total = row.read_write_pct + row.write_write_pct
+            assert total == 0 or total == pytest.approx(100.0)
+
+    def test_read_write_dominates(self):
+        """The paper's 75-99% claim, aggregated over the benchmarks."""
+        rows = experiments.figure1(profile="test", threads=8, seeds=1)
+        rw = sum(r.read_write_pct * r.total_aborts for r in rows)
+        ww = sum(r.write_write_pct * r.total_aborts for r in rows)
+        assert rw > 3 * ww
+
+
+class TestFigure7:
+    def test_cells_shape(self):
+        cells = experiments.figure7(profile="test", thread_counts=(4,),
+                                    seeds=1, workloads=["rbtree"])
+        assert len(cells) == 1
+        cell = cells[0]
+        assert set(cell.aborts) == {"2PL", "SONTM", "SI-TM"}
+        assert cell.relative["2PL"] in (1.0, None)
+
+    def test_array_si_far_below_2pl(self):
+        cells = experiments.figure7(profile="test", thread_counts=(8,),
+                                    seeds=2, workloads=["array"])
+        relative = cells[0].relative["SI-TM"]
+        assert relative is not None and relative < 0.25
+
+
+class TestFigure8:
+    def test_series_shape(self):
+        series = experiments.figure8(profile="test", thread_counts=(1, 2),
+                                     seeds=1, workloads=["ssca2"])
+        assert len(series) == 3  # one per system
+        for s in series:
+            assert s.speedup[0] == pytest.approx(1.0)
+            assert len(s.speedup) == 2
+
+
+class TestTable2:
+    def test_census_rows_per_benchmark(self):
+        results = experiments.table2(profile="test", threads=4,
+                                     workloads=["rbtree", "list"])
+        assert set(results) == {"rbtree", "list"}
+        for rows in results.values():
+            assert [r["version"] for r in rows] == \
+                ["1st", "2nd", "3rd", "4th", "5th", "tail"]
+            assert sum(r["accesses"] for r in rows) > 0
+
+    def test_tail_fraction_helper(self):
+        rows = [{"version": "1st", "accesses": 99},
+                {"version": "2nd", "accesses": 0},
+                {"version": "3rd", "accesses": 0},
+                {"version": "4th", "accesses": 0},
+                {"version": "5th", "accesses": 1},
+                {"version": "tail", "accesses": 0}]
+        assert experiments.census_tail_fraction(rows, 4) == \
+            pytest.approx(0.01)
+
+    def test_first_version_dominates(self):
+        results = experiments.table2(profile="test", threads=8,
+                                     workloads=["rbtree"])
+        rows = {r["version"]: r["accesses"] for r in results["rbtree"]}
+        assert rows["1st"] > sum(v for k, v in rows.items() if k != "1st")
+
+
+class TestOverheads:
+    def test_paper_rows(self):
+        rows = experiments.overheads()
+        by_bundle = {r["bundle_lines"]: r for r in rows}
+        assert by_bundle[1]["overhead_full_versions_pct"] == \
+            pytest.approx(12.5)
+        assert by_bundle[1]["overhead_worst_case_pct"] == pytest.approx(50.0)
+        assert by_bundle[8]["overhead_worst_case_pct"] == \
+            pytest.approx(6.25)
+        assert by_bundle[1]["bandwidth_best_case_pct"] == pytest.approx(12.5)

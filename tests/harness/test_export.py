@@ -1,0 +1,79 @@
+"""Export-module tests."""
+
+import csv
+import io
+import json
+
+from repro.harness.experiments import (
+    Figure1Row,
+    Figure7Cell,
+    Figure8Series,
+    ScheduleOutcome,
+)
+from repro.harness.export import (
+    figure1_rows,
+    figure7_rows,
+    figure8_rows,
+    schedule_rows,
+    to_csv,
+    to_json,
+)
+
+
+class TestFlattening:
+    def test_figure1(self):
+        rows = figure1_rows([Figure1Row("list", 98.5, 1.5, 120.0)])
+        assert rows == [{"workload": "list", "read_write_pct": 98.5,
+                         "write_write_pct": 1.5, "aborts_per_run": 120.0}]
+
+    def test_figure7(self):
+        cell = Figure7Cell("array", 8,
+                           {"2PL": 100.0, "SI-TM": 1.0},
+                           {"2PL": 1.0, "SI-TM": 0.01})
+        rows = figure7_rows([cell])
+        assert len(rows) == 2
+        si_row = next(r for r in rows if r["system"] == "SI-TM")
+        assert si_row["relative_to_2pl"] == 0.01
+        assert si_row["threads"] == 8
+
+    def test_figure7_missing_relative(self):
+        cell = Figure7Cell("x", 8, {"2PL": 0.0}, {"2PL": None})
+        assert figure7_rows([cell])[0]["relative_to_2pl"] == ""
+
+    def test_figure8(self):
+        series = Figure8Series("list", "SI-TM", [1, 8], [1.0, 5.3])
+        rows = figure8_rows([series])
+        assert rows[1] == {"workload": "list", "system": "SI-TM",
+                           "threads": 8, "speedup": 5.3}
+
+    def test_schedules(self):
+        outcome = ScheduleOutcome("SI-TM", ["TX0"], ["TX3"],
+                                  {"TX3": "write-write"})
+        rows = schedule_rows([outcome])
+        assert rows[0]["causes"] == "TX3:write-write"
+
+
+class TestSerialisation:
+    def test_csv_round_trip(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        parsed = list(csv.DictReader(io.StringIO(to_csv(rows))))
+        assert parsed == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_json_round_trip(self):
+        rows = [{"a": 1}]
+        assert json.loads(to_json(rows)) == rows
+
+
+class TestEndToEnd:
+    def test_real_figure7_export(self):
+        from repro.harness.experiments import figure7
+
+        cells = figure7(profile="test", thread_counts=(2,), seeds=1,
+                        workloads=["rbtree"])
+        rows = figure7_rows(cells)
+        assert {r["system"] for r in rows} == {"2PL", "SONTM", "SI-TM"}
+        text = to_csv(rows)
+        assert "rbtree" in text

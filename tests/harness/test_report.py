@@ -1,0 +1,96 @@
+"""Report-formatting tests."""
+
+from repro.harness.report import (
+    bar_chart,
+    format_relative,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        text = format_table(["a", "bb"], [[1, "x"], [22, "y"]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "22" in text and "y" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12345.6], [0.0001]])
+        assert "0.123" in text
+        assert "12,346" in text
+        assert "1.00e-04" in text
+
+    def test_column_alignment_consistent(self):
+        text = format_table(["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestFormatRelative:
+    def test_none(self):
+        assert format_relative(None) == "n/a"
+
+    def test_zero(self):
+        assert format_relative(0.0) == "0"
+
+    def test_small_uses_scientific(self):
+        assert "e" in format_relative(0.0003)
+
+    def test_ordinary(self):
+        assert format_relative(0.25) == "0.250"
+
+
+class TestFormatSeries:
+    def test_points(self):
+        text = format_series("si", [1, 2], [1.0, 1.9])
+        assert text.startswith("si:")
+        assert "1=1.000" in text and "2=1.900" in text
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart({"a": 100.0, "b": 50.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert bar_chart({}) == ""
+
+    def test_title(self):
+        assert bar_chart({"a": 1.0}, title="T").splitlines()[0] == "T"
+
+
+class TestLineChart:
+    def test_marks_and_axis(self):
+        from repro.harness.report import line_chart
+
+        text = line_chart({"SI": [1, 4], "2PL": [1, 2]}, [1, 8],
+                          width=20, height=6)
+        assert "S" in text and "2" in text
+        assert "S=SI" in text and "2=2PL" in text
+        assert "8" in text.splitlines()[-2]
+
+    def test_collision_marker(self):
+        from repro.harness.report import line_chart
+
+        text = line_chart({"aa": [5.0], "bb": [5.0]}, [1],
+                          width=10, height=4)
+        assert "*" in text
+
+    def test_empty(self):
+        from repro.harness.report import line_chart
+
+        assert "(no data)" in line_chart({}, [])
+
+    def test_title(self):
+        from repro.harness.report import line_chart
+
+        text = line_chart({"x": [1.0]}, [1], title="T")
+        assert text.splitlines()[0] == "T"

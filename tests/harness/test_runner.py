@@ -1,0 +1,67 @@
+"""Runner tests: single runs, seed aggregation, census config."""
+
+import pytest
+
+from repro.common.config import MVMConfig, SimConfig, VersionCapPolicy
+from repro.common.errors import ConfigError
+from repro.harness.runner import run_once, run_seeds
+
+
+class TestRunOnce:
+    def test_result_shape(self):
+        result = run_once("rbtree", "SI-TM", threads=2, seed=1,
+                          profile="test")
+        assert result.commits > 0
+        assert result.makespan_cycles > 0
+        assert result.reads > 0
+        assert 0.0 <= result.abort_rate < 1.0
+        assert result.workload == "rbtree"
+        assert result.system == "SI-TM"
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigError):
+            run_once("rbtree", "MAGIC", 2, 1, profile="test")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            run_once("nope", "SI-TM", 2, 1, profile="test")
+
+    def test_deterministic_per_seed(self):
+        a = run_once("list", "2PL", 2, seed=9, profile="test")
+        b = run_once("list", "2PL", 2, seed=9, profile="test")
+        assert (a.commits, a.aborts, a.makespan_cycles) == \
+               (b.commits, b.aborts, b.makespan_cycles)
+
+    def test_verified_flag_populated(self):
+        result = run_once("list", "SI-TM", 2, 1, profile="test")
+        assert result.verified is True
+
+    def test_census_config_produces_rows(self):
+        config = SimConfig(mvm=MVMConfig(
+            cap_policy=VersionCapPolicy.UNBOUNDED, census=True))
+        result = run_once("rbtree", "SI-TM", 2, 1, profile="test",
+                          config=config)
+        assert result.census_rows is not None
+        assert sum(r["accesses"] for r in result.census_rows) > 0
+
+    def test_throughput_positive(self):
+        result = run_once("ssca2", "SI-TM", 2, 1, profile="test")
+        assert result.throughput > 0
+
+
+class TestRunSeeds:
+    def test_aggregate_metrics(self):
+        agg = run_seeds("rbtree", "SI-TM", 2, profile="test", seeds=2)
+        assert len(agg.runs) == 2
+        assert agg.throughput > 0
+        assert agg.all_verified
+
+    def test_mean_of_abort_rates(self):
+        agg = run_seeds("kmeans", "2PL", 4, profile="test", seeds=2)
+        rates = [r.abort_rate for r in agg.runs]
+        assert agg.abort_rate == pytest.approx(sum(rates) / 2)
+
+    def test_figure1_fraction(self):
+        agg = run_seeds("list", "2PL", 4, profile="test", seeds=2)
+        fraction = agg.read_write_fraction
+        assert fraction is None or 0.0 <= fraction <= 1.0

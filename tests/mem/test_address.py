@@ -1,0 +1,48 @@
+"""Address-map arithmetic tests."""
+
+from repro.mem.address import MVM_REGION_BASE, AddressMap
+
+
+class TestLineMath:
+    def test_line_of(self):
+        amap = AddressMap(words_per_line=8)
+        assert amap.line_of(0) == 0
+        assert amap.line_of(7) == 0
+        assert amap.line_of(8) == 1
+
+    def test_word_in_line(self):
+        amap = AddressMap(8)
+        assert amap.word_in_line(13) == 5
+
+    def test_line_base_roundtrip(self):
+        amap = AddressMap(8)
+        for addr in (0, 5, 8, 123, MVM_REGION_BASE + 17):
+            line = amap.line_of(addr)
+            assert amap.line_base(line) <= addr
+            assert addr in amap.words_of_line(line)
+
+    def test_words_of_line_length(self):
+        amap = AddressMap(8)
+        assert len(list(amap.words_of_line(3))) == 8
+
+    def test_custom_words_per_line(self):
+        amap = AddressMap(words_per_line=4)
+        assert amap.line_of(4) == 1
+        assert len(list(amap.words_of_line(0))) == 4
+
+
+class TestRegions:
+    def test_conventional_region(self):
+        amap = AddressMap(8)
+        assert not amap.is_mvm(0)
+        assert not amap.is_mvm(MVM_REGION_BASE - 1)
+
+    def test_mvm_region(self):
+        amap = AddressMap(8)
+        assert amap.is_mvm(MVM_REGION_BASE)
+        assert amap.is_mvm(MVM_REGION_BASE + 12345)
+
+    def test_mvm_line(self):
+        amap = AddressMap(8)
+        assert amap.is_mvm_line(amap.line_of(MVM_REGION_BASE))
+        assert not amap.is_mvm_line(0)

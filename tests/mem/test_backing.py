@@ -1,0 +1,42 @@
+"""Backing-store tests."""
+
+from repro.mem.backing import BackingStore
+
+
+class TestBackingStore:
+    def test_unwritten_reads_zero(self):
+        assert BackingStore().load(12345) == 0
+
+    def test_store_load_roundtrip(self):
+        store = BackingStore()
+        store.store(7, 42)
+        assert store.load(7) == 42
+
+    def test_overwrite(self):
+        store = BackingStore()
+        store.store(7, 1)
+        store.store(7, 2)
+        assert store.load(7) == 2
+
+    def test_line_roundtrip(self):
+        store = BackingStore()
+        words = range(16, 24)
+        store.store_line(words, [10, 11, 12, 13, 14, 15, 16, 17])
+        assert store.load_line(words) == (10, 11, 12, 13, 14, 15, 16, 17)
+
+    def test_partial_line_reads_zeros(self):
+        store = BackingStore()
+        store.store(17, 5)
+        assert store.load_line(range(16, 24)) == (0, 5, 0, 0, 0, 0, 0, 0)
+
+    def test_len_counts_stored_words(self):
+        store = BackingStore()
+        store.store(1, 1)
+        store.store(2, 2)
+        store.store(1, 3)
+        assert len(store) == 2
+
+    def test_items(self):
+        store = BackingStore()
+        store.store(5, 50)
+        assert dict(store.items()) == {5: 50}

@@ -1,0 +1,113 @@
+"""Cache-model tests: LRU, eviction, hierarchy timing, coherence hooks."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig
+from repro.mem.cache import CacheHierarchy, SetAssociativeCache
+
+
+def tiny_cache(ways=2, sets=2):
+    return SetAssociativeCache(CacheConfig(
+        size_bytes=ways * sets * 64, associativity=ways, latency_cycles=1))
+
+
+class TestSetAssociativeCache:
+    def test_cold_miss_then_hit(self):
+        cache = tiny_cache()
+        assert not cache.lookup(0)
+        cache.fill(0)
+        assert cache.lookup(0)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(1)
+        cache.fill(2)
+        cache.lookup(1)          # 1 becomes MRU
+        victim = cache.fill(3)
+        assert victim == 2
+
+    def test_eviction_counter(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.fill(1)
+        cache.fill(2)
+        assert cache.evictions == 1
+
+    def test_set_indexing_isolates_sets(self):
+        cache = tiny_cache(ways=1, sets=2)
+        cache.fill(0)  # set 0
+        cache.fill(1)  # set 1
+        assert cache.contains(0)
+        assert cache.contains(1)
+
+    def test_refill_same_line_no_eviction(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.fill(1)
+        assert cache.fill(1) is None
+        assert cache.evictions == 0
+
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.fill(4)
+        assert cache.invalidate(4)
+        assert not cache.invalidate(4)
+        assert not cache.contains(4)
+
+    def test_contains_does_not_touch_counters(self):
+        cache = tiny_cache()
+        cache.contains(9)
+        assert cache.misses == 0
+
+    def test_flush(self):
+        cache = tiny_cache()
+        cache.fill(1)
+        cache.fill(2)
+        cache.flush()
+        assert cache.resident_lines == 0
+
+
+class TestCacheHierarchy:
+    @pytest.fixture
+    def hierarchy(self):
+        return CacheHierarchy(MachineConfig(cores=2))
+
+    def test_cold_access_costs_memory_latency(self, hierarchy):
+        assert hierarchy.access(0, 100) == 100
+
+    def test_warm_access_costs_l1_latency(self, hierarchy):
+        hierarchy.access(0, 100)
+        assert hierarchy.access(0, 100) == 4
+
+    def test_cross_core_hit_in_l3(self, hierarchy):
+        hierarchy.access(0, 100)
+        assert hierarchy.access(1, 100) == 30
+
+    def test_invalidate_everywhere_spares_exception(self, hierarchy):
+        hierarchy.access(0, 100)
+        hierarchy.access(1, 100)
+        hierarchy.invalidate_everywhere(100, except_core=0)
+        assert hierarchy.cores[0].l1.contains(100)
+        assert not hierarchy.cores[1].l1.contains(100)
+
+    def test_invalidated_core_refetches_from_l3(self, hierarchy):
+        hierarchy.access(0, 100)
+        hierarchy.invalidate_core(0, 100)
+        assert hierarchy.access(0, 100) == 30
+
+    def test_shared_access_bypasses_private_caches(self, hierarchy):
+        assert hierarchy.shared_access(200) == 100  # cold -> memory
+        assert hierarchy.shared_access(200) == 30   # warm -> L3
+        assert not hierarchy.cores[0].l1.contains(200)
+
+    def test_level_counters(self, hierarchy):
+        hierarchy.access(0, 1)
+        hierarchy.access(0, 1)
+        counts = hierarchy.level_counts
+        assert counts["MEM"] == 1
+        assert counts["L1"] == 1
+
+    def test_stats_shape(self, hierarchy):
+        hierarchy.access(0, 5)
+        stats = hierarchy.stats()
+        assert "levels" in stats and "l3" in stats

@@ -1,0 +1,62 @@
+"""Property-based check of the cache against a reference LRU model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.mem.cache import SetAssociativeCache
+
+
+class ReferenceLRU:
+    """Dict-of-OrderedDict reference implementation."""
+
+    def __init__(self, sets: int, ways: int):
+        self.sets = {i: OrderedDict() for i in range(sets)}
+        self.num_sets = sets
+        self.ways = ways
+
+    def access(self, line: int) -> bool:
+        entries = self.sets[line % self.num_sets]
+        hit = line in entries
+        if hit:
+            entries.move_to_end(line)
+        else:
+            if len(entries) >= self.ways:
+                entries.popitem(last=False)
+            entries[line] = None
+        return hit
+
+    def invalidate(self, line: int) -> None:
+        self.sets[line % self.num_sets].pop(line, None)
+
+    def contains(self, line: int) -> bool:
+        return line in self.sets[line % self.num_sets]
+
+
+@given(ops=st.lists(
+    st.one_of(
+        st.tuples(st.just("access"), st.integers(0, 63)),
+        st.tuples(st.just("invalidate"), st.integers(0, 63))),
+    max_size=300))
+@settings(max_examples=80, deadline=None)
+def test_cache_matches_reference_lru(ops):
+    """Hit/miss decisions and residency match the reference for any
+    access/invalidate sequence."""
+    ways, sets = 2, 4
+    cache = SetAssociativeCache(CacheConfig(
+        size_bytes=ways * sets * 64, associativity=ways, latency_cycles=1))
+    reference = ReferenceLRU(sets, ways)
+    for op, line in ops:
+        if op == "access":
+            expected_hit = reference.access(line)
+            actual_hit = cache.lookup(line)
+            if not actual_hit:
+                cache.fill(line)
+            assert actual_hit == expected_hit, (op, line)
+        else:
+            reference.invalidate(line)
+            cache.invalidate(line)
+    for line in range(64):
+        assert cache.contains(line) == reference.contains(line), line

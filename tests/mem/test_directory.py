@@ -1,0 +1,72 @@
+"""Directory-style sharer tracking tests."""
+
+import pytest
+
+from repro.common.config import MachineConfig
+from repro.mem.cache import CacheHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(MachineConfig(cores=4))
+
+
+class TestSharerTracking:
+    def test_accessors_become_sharers(self, hierarchy):
+        hierarchy.access(0, 100)
+        hierarchy.access(2, 100)
+        assert hierarchy.sharer_count(100) == 2
+
+    def test_except_core_excluded(self, hierarchy):
+        hierarchy.access(0, 100)
+        hierarchy.access(1, 100)
+        assert hierarchy.sharer_count(100, except_core=0) == 1
+
+    def test_unknown_line_has_no_sharers(self, hierarchy):
+        assert hierarchy.sharer_count(999) == 0
+
+    def test_invalidation_clears_sharers(self, hierarchy):
+        hierarchy.access(0, 100)
+        hierarchy.access(1, 100)
+        sent = hierarchy.invalidate_everywhere(100)
+        assert sent == 2
+        assert hierarchy.sharer_count(100) == 0
+        assert hierarchy.invalidations_sent == 2
+
+    def test_invalidation_spares_exception_and_keeps_its_bit(self, hierarchy):
+        hierarchy.access(0, 100)
+        hierarchy.access(1, 100)
+        sent = hierarchy.invalidate_everywhere(100, except_core=1)
+        assert sent == 1
+        assert hierarchy.sharer_count(100) == 1
+        assert hierarchy.cores[1].l1.contains(100)
+        assert not hierarchy.cores[0].l1.contains(100)
+
+    def test_no_sharers_no_messages(self, hierarchy):
+        assert hierarchy.invalidate_everywhere(100) == 0
+
+
+class TestTrackedAccess:
+    def test_victim_reported_on_l2_pressure(self):
+        # a tiny L2 so eviction happens quickly
+        from repro.common.config import CacheConfig
+
+        machine = MachineConfig(
+            cores=1,
+            l1d=CacheConfig(size_bytes=2 * 64, associativity=1,
+                            latency_cycles=4),
+            l2=CacheConfig(size_bytes=2 * 64, associativity=1,
+                           latency_cycles=8))
+        hierarchy = CacheHierarchy(machine)
+        victims = []
+        # same set (set count 2): lines 0, 2, 4 collide in set 0
+        for line in (0, 2, 4):
+            _, victim = hierarchy.access_tracked(0, line)
+            if victim is not None:
+                victims.append(victim)
+        assert victims  # pressure produced at least one L2 victim
+
+    def test_no_victim_on_hit(self, hierarchy):
+        hierarchy.access(0, 7)
+        _, victim = hierarchy.access_tracked(0, 7)
+        assert victim is None

@@ -1,0 +1,102 @@
+"""Heap allocator tests: two regions, alignment, free-list reuse."""
+
+import pytest
+
+from repro.common.errors import AllocationError
+from repro.mem.address import MVM_REGION_BASE, AddressMap
+from repro.mem.heap import BumpAllocator, Heap
+
+
+class TestBumpAllocator:
+    def _alloc(self):
+        return BumpAllocator(8, 10_000, AddressMap(8))
+
+    def test_disjoint_allocations(self):
+        alloc = self._alloc()
+        a = alloc.alloc(4)
+        b = alloc.alloc(4)
+        assert set(range(a, a + 4)).isdisjoint(range(b, b + 4))
+
+    def test_line_alignment(self):
+        alloc = self._alloc()
+        for _ in range(5):
+            assert alloc.alloc(3) % 8 == 0
+
+    def test_unaligned_packing(self):
+        alloc = self._alloc()
+        a = alloc.alloc(3, line_aligned=False)
+        b = alloc.alloc(3, line_aligned=False)
+        assert b == a + 3
+
+    def test_free_reuse(self):
+        alloc = self._alloc()
+        a = alloc.alloc(4)
+        alloc.free(a)
+        assert alloc.alloc(4) == a
+
+    def test_free_wrong_address_rejected(self):
+        alloc = self._alloc()
+        alloc.alloc(4)
+        with pytest.raises(AllocationError):
+            alloc.free(99999)
+
+    def test_double_free_rejected(self):
+        alloc = self._alloc()
+        a = alloc.alloc(4)
+        alloc.free(a)
+        with pytest.raises(AllocationError):
+            alloc.free(a)
+
+    def test_zero_words_rejected(self):
+        with pytest.raises(AllocationError):
+            self._alloc().alloc(0)
+
+    def test_exhaustion(self):
+        alloc = BumpAllocator(8, 32, AddressMap(8))
+        alloc.alloc(8)
+        alloc.alloc(8)
+        with pytest.raises(AllocationError):
+            alloc.alloc(16)
+
+    def test_allocated_words_accounting(self):
+        alloc = self._alloc()
+        a = alloc.alloc(4)
+        alloc.alloc(6)
+        assert alloc.allocated_words() == 10
+        alloc.free(a)
+        assert alloc.allocated_words() == 6
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(AllocationError):
+            BumpAllocator(100, 100, AddressMap(8))
+
+
+class TestHeap:
+    def test_malloc_in_conventional_region(self):
+        addr = Heap().malloc(4)
+        assert addr < MVM_REGION_BASE
+
+    def test_mvmalloc_in_mvm_region(self):
+        addr = Heap().mvmalloc(4)
+        assert addr >= MVM_REGION_BASE
+
+    def test_address_zero_never_allocated(self):
+        heap = Heap()
+        for _ in range(10):
+            assert heap.malloc(1, line_aligned=False) != 0
+
+    def test_free_routes_by_region(self):
+        heap = Heap()
+        a = heap.malloc(4)
+        b = heap.mvmalloc(4)
+        heap.free(a)
+        heap.free(b)
+        assert heap.conventional_allocated_words() == 0
+        assert heap.mvm_allocated_words() == 0
+
+    def test_region_accounting_separate(self):
+        heap = Heap()
+        heap.malloc(4)
+        heap.mvmalloc(6)
+        assert heap.conventional_allocated_words() == 4
+        assert heap.mvm_allocated_words() == 6

@@ -1,0 +1,62 @@
+"""Allocator property tests: no live allocation ever overlaps another."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.address import AddressMap
+from repro.mem.heap import BumpAllocator, Heap
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 24)),
+        st.tuples(st.just("free"), st.integers(0, 50)),
+    ),
+    min_size=1, max_size=120)
+
+
+@given(ops=ops)
+@settings(max_examples=80, deadline=None)
+def test_live_allocations_never_overlap(ops):
+    allocator = BumpAllocator(8, 1_000_000, AddressMap(8))
+    live = {}  # addr -> words
+    order = []
+    for op, value in ops:
+        if op == "alloc":
+            addr = allocator.alloc(value)
+            assert addr not in live
+            live[addr] = value
+            order.append(addr)
+        elif order:
+            victim = order.pop(value % len(order))
+            allocator.free(victim)
+            del live[victim]
+    spans = sorted((addr, addr + words) for addr, words in live.items())
+    for (_, end_a), (start_b, _) in zip(spans, spans[1:]):
+        assert end_a <= start_b  # disjoint live spans
+    assert allocator.allocated_words() == sum(live.values())
+
+
+@given(ops=ops)
+@settings(max_examples=60, deadline=None)
+def test_heap_regions_never_mix(ops):
+    heap = Heap()
+    amap = heap.address_map
+    for op, value in ops:
+        if op == "alloc":
+            conventional = heap.malloc(value)
+            versioned = heap.mvmalloc(value)
+            assert not amap.is_mvm(conventional)
+            assert amap.is_mvm(versioned)
+
+
+@given(sizes=st.lists(st.integers(1, 9), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_line_alignment_keeps_allocations_on_distinct_lines(sizes):
+    """Line-aligned allocations of <= 8 words never share a line."""
+    heap = Heap()
+    amap = heap.address_map
+    lines = []
+    for words in sizes:
+        addr = heap.mvmalloc(min(words, 8))
+        lines.append(amap.line_of(addr))
+    assert len(lines) == len(set(lines))

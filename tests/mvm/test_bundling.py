@@ -1,0 +1,46 @@
+"""Bundle copy-on-write accounting tests (section 3.2)."""
+
+from repro.common.config import MVMConfig
+from repro.mem.address import MVM_REGION_BASE, AddressMap
+from repro.mvm.controller import MVMController
+
+LINE = MVM_REGION_BASE // 8
+
+
+def controller(bundle_lines):
+    return MVMController(MVMConfig(bundle_lines=bundle_lines), AddressMap(8))
+
+
+class TestBundleCopies:
+    def test_unbundled_never_copies(self):
+        mvm = controller(1)
+        assert mvm.bundle_copy_lines(LINE) == 0
+        assert mvm.bundle_copies == 0
+
+    def test_first_write_copies_rest_of_bundle(self):
+        mvm = controller(8)
+        assert mvm.bundle_copy_lines(LINE) == 7
+        assert mvm.bundle_copies == 1
+
+    def test_second_write_same_bundle_free(self):
+        mvm = controller(8)
+        mvm.bundle_copy_lines(LINE)
+        assert mvm.bundle_copy_lines(LINE) == 0
+        assert mvm.bundle_copy_lines(LINE + 3) == 0  # same bundle of 8
+
+    def test_other_bundle_copies_again(self):
+        mvm = controller(8)
+        mvm.bundle_copy_lines(LINE)
+        assert mvm.bundle_copy_lines(LINE + 8) == 7
+        assert mvm.bundle_copies == 2
+
+    def test_bundle_boundary(self):
+        mvm = controller(4)
+        mvm.bundle_copy_lines(LINE)
+        # LINE..LINE+3 share a bundle iff aligned; compute the boundary
+        bundle = LINE // 4
+        same = [l for l in range(LINE, LINE + 8) if l // 4 == bundle]
+        other = [l for l in range(LINE, LINE + 8) if l // 4 != bundle]
+        for line in same:
+            assert mvm.bundle_copy_lines(line) == 0
+        assert mvm.bundle_copy_lines(other[0]) == 3

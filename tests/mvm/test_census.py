@@ -1,0 +1,51 @@
+"""Version-census tests (Table 2 machinery)."""
+
+from repro.mvm.census import VersionCensus
+
+
+class TestVersionCensus:
+    def test_rows_order(self):
+        census = VersionCensus()
+        assert [r["version"] for r in census.rows()] == \
+            ["1st", "2nd", "3rd", "4th", "5th", "tail"]
+
+    def test_record_and_count(self):
+        census = VersionCensus()
+        for depth in (1, 1, 2, 3):
+            census.record(depth)
+        assert census.count(1) == 2
+        assert census.count(2) == 1
+        assert census.total == 4
+
+    def test_deep_accesses_fold_into_tail(self):
+        census = VersionCensus()
+        census.record(6)
+        census.record(7)
+        census.record(100)
+        rows = {r["version"]: r["accesses"] for r in census.rows()}
+        assert rows["tail"] == 3
+
+    def test_invalid_depth_ignored(self):
+        census = VersionCensus()
+        census.record(0)
+        census.record(-3)
+        assert census.total == 0
+
+    def test_fraction_deeper_than(self):
+        census = VersionCensus()
+        for depth in (1, 1, 1, 1, 5):
+            census.record(depth)
+        assert census.fraction_deeper_than(4) == 0.2
+        assert census.fraction_deeper_than(5) == 0.0
+
+    def test_fraction_empty(self):
+        assert VersionCensus().fraction_deeper_than(4) == 0.0
+
+    def test_merge(self):
+        a, b = VersionCensus(), VersionCensus()
+        a.record(1)
+        b.record(1)
+        b.record(2)
+        a.merge(b)
+        assert a.count(1) == 2
+        assert a.count(2) == 1

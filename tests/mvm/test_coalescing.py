@@ -1,0 +1,81 @@
+"""Figure 4's version-coalescing schedule, reproduced step by step.
+
+Five transactions update address A; TX2 starts between TX1's and TX3's
+commits and never commits itself.  Versions 1 and 3 coalesce (no
+transaction started between them), as do versions 6 and 8; the surviving
+version list is exactly {3, 8} — the right-hand side of Figure 4.
+"""
+
+from repro.common.config import MVMConfig, VersionCapPolicy
+from repro.mem.address import MVM_REGION_BASE, AddressMap
+from repro.mvm.controller import MVMController
+
+A = MVM_REGION_BASE // 8
+
+
+def data(tag):
+    return tuple([tag] * 8)
+
+
+def make_controller():
+    return MVMController(
+        MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED, coalescing=True),
+        AddressMap(8))
+
+
+class TestFigure4:
+    def test_exact_schedule(self):
+        mvm = make_controller()
+        # TX0: start TS=0, write A, commit TS=1
+        mvm.active.add(0)
+        mvm.active.remove(0)
+        mvm.install_line(A, 1, data("tx0"))
+        # TX1: start TS=2, write A, commit TS=3 — no start in (1,3):
+        # coalesces over version 1
+        mvm.active.add(2)
+        mvm.active.remove(2)
+        mvm.install_line(A, 3, data("tx1"))
+        assert mvm.versions_of(A) == (3,)
+        # TX2: start TS=4, long running, never commits
+        mvm.active.add(4)
+        # TX3: start TS=5, write A, commit TS=6 — TX2's start at 4 lies
+        # in (3,6): version 3 must be preserved for TX2's snapshot
+        mvm.active.add(5)
+        mvm.active.remove(5)
+        mvm.install_line(A, 6, data("tx3"))
+        assert mvm.versions_of(A) == (3, 6)
+        # TX4: start TS=7, write A, commit TS=8 — no start in (6,8):
+        # coalesces over version 6
+        mvm.active.add(7)
+        mvm.active.remove(7)
+        mvm.install_line(A, 8, data("tx4"))
+        assert mvm.versions_of(A) == (3, 8)
+
+    def test_long_runner_still_reads_its_snapshot(self):
+        mvm = make_controller()
+        mvm.install_line(A, 1, data("tx0"))
+        mvm.install_line(A, 3, data("tx1"))
+        mvm.active.add(4)
+        mvm.install_line(A, 6, data("tx3"))
+        mvm.install_line(A, 8, data("tx4"))
+        # TX2 (snapshot 4) must still see TX1's value
+        assert mvm.snapshot_read(A, 4) == data("tx1")
+
+    def test_coalesced_count(self):
+        mvm = make_controller()
+        mvm.install_line(A, 1, data(0))
+        mvm.install_line(A, 3, data(1))
+        mvm.active.add(4)
+        mvm.install_line(A, 6, data(2))
+        mvm.install_line(A, 8, data(3))
+        assert mvm.versions_coalesced == 2
+
+    def test_without_coalescing_four_versions_remain(self):
+        mvm = MVMController(
+            MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED,
+                      coalescing=False),
+            AddressMap(8))
+        mvm.active.add(0)  # pin all history
+        for ts, tag in ((1, 0), (3, 1), (6, 2), (8, 3)):
+            mvm.install_line(A, ts, data(tag))
+        assert mvm.versions_of(A) == (1, 3, 6, 8)

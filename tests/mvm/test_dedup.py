@@ -1,0 +1,76 @@
+"""Dedup-opportunity accounting tests (section 3.3)."""
+
+from repro.common.config import MVMConfig, SimConfig
+from repro.mvm.dedup import DedupIndex
+from repro.sim.machine import Machine
+from repro.tm.ops import Write
+
+from tests.conftest import run_program, spec
+
+
+def data(tag):
+    return tuple([tag] * 8)
+
+
+class TestDedupIndex:
+    def test_first_store_not_duplicate(self):
+        index = DedupIndex()
+        assert index.add(data(1)) is False
+
+    def test_second_identical_store_deduplicates(self):
+        index = DedupIndex()
+        index.add(data(1))
+        assert index.add(data(1)) is True
+
+    def test_report_counts(self):
+        index = DedupIndex()
+        index.add(data(1))
+        index.add(data(1))
+        index.add(data(2))
+        report = index.report()
+        assert report.total_lines == 3
+        assert report.unique_lines == 2
+        assert report.saved_lines == 1
+        assert report.savings_fraction == 1 / 3
+
+    def test_zero_line_tracked(self):
+        index = DedupIndex(words_per_line=8)
+        index.add(tuple([0] * 8))
+        index.add(tuple([0] * 8))
+        assert index.report().zero_lines == 2
+
+    def test_remove(self):
+        index = DedupIndex()
+        index.add(data(1))
+        index.add(data(1))
+        index.remove(data(1))
+        assert index.report().total_lines == 1
+        index.remove(data(1))
+        assert index.report().unique_lines == 0
+
+    def test_empty_report(self):
+        report = DedupIndex().report()
+        assert report.total_lines == 0
+        assert report.savings_fraction == 0.0
+
+
+class TestControllerIntegration:
+    def test_disabled_by_default(self, machine):
+        assert machine.mvm.dedup is None
+
+    def test_records_installed_versions(self):
+        machine = Machine(SimConfig(mvm=MVMConfig(dedup=True)))
+        addr = machine.mvmalloc(1)
+
+        def write_value(value):
+            def body():
+                yield Write(addr, value)
+            return body
+
+        # two different transactions commit the SAME line contents
+        run_program(machine, "SI-TM",
+                    [[spec(write_value(7), "a"), spec(write_value(7), "b")]])
+        report = machine.mvm.dedup.report()
+        assert report.total_lines == 2
+        assert report.unique_lines == 1
+        assert report.saved_lines == 1

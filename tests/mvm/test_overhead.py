@@ -1,0 +1,64 @@
+"""Section 3.2 overhead-model tests: the paper's arithmetic must fall out."""
+
+import pytest
+
+from repro.common.config import MVMConfig
+from repro.mvm.overhead import (
+    bandwidth_overhead_best_case,
+    capacity_overhead,
+    copy_on_write_amplification,
+    metadata_bits_per_address,
+    report,
+)
+
+
+class TestPaperNumbers:
+    """The exact figures quoted in section 3.2."""
+
+    def test_metadata_bits(self):
+        # four 32-bit references + four 32-bit timestamps
+        assert metadata_bits_per_address(MVMConfig()) == 4 * (32 + 32)
+
+    def test_overhead_full_versions_is_12_5_percent(self):
+        # "2 * 32 / 512 = 12.5% per line"
+        assert capacity_overhead(MVMConfig(), live_versions=4) == \
+            pytest.approx(0.125)
+
+    def test_worst_case_is_50_percent(self):
+        # "in the worst case there exists only one active line ... 50%"
+        assert capacity_overhead(MVMConfig(), live_versions=1) == \
+            pytest.approx(0.50)
+
+    def test_bundling_8_lines_reduces_worst_case_8x(self):
+        # "by combining 8 lines into a bundle, the worst case overhead is
+        # reduced by a factor of 8 to 6%"
+        bundled = capacity_overhead(MVMConfig(bundle_lines=8),
+                                    live_versions=1)
+        assert bundled == pytest.approx(0.50 / 8)
+
+    def test_bandwidth_best_case_is_12_5_percent(self):
+        # "a single cache line contains eight version references ...
+        # best case bandwidth increase of 12.5%"
+        assert bandwidth_overhead_best_case(MVMConfig()) == \
+            pytest.approx(0.125)
+
+    def test_bundle_write_amplification(self):
+        assert copy_on_write_amplification(MVMConfig(bundle_lines=8)) == 8
+        assert copy_on_write_amplification(MVMConfig()) == 1
+
+
+class TestReport:
+    def test_report_consistency(self):
+        rep = report(MVMConfig())
+        assert rep.line_bits == 512
+        assert rep.entries_per_metadata_line == pytest.approx(8)
+        assert rep.overhead_at_full_versions < rep.overhead_worst_case
+
+    def test_invalid_live_versions(self):
+        with pytest.raises(ValueError):
+            capacity_overhead(MVMConfig(), live_versions=0)
+
+    def test_wider_pointers_cost_more(self):
+        narrow = capacity_overhead(MVMConfig(pointer_bits=32), 4)
+        wide = capacity_overhead(MVMConfig(pointer_bits=64), 4)
+        assert wide > narrow

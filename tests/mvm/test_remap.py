@@ -1,0 +1,97 @@
+"""Line-remapper tests (section 3.3's chipkill and bit steering)."""
+
+import pytest
+
+from repro.common.errors import ConfigError, MVMError
+from repro.mvm.remap import DEFAULT_TIERS, LineRemapper
+
+
+class TestChipkill:
+    def test_healthy_line_identity(self):
+        assert LineRemapper().resolve(100) == 100
+
+    def test_deactivation_remaps_to_spare(self):
+        remapper = LineRemapper(spare_lines=4)
+        spare = remapper.deactivate(100)
+        assert spare is not None
+        assert remapper.resolve(100) == spare
+        assert remapper.is_deactivated(100)
+
+    def test_distinct_spares(self):
+        remapper = LineRemapper(spare_lines=4)
+        spares = {remapper.deactivate(line) for line in range(4)}
+        assert len(spares) == 4
+
+    def test_pool_exhaustion_denies_repair(self):
+        remapper = LineRemapper(spare_lines=1)
+        assert remapper.deactivate(1) is not None
+        assert remapper.deactivate(2) is None
+        assert remapper.stats().repairs_denied == 1
+        # the unrepairable line keeps serving its original cells
+        assert remapper.resolve(2) == 2
+
+    def test_double_deactivation_rejected(self):
+        remapper = LineRemapper(spare_lines=2)
+        remapper.deactivate(5)
+        with pytest.raises(MVMError):
+            remapper.deactivate(5)
+
+    def test_negative_spares_rejected(self):
+        with pytest.raises(ConfigError):
+            LineRemapper(spare_lines=-1)
+
+
+class TestSteering:
+    def test_default_tier_normal(self):
+        remapper = LineRemapper()
+        assert remapper.tier(7) == "normal"
+        assert remapper.latency_adjustment(7) == 0
+
+    def test_steer_to_slow(self):
+        remapper = LineRemapper()
+        remapper.steer(7, "slow")
+        assert remapper.latency_adjustment(7) == DEFAULT_TIERS["slow"]
+
+    def test_steer_to_fast_negative_adjustment(self):
+        remapper = LineRemapper()
+        remapper.steer(7, "fast")
+        assert remapper.latency_adjustment(7) < 0
+
+    def test_steer_back_to_normal_clears(self):
+        remapper = LineRemapper()
+        remapper.steer(7, "slow")
+        remapper.steer(7, "normal")
+        assert remapper.stats().steered_lines == 0
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ConfigError):
+            LineRemapper().steer(7, "quantum")
+
+    def test_custom_tier_table(self):
+        remapper = LineRemapper(tiers={"normal": 0, "pmem": 250})
+        remapper.steer(3, "pmem")
+        assert remapper.latency_adjustment(3) == 250
+
+    def test_tier_table_requires_normal(self):
+        with pytest.raises(ConfigError):
+            LineRemapper(tiers={"fast": -10})
+
+
+class TestStats:
+    def test_counters(self):
+        remapper = LineRemapper(spare_lines=2)
+        remapper.deactivate(1)
+        remapper.steer(9, "slow")
+        stats = remapper.stats()
+        assert stats.deactivated_lines == 1
+        assert stats.spares_remaining == 1
+        assert stats.steered_lines == 1
+        assert stats.repairs_denied == 0
+
+    def test_remap_composes_with_steering(self):
+        """A deactivated line steered to a tier keeps both properties."""
+        remapper = LineRemapper(spare_lines=2)
+        spare = remapper.deactivate(4)
+        remapper.steer(4, "slow")
+        assert remapper.resolve(4) == spare
+        assert remapper.latency_adjustment(4) == DEFAULT_TIERS["slow"]

@@ -1,0 +1,130 @@
+"""Global clock and Δ-commit protocol tests (sections 4.1, 4.2)."""
+
+import pytest
+
+from repro.common.errors import MVMError, TimestampOverflowError
+from repro.mvm.timestamps import ActiveTransactionTable, GlobalClock
+
+
+class TestGlobalClock:
+    def test_start_timestamps_unique_and_increasing(self):
+        clock = GlobalClock()
+        stamps = [clock.next_start() for _ in range(10)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 10
+
+    def test_commit_reserves_delta(self):
+        clock = GlobalClock(delta=8)
+        end = clock.begin_commit()
+        assert end == clock.now - 1 + 8
+
+    def test_starts_during_commit_stay_below_end(self):
+        clock = GlobalClock(delta=8)
+        end = clock.begin_commit()
+        for _ in range(6):  # delta - 2 starts fit
+            ts = clock.next_start()
+            assert ts is not None and ts < end
+
+    def test_delta_plus_one_start_stalls(self):
+        clock = GlobalClock(delta=4)
+        clock.begin_commit()
+        starts = [clock.next_start() for _ in range(5)]
+        assert None in starts
+        assert clock.start_stalls >= 1
+
+    def test_finish_commit_jumps_clock(self):
+        clock = GlobalClock(delta=8)
+        end = clock.begin_commit()
+        clock.finish_commit(end)
+        assert clock.now == end
+
+    def test_stall_clears_after_commit_finishes(self):
+        clock = GlobalClock(delta=2)
+        end = clock.begin_commit()
+        clock.next_start()
+        assert clock.next_start() is None
+        clock.finish_commit(end)
+        assert clock.next_start() is not None
+
+    def test_abandon_commit_releases_reservation(self):
+        clock = GlobalClock(delta=2)
+        end = clock.begin_commit()
+        clock.next_start()
+        assert clock.next_start() is None
+        clock.abandon_commit(end)
+        assert clock.next_start() is not None
+
+    def test_concurrent_commits_ordered_reservations(self):
+        clock = GlobalClock(delta=16)
+        e1 = clock.begin_commit()
+        e2 = clock.begin_commit()
+        assert e2 > e1
+        clock.finish_commit(e1)
+        clock.finish_commit(e2)
+        assert clock.now == e2
+
+    def test_finish_unknown_commit_rejected(self):
+        with pytest.raises(MVMError):
+            GlobalClock().finish_commit(42)
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(MVMError):
+            GlobalClock(delta=0)
+
+    def test_overflow_on_start(self):
+        clock = GlobalClock(max_timestamp=2)
+        clock.next_start()
+        clock.next_start()
+        with pytest.raises(TimestampOverflowError):
+            clock.next_start()
+
+    def test_overflow_on_commit_reservation(self):
+        clock = GlobalClock(delta=100, max_timestamp=50)
+        with pytest.raises(TimestampOverflowError):
+            clock.begin_commit()
+
+    def test_reset_after_overflow(self):
+        clock = GlobalClock(max_timestamp=2)
+        clock.next_start()
+        clock.reset_after_overflow()
+        assert clock.now == 0
+        assert clock.next_start() == 1
+
+
+class TestActiveTransactionTable:
+    def test_oldest(self):
+        table = ActiveTransactionTable()
+        table.add(5)
+        table.add(3)
+        table.add(9)
+        assert table.oldest() == 3
+
+    def test_remove_updates_oldest(self):
+        table = ActiveTransactionTable()
+        table.add(3)
+        table.add(5)
+        table.remove(3)
+        assert table.oldest() == 5
+
+    def test_empty_oldest_none(self):
+        assert ActiveTransactionTable().oldest() is None
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(MVMError):
+            ActiveTransactionTable().remove(1)
+
+    def test_any_started_in_open_interval(self):
+        table = ActiveTransactionTable()
+        table.add(5)
+        assert table.any_started_in(4, 6)
+        assert not table.any_started_in(5, 9)   # exclusive lower bound
+        assert not table.any_started_in(1, 5)   # exclusive upper bound
+
+    def test_contains_and_len(self):
+        table = ActiveTransactionTable()
+        table.add(7)
+        table.add(7)
+        assert 7 in table
+        assert len(table) == 2
+        table.remove(7)
+        assert 7 in table

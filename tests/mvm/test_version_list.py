@@ -1,0 +1,289 @@
+"""Version-list tests: snapshot reads, GC, cap policies, base version."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import MVMConfig, VersionCapPolicy
+from repro.common.errors import MVMError
+from repro.mvm.timestamps import ActiveTransactionTable
+from repro.mvm.version_list import CapExceeded, SnapshotTooOld, VersionList
+
+LINE = tuple(range(8))
+
+
+def data(tag: int):
+    return tuple([tag] * 8)
+
+
+def fresh(coalescing=False, policy=VersionCapPolicy.ABORT_WRITER,
+          max_versions=4):
+    config = MVMConfig(max_versions=max_versions, cap_policy=policy,
+                       coalescing=coalescing)
+    return VersionList(), config, ActiveTransactionTable()
+
+
+class TestSnapshotReads:
+    def test_empty_list_reads_nothing(self):
+        vlist = VersionList()
+        assert vlist.read_at(100) == (None, 0)
+
+    def test_reads_newest_at_or_below_snapshot(self):
+        vlist, config, active = fresh()
+        for ts in (10, 20, 30):
+            vlist.install(ts, data(ts), config, active)
+        assert vlist.read_at(25) == (data(20), 2)
+        assert vlist.read_at(30) == (data(30), 1)
+        assert vlist.read_at(1000) == (data(30), 1)
+
+    def test_depth_counts_from_newest(self):
+        vlist, config, active = fresh()
+        active.add(5)  # pin history against GC-on-write
+        for ts in (10, 20, 30):
+            vlist.install(ts, data(ts), config, active)
+        assert vlist.read_at(10)[1] == 3
+
+    def test_implicit_base_version_readable(self):
+        # A snapshot older than the first transactional version sees the
+        # pre-transactional contents (None = zero line).
+        vlist, config, active = fresh()
+        vlist.install(10, data(10), config, active)
+        assert vlist.read_at(5) == (None, 2)
+
+    def test_base_gone_after_drop_oldest(self):
+        vlist, config, active = fresh(policy=VersionCapPolicy.DROP_OLDEST,
+                                      max_versions=2)
+        for ts in (10, 20, 30):
+            vlist.install(ts, data(ts), config, active)
+        with pytest.raises(SnapshotTooOld):
+            vlist.read_at(15)
+
+
+class TestInstall:
+    def test_timestamps_must_increase(self):
+        vlist, config, active = fresh()
+        vlist.install(10, data(1), config, active)
+        with pytest.raises(MVMError):
+            vlist.install(10, data(2), config, active)
+
+    def test_cap_aborts_writer(self):
+        vlist, config, active = fresh(max_versions=2)
+        active.add(5)       # pin history: GC must retain versions
+        active.add(15)
+        active.add(25)
+        vlist.install(10, data(1), config, active)
+        vlist.install(20, data(2), config, active)
+        with pytest.raises(CapExceeded):
+            vlist.install(30, data(3), config, active)
+
+    def test_cap_drop_oldest(self):
+        vlist, config, active = fresh(policy=VersionCapPolicy.DROP_OLDEST,
+                                      max_versions=2)
+        active.add(5)
+        active.add(15)
+        active.add(25)
+        vlist.install(10, data(1), config, active)
+        vlist.install(20, data(2), config, active)
+        vlist.install(30, data(3), config, active)
+        assert vlist.timestamps == (20, 30)
+
+    def test_unbounded(self):
+        vlist, config, active = fresh(policy=VersionCapPolicy.UNBOUNDED,
+                                      max_versions=2)
+        active.add(1)
+        for i, ts in enumerate(range(10, 110, 10)):
+            vlist.install(ts, data(i), config, active)
+        assert len(vlist) == 10
+
+
+class TestGarbageCollection:
+    def test_gc_keeps_snapshot_visible_version(self):
+        vlist, config, active = fresh()
+        active.add(5)  # pin history so all three versions survive install
+        vlist.install(10, data(1), config, active)
+        vlist.install(20, data(2), config, active)
+        vlist.install(30, data(3), config, active)
+        dropped = vlist.collect_garbage(oldest_active=25)
+        # version 20 is the newest <= 25 and must survive; 10 is obsolete
+        assert dropped == 1
+        assert vlist.timestamps == (20, 30)
+        assert vlist.read_at(25) == (data(2), 2)
+
+    def test_gc_no_active_keeps_only_newest(self):
+        vlist, config, active = fresh()
+        vlist.install(10, data(1), config, active)
+        vlist.install(20, data(2), config, active)
+        assert vlist.collect_garbage(None) == 1
+        assert vlist.timestamps == (20,)
+
+    def test_gc_on_install(self):
+        vlist, config, active = fresh()
+        vlist.install(10, data(1), config, active)
+        vlist.install(20, data(2), config, active)
+        # no active transactions: installing GCs obsolete history
+        _, dropped = vlist.install(30, data(3), config, active)
+        assert dropped >= 1
+
+
+class TestCoalescing:
+    def test_coalesces_without_intervening_start(self):
+        vlist, config, active = fresh(coalescing=True)
+        active.add(5)  # older than both versions: does not block
+        vlist.install(10, data(1), config, active)
+        coalesced, _ = vlist.install(20, data(2), config, active)
+        assert coalesced
+        assert vlist.timestamps == (20,)
+
+    def test_intervening_start_blocks_coalescing(self):
+        vlist, config, active = fresh(coalescing=True)
+        active.add(5)
+        vlist.install(10, data(1), config, active)
+        active.add(15)  # started between version 10 and the new one
+        coalesced, _ = vlist.install(20, data(2), config, active)
+        assert not coalesced
+        assert vlist.timestamps == (10, 20)
+        # the pinned snapshot still reads the old version
+        assert vlist.read_at(15) == (data(1), 2)
+
+    def test_disabled_coalescing_appends(self):
+        vlist, config, active = fresh(coalescing=False)
+        active.add(5)
+        vlist.install(10, data(1), config, active)
+        coalesced, _ = vlist.install(20, data(2), config, active)
+        assert not coalesced
+
+
+class TestRollback:
+    def test_remove_version(self):
+        vlist, config, active = fresh()
+        active.add(5)
+        vlist.install(10, data(1), config, active)
+        active.add(15)
+        vlist.install(20, data(2), config, active)
+        vlist.remove_version(20)
+        assert vlist.timestamps == (10,)
+
+    def test_remove_unknown_rejected(self):
+        vlist, config, active = fresh()
+        vlist.install(10, data(1), config, active)
+        with pytest.raises(MVMError):
+            vlist.remove_version(11)
+
+
+class TestNonTransactional:
+    def test_overwrite_in_place_empty(self):
+        vlist = VersionList()
+        vlist.overwrite_in_place(data(7))
+        assert vlist.newest_data() == data(7)
+        assert vlist.timestamps == (0,)
+
+    def test_overwrite_in_place_updates_newest(self):
+        vlist, config, active = fresh()
+        vlist.install(10, data(1), config, active)
+        vlist.overwrite_in_place(data(9))
+        assert vlist.newest_data() == data(9)
+        assert vlist.timestamps == (10,)
+
+
+class TestProperties:
+    """Property-based invariants over arbitrary install sequences."""
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=40, unique=True),
+           st.lists(st.integers(min_value=0, max_value=200), max_size=6,
+                    unique=True))
+    @settings(max_examples=120, deadline=None)
+    def test_snapshot_reads_are_consistent(self, stamps, actives):
+        """Reading at any snapshot returns the newest surviving version at
+        or below it; version timestamps stay sorted and bounded."""
+        config = MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED)
+        vlist = VersionList()
+        active = ActiveTransactionTable()
+        for ts in actives:
+            active.add(ts)
+        for ts in sorted(stamps):
+            vlist.install(ts, data(ts), config, active)
+        timestamps = vlist.timestamps
+        assert list(timestamps) == sorted(timestamps)
+        for snapshot in range(0, 201, 17):
+            visible = [t for t in timestamps if t <= snapshot]
+            try:
+                value, depth = vlist.read_at(snapshot)
+            except SnapshotTooOld:
+                assert not visible
+                continue
+            if visible:
+                assert value == data(visible[-1])
+                assert depth == len(timestamps) - len(visible) + 1
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1,
+                    max_size=30, unique=True))
+    @settings(max_examples=100, deadline=None)
+    def test_coalescing_bounds_versions_by_active_count(self, stamps):
+        """With coalescing on, live versions never exceed the number of
+        distinct active snapshots + 1 (section 3.1's bound)."""
+        config = MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED,
+                           coalescing=True)
+        vlist = VersionList()
+        active = ActiveTransactionTable()
+        active.add(0)
+        active.add(50)
+        for ts in sorted(stamps):
+            vlist.install(ts + 100, data(ts), config, active)
+        assert len(vlist) <= len(active) + 1
+
+    @given(st.lists(st.integers(min_value=1, max_value=300), min_size=2,
+                    max_size=40, unique=True),
+           st.integers(min_value=1, max_value=300))
+    @settings(max_examples=100, deadline=None)
+    def test_gc_preserves_oldest_active_view(self, stamps, oldest):
+        """GC never changes what the oldest active snapshot reads."""
+        config = MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED)
+        vlist = VersionList()
+        active = ActiveTransactionTable()
+        for ts in sorted(stamps):
+            vlist.install(ts, data(ts), config, active)
+        try:
+            before = vlist.read_at(oldest)[0]
+        except SnapshotTooOld:
+            before = "too-old"
+        vlist.collect_garbage(oldest)
+        try:
+            after = vlist.read_at(oldest)[0]
+        except SnapshotTooOld:
+            after = "too-old"
+        assert before == after
+
+
+class TestTruncateAfter:
+    def test_truncates_newer_versions(self):
+        vlist, config, active = fresh()
+        active.add(5)
+        for ts in (10, 20, 30):
+            vlist.install(ts, data(ts), config, active)
+        dropped = vlist.truncate_after(20)
+        assert dropped == 1
+        assert vlist.timestamps == (10, 20)
+
+    def test_truncate_everything(self):
+        vlist, config, active = fresh()
+        active.add(5)
+        vlist.install(10, data(1), config, active)
+        assert vlist.truncate_after(5) == 1
+        assert len(vlist) == 0
+
+    def test_truncate_noop(self):
+        vlist, config, active = fresh()
+        active.add(5)
+        vlist.install(10, data(1), config, active)
+        assert vlist.truncate_after(50) == 0
+        assert vlist.timestamps == (10,)
+
+    def test_reads_after_truncate(self):
+        vlist, config, active = fresh()
+        active.add(5)
+        vlist.install(10, data(1), config, active)
+        active.add(15)
+        vlist.install(20, data(2), config, active)
+        vlist.truncate_after(10)
+        assert vlist.read_at(100) == (data(1), 1)

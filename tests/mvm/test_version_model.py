@@ -1,0 +1,109 @@
+"""Property-based check of the MVM against a naive reference.
+
+The reference keeps *every* version forever and serves snapshot reads by
+linear scan.  The real controller garbage-collects on write and coalesces
+versions — the property under test is that **no active snapshot can tell
+the difference**: for every pinned snapshot, reads through the real MVM
+equal reads through the reference.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import MVMConfig, VersionCapPolicy
+from repro.mem.address import MVM_REGION_BASE, AddressMap
+from repro.mvm.controller import MVMController
+
+LINE = MVM_REGION_BASE // 8
+
+
+def data(tag):
+    return tuple([tag] * 8)
+
+
+class ReferenceMVM:
+    """Keep-everything multiversion store."""
+
+    def __init__(self):
+        self.versions = {}  # line -> list[(ts, data)]
+
+    def install(self, line, ts, payload):
+        self.versions.setdefault(line, []).append((ts, payload))
+
+    def read(self, line, snapshot_ts):
+        best = None
+        for ts, payload in self.versions.get(line, []):
+            if ts <= snapshot_ts and (best is None or ts > best[0]):
+                best = (ts, payload)
+        return best[1] if best else None
+
+
+# a schedule: interleaved begins (pins), ends (unpins), and commits
+events = st.lists(
+    st.one_of(
+        st.tuples(st.just("begin")),
+        st.tuples(st.just("end")),
+        st.tuples(st.just("commit"), st.integers(0, 3)),  # line choice
+    ),
+    min_size=1, max_size=60)
+
+
+@given(events=events)
+@settings(max_examples=80, deadline=None)
+def test_gc_and_coalescing_invisible_to_pinned_snapshots(events):
+    config = MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED,
+                       coalescing=True)
+    mvm = MVMController(config, AddressMap(8))
+    reference = ReferenceMVM()
+    clock = 0
+    pins = []  # active snapshot timestamps, FIFO ended
+    for event in events:
+        if event[0] == "begin":
+            clock += 1
+            pins.append(clock)
+            mvm.active.add(clock)
+        elif event[0] == "end":
+            if pins:
+                mvm.active.remove(pins.pop(0))
+        else:
+            _, line_choice = event
+            line = LINE + line_choice
+            clock += 1
+            payload = data(clock)
+            mvm.install_line(line, clock, payload)
+            reference.install(line, clock, payload)
+        # invariant: every live pin reads identically through both stores
+        for snapshot in pins:
+            for line_choice in range(4):
+                line = LINE + line_choice
+                assert mvm.snapshot_read(line, snapshot) == \
+                    reference.read(line, snapshot), (snapshot, line_choice)
+    # and the newest state always agrees
+    for line_choice in range(4):
+        line = LINE + line_choice
+        assert mvm.plain_read(line) == reference.read(line, clock)
+
+
+@given(events=events)
+@settings(max_examples=60, deadline=None)
+def test_version_counts_never_exceed_pins_plus_one(events):
+    """Coalescing bound: live versions per line <= active pins + 1."""
+    config = MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED,
+                       coalescing=True)
+    mvm = MVMController(config, AddressMap(8))
+    clock = 0
+    pins = []
+    for event in events:
+        if event[0] == "begin":
+            clock += 1
+            pins.append(clock)
+            mvm.active.add(clock)
+        elif event[0] == "end":
+            if pins:
+                mvm.active.remove(pins.pop(0))
+        else:
+            _, line_choice = event
+            clock += 1
+            mvm.install_line(LINE + line_choice, clock, data(clock))
+            assert mvm.live_version_count(LINE + line_choice) <= \
+                len(pins) + 1

@@ -1,0 +1,68 @@
+"""RunStats metric tests."""
+
+from repro.common.errors import AbortCause
+from repro.sim.stats import RunStats
+
+
+class TestRecording:
+    def test_commit_counts(self):
+        stats = RunStats(2)
+        stats.record_commit(0, "a", retries=0)
+        stats.record_commit(1, "a", retries=2)
+        assert stats.total_commits == 2
+        assert stats.retry_histogram[0] == 1
+        assert stats.retry_histogram[2] == 1
+
+    def test_abort_counts_by_cause(self):
+        stats = RunStats(1)
+        stats.record_abort(0, "a", AbortCause.READ_WRITE)
+        stats.record_abort(0, "a", AbortCause.WRITE_WRITE)
+        stats.record_abort(0, "a", AbortCause.READ_WRITE)
+        assert stats.total_aborts == 3
+        assert stats.aborts_by(AbortCause.READ_WRITE) == 2
+
+    def test_per_label(self):
+        stats = RunStats(1)
+        stats.record_commit(0, "x", 0)
+        stats.record_abort(0, "y", AbortCause.WRITE_WRITE)
+        assert stats.per_label["x"]["commits"] == 1
+        assert stats.per_label["y"]["aborts"] == 1
+
+
+class TestDerivedMetrics:
+    def test_abort_rate(self):
+        stats = RunStats(1)
+        stats.record_commit(0, "a", 0)
+        stats.record_abort(0, "a", AbortCause.WRITE_WRITE)
+        assert stats.abort_rate == 0.5
+
+    def test_abort_rate_empty(self):
+        assert RunStats(1).abort_rate == 0.0
+
+    def test_makespan(self):
+        stats = RunStats(3)
+        stats.threads[0].cycles = 10
+        stats.threads[1].cycles = 99
+        stats.threads[2].cycles = 50
+        assert stats.makespan_cycles == 99
+
+    def test_figure1_split(self):
+        stats = RunStats(1)
+        stats.record_abort(0, "a", AbortCause.READ_WRITE)
+        stats.record_abort(0, "a", AbortCause.DANGEROUS_STRUCTURE)
+        stats.record_abort(0, "a", AbortCause.WRITE_WRITE)
+        stats.record_abort(0, "a", AbortCause.VERSION_OVERFLOW)
+        assert stats.read_write_aborts == 2
+        assert stats.write_write_aborts == 1
+        assert stats.read_write_fraction() == 2 / 3
+
+    def test_read_write_fraction_no_conflicts(self):
+        assert RunStats(1).read_write_fraction() is None
+
+    def test_summary_shape(self):
+        stats = RunStats(1)
+        stats.record_commit(0, "a", 0)
+        summary = stats.summary()
+        for key in ("commits", "aborts", "abort_rate", "makespan_cycles",
+                    "abort_causes", "reads", "writes"):
+            assert key in summary

@@ -1,0 +1,96 @@
+"""Timeline-recorder tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.rng import SplitRandom
+from repro.sim.engine import Engine, TransactionSpec
+from repro.sim.machine import Machine
+from repro.sim.timeline import TimelineRecorder
+from repro.tm import SnapshotIsolationTM, TwoPhaseLockingTM
+from repro.tm.ops import Compute, Read, Write
+
+
+def run_with_timeline(system_cls, machine, programs, seed=3):
+    timeline = TimelineRecorder()
+    tm = system_cls(machine, SplitRandom(seed))
+    engine = Engine(tm, programs, tracer=timeline)
+    timeline.attach(engine)
+    engine.run()
+    return timeline
+
+
+def counter_program(machine, threads=2, txns=10):
+    addr = machine.mvmalloc(1)
+
+    def body():
+        value = yield Read(addr)
+        yield Compute(3)
+        yield Write(addr, value + 1)
+
+    return [[TransactionSpec(body, "inc") for _ in range(txns)]
+            for _ in range(threads)]
+
+
+class TestRecording:
+    def test_intervals_cover_all_attempts(self):
+        machine = Machine()
+        programs = counter_program(machine)
+        timeline = run_with_timeline(SnapshotIsolationTM, machine, programs)
+        commits = sum(1 for i in timeline.intervals if i.committed)
+        assert commits == 20
+        assert all(i.end >= i.start for i in timeline.intervals)
+
+    def test_aborts_recorded_with_cause(self):
+        machine = Machine()
+        programs = counter_program(machine, threads=4, txns=15)
+        timeline = run_with_timeline(TwoPhaseLockingTM, machine, programs)
+        aborted = [i for i in timeline.intervals if not i.committed]
+        assert aborted
+        assert all(i.cause is not None for i in aborted)
+        assert 0 < timeline.aborted_fraction() < 1
+
+    def test_unattached_recorder_raises(self):
+        machine = Machine()
+        programs = counter_program(machine)
+        timeline = TimelineRecorder()
+        tm = SnapshotIsolationTM(machine, SplitRandom(1))
+        engine = Engine(tm, programs, tracer=timeline)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_makespan_positive(self):
+        machine = Machine()
+        timeline = run_with_timeline(SnapshotIsolationTM, machine,
+                                     counter_program(machine))
+        assert timeline.makespan > 0
+
+
+class TestRendering:
+    def test_render_shape(self):
+        machine = Machine()
+        timeline = run_with_timeline(SnapshotIsolationTM, machine,
+                                     counter_program(machine, threads=3))
+        art = timeline.render(width=60)
+        lines = art.splitlines()
+        assert len(lines) == 4  # header + 3 threads
+        assert all(len(line.split("|")[1]) == 60 for line in lines[1:])
+        assert "#" in art
+
+    def test_aborts_visible_in_render(self):
+        machine = Machine()
+        timeline = run_with_timeline(
+            TwoPhaseLockingTM, machine,
+            counter_program(machine, threads=4, txns=20))
+        assert "x" in timeline.render()
+
+    def test_empty_render(self):
+        assert "no transactions" in TimelineRecorder().render()
+
+    def test_summary_by_label(self):
+        machine = Machine()
+        timeline = run_with_timeline(SnapshotIsolationTM, machine,
+                                     counter_program(machine))
+        summary = timeline.summary_by_label()
+        assert summary["inc"]["commits"] == 20
+        assert summary["inc"]["cycles"] > 0

@@ -1,0 +1,113 @@
+"""Dependency-graph analysis tests."""
+
+from repro.sim.machine import Machine
+from repro.skew.graph import build_graph, find_write_skews
+from repro.skew.trace import TraceRecorder
+from repro.tm.ops import Compute, Read, Write
+
+from tests.conftest import run_program, spec
+
+
+def analyse(machine, programs, seed=7):
+    recorder = TraceRecorder()
+    run_program(machine, "SI-TM", programs, seed=seed, tracer=recorder)
+    return find_write_skews(recorder)
+
+
+class TestWriteSkewDetection:
+    def test_classic_two_transaction_skew(self, machine):
+        """Crossed read/write sets form a 2-cycle."""
+        a, b = machine.mvmalloc(1), machine.mvmalloc(1)
+
+        def t1():
+            yield Read(a, site="t1.read")
+            yield Compute(50)
+            yield Write(b, 1, site="t1.write")
+
+        def t2():
+            yield Read(b, site="t2.read")
+            yield Compute(50)
+            yield Write(a, 1, site="t2.write")
+
+        report = analyse(machine, [[spec(t1, "t1")], [spec(t2, "t2")]])
+        assert not report.clean
+        sites = report.all_read_sites()
+        assert "t1.read" in sites and "t2.read" in sites
+
+    def test_one_directional_conflict_clean(self, machine):
+        a = machine.mvmalloc(1)
+
+        def reader():
+            yield Read(a, site="r")
+            yield Compute(50)
+
+        def writer():
+            yield Compute(10)
+            yield Write(a, 1, site="w")
+
+        report = analyse(machine, [[spec(reader)], [spec(writer)]])
+        assert report.clean
+
+    def test_sequential_crossed_sets_clean(self, machine):
+        """The same access pattern without overlap is not a skew."""
+        a, b = machine.mvmalloc(1), machine.mvmalloc(1)
+
+        def t1():
+            yield Read(a, site="t1.read")
+            yield Write(b, 1, site="t1.write")
+
+        def t2():
+            yield Read(b, site="t2.read")
+            yield Write(a, 1, site="t2.write")
+
+        # both on ONE thread: they can never overlap
+        report = analyse(machine, [[spec(t1), spec(t2)]])
+        assert report.clean
+
+    def test_write_write_pairs_excluded(self, machine):
+        """WW conflicts are SI's own business, not skew edges: a txn that
+        also writes what it read of the other is handled by validation."""
+        a = machine.mvmalloc(1)
+
+        def rmw():
+            value = yield Read(a, site="rmw.read")
+            yield Compute(30)
+            yield Write(a, value + 1, site="rmw.write")
+
+        report = analyse(machine, [[spec(rmw)], [spec(rmw)]])
+        assert report.clean  # one aborts; committed pair not concurrent
+
+
+class TestGraphShape:
+    def test_nodes_are_committed_only(self, machine):
+        a = machine.mvmalloc(1)
+
+        def rmw():
+            value = yield Read(a)
+            yield Compute(30)
+            yield Write(a, value + 1)
+
+        recorder = TraceRecorder()
+        run_program(machine, "SI-TM",
+                    [[spec(rmw) for _ in range(3)],
+                     [spec(rmw) for _ in range(3)]], tracer=recorder)
+        graph = build_graph(recorder)
+        assert graph.number_of_nodes() == 6
+
+    def test_witness_carries_labels_and_addrs(self, machine):
+        a, b = machine.mvmalloc(1), machine.mvmalloc(1)
+
+        def t1():
+            yield Read(a, site="s1")
+            yield Compute(50)
+            yield Write(b, 1)
+
+        def t2():
+            yield Read(b, site="s2")
+            yield Compute(50)
+            yield Write(a, 1)
+
+        report = analyse(machine, [[spec(t1, "alpha")], [spec(t2, "beta")]])
+        witness = report.witnesses[0]
+        assert set(witness.labels) == {"alpha", "beta"}
+        assert witness.addrs == {a, b}

@@ -1,0 +1,66 @@
+"""Trace JSONL persistence tests (offline post-processing, §5.1)."""
+
+import io
+
+from repro.skew.graph import find_write_skews
+from repro.skew.trace import TraceRecorder
+from repro.tm.ops import Compute, Read, Write
+
+from tests.conftest import run_program, spec
+
+
+def skewy_trace(machine):
+    a, b = machine.mvmalloc(1), machine.mvmalloc(1)
+
+    def t1():
+        yield Read(a, site="t1.r")
+        yield Compute(50)
+        yield Write(b, 1, site="t1.w")
+
+    def t2():
+        yield Read(b, site="t2.r")
+        yield Compute(50)
+        yield Write(a, 1, site="t2.w")
+
+    recorder = TraceRecorder()
+    run_program(machine, "SI-TM", [[spec(t1, "t1")], [spec(t2, "t2")]],
+                tracer=recorder)
+    return recorder
+
+
+class TestRoundTrip:
+    def test_events_survive(self, machine):
+        recorder = skewy_trace(machine)
+        buffer = io.StringIO()
+        count = recorder.dump_jsonl(buffer)
+        assert count == len(recorder.events)
+        loaded = TraceRecorder.load_jsonl(buffer.getvalue().splitlines())
+        assert len(loaded.events) == len(recorder.events)
+        for original, restored in zip(recorder.events, loaded.events):
+            assert original == restored
+
+    def test_transactions_reassembled(self, machine):
+        recorder = skewy_trace(machine)
+        buffer = io.StringIO()
+        recorder.dump_jsonl(buffer)
+        loaded = TraceRecorder.load_jsonl(buffer.getvalue().splitlines())
+        assert len(loaded.committed_transactions()) == \
+            len(recorder.committed_transactions())
+        for orig, rest in zip(recorder.committed_transactions(),
+                              loaded.committed_transactions()):
+            assert orig.reads == rest.reads
+            assert orig.writes == rest.writes
+
+    def test_offline_analysis_matches_online(self, machine):
+        recorder = skewy_trace(machine)
+        online = find_write_skews(recorder)
+        buffer = io.StringIO()
+        recorder.dump_jsonl(buffer)
+        loaded = TraceRecorder.load_jsonl(buffer.getvalue().splitlines())
+        offline = find_write_skews(loaded)
+        assert len(offline.witnesses) == len(online.witnesses)
+        assert offline.all_read_sites() == online.all_read_sites()
+
+    def test_blank_lines_ignored(self):
+        loaded = TraceRecorder.load_jsonl(["", "  ", ""])
+        assert len(loaded.events) == 0

@@ -1,0 +1,96 @@
+"""Trace-recorder tests."""
+
+from repro.sim.machine import Machine
+from repro.skew.trace import EventKind, TraceRecorder
+from repro.tm.ops import Read, Write
+
+from tests.conftest import run_program, spec
+
+
+def record(machine, programs, system="SI-TM", seed=7):
+    recorder = TraceRecorder()
+    run_program(machine, system, programs, seed=seed, tracer=recorder)
+    return recorder
+
+
+class TestRecording:
+    def test_event_sequence_single_txn(self, machine):
+        addr = machine.mvmalloc(1)
+
+        def body():
+            value = yield Read(addr, site="r")
+            yield Write(addr, value + 1, site="w")
+
+        recorder = record(machine, [[spec(body)]])
+        kinds = [e.kind for e in recorder.events]
+        assert kinds == [EventKind.BEGIN, EventKind.READ,
+                         EventKind.WRITE, EventKind.COMMIT]
+
+    def test_sites_recorded(self, machine):
+        addr = machine.mvmalloc(1)
+
+        def body():
+            yield Read(addr, site="my.site")
+            yield Write(addr, 1, site="other.site")
+
+        recorder = record(machine, [[spec(body)]])
+        txn = recorder.committed_transactions()[0]
+        assert txn.reads == [(addr, "my.site")]
+        assert txn.writes == [(addr, "other.site")]
+
+    def test_abort_marks_transaction(self, machine):
+        addr = machine.mvmalloc(1)
+
+        def writer():
+            value = yield Read(addr)
+            yield Write(addr, value + 1)
+
+        programs = [[spec(writer) for _ in range(5)],
+                    [spec(writer) for _ in range(5)]]
+        recorder = record(machine, programs)
+        aborted = [t for t in recorder.transactions.values() if t.aborted]
+        committed = recorder.committed_transactions()
+        assert len(committed) == 10
+        # retried attempts appear as separate transactions
+        assert len(recorder.transactions) == 10 + len(aborted)
+
+    def test_distinct_uids(self, machine):
+        addr = machine.mvmalloc(1)
+
+        def body():
+            yield Write(addr, 1)
+
+        recorder = record(machine, [[spec(body), spec(body)]])
+        uids = [t.uid for t in recorder.transactions.values()]
+        assert len(uids) == len(set(uids))
+
+
+class TestConcurrency:
+    def test_concurrent_with_overlapping(self, machine):
+        a, b = machine.mvmalloc(1), machine.mvmalloc(1)
+
+        def long_body():
+            for _ in range(20):
+                yield Read(a)
+            yield Write(a, 1)
+
+        def short_body():
+            yield Write(b, 1)
+
+        recorder = record(machine, [[spec(long_body, "long")],
+                                    [spec(short_body, "short")]])
+        txns = recorder.committed_transactions()
+        long_txn = next(t for t in txns if t.label == "long")
+        short_txn = next(t for t in txns if t.label == "short")
+        assert long_txn.concurrent_with(short_txn)
+        assert short_txn.concurrent_with(long_txn)
+
+    def test_sequential_not_concurrent(self, machine):
+        addr = machine.mvmalloc(1)
+
+        def body():
+            yield Write(addr + 0, 1)
+
+        recorder = record(machine, [[spec(body), spec(body)]])
+        first, second = recorder.committed_transactions()
+        assert not first.concurrent_with(second)

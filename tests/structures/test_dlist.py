@@ -1,0 +1,107 @@
+"""TxDoublyLinkedList tests."""
+
+import pytest
+
+from repro.sim.machine import Machine
+from repro.structures import TxDoublyLinkedList
+
+from tests.conftest import drive_plain, run_program, spec
+
+
+@pytest.fixture
+def dlist(machine):
+    lst = TxDoublyLinkedList(machine)
+    lst.populate([10, 20, 30, 40])
+    return lst
+
+
+class TestSequential:
+    def test_populate_order(self, dlist):
+        assert dlist.to_list() == [10, 20, 30, 40]
+
+    def test_consistency_check(self, dlist):
+        assert dlist.check_consistent()
+
+    def test_lookup(self, machine, dlist):
+        assert drive_plain(machine, dlist.lookup(30)) is True
+        assert drive_plain(machine, dlist.lookup(31)) is False
+
+    def test_insert_middle(self, machine, dlist):
+        assert drive_plain(machine, dlist.insert(25)) is True
+        assert dlist.to_list() == [10, 20, 25, 30, 40]
+        assert dlist.check_consistent()
+
+    def test_insert_duplicate(self, machine, dlist):
+        assert drive_plain(machine, dlist.insert(20)) is False
+
+    def test_insert_extremes(self, machine, dlist):
+        drive_plain(machine, dlist.insert(1))
+        drive_plain(machine, dlist.insert(99))
+        assert dlist.to_list() == [1, 10, 20, 30, 40, 99]
+        assert dlist.check_consistent()
+
+    def test_remove(self, machine, dlist):
+        assert drive_plain(machine, dlist.remove(20)) is True
+        assert dlist.to_list() == [10, 30, 40]
+        assert dlist.check_consistent()
+
+    def test_remove_absent(self, machine, dlist):
+        assert drive_plain(machine, dlist.remove(21)) is False
+
+    def test_length(self, machine, dlist):
+        assert drive_plain(machine, dlist.length()) == 4
+
+    def test_empty(self, machine):
+        lst = TxDoublyLinkedList(machine)
+        assert lst.to_list() == []
+        assert lst.check_consistent()
+
+
+class TestAdjacentRemoveSkew:
+    """Concurrent adjacent removes corrupt the chain without the fix."""
+
+    def _run(self, skew_safe, seed):
+        machine = Machine()
+        lst = TxDoublyLinkedList(machine, skew_safe=skew_safe)
+        lst.populate([1, 2, 3, 4])
+        programs = [[spec(lambda: lst.remove(2), "rm2")],
+                    [spec(lambda: lst.remove(3), "rm3")]]
+        run_program(machine, "SI-TM", programs, seed=seed)
+        return lst
+
+    def test_unsafe_breaks_chain(self):
+        broken = 0
+        for seed in range(6):
+            lst = self._run(False, seed)
+            if not lst.check_consistent() or lst.to_list() != [1, 4]:
+                broken += 1
+        assert broken > 0
+
+    def test_safe_chain_consistent(self):
+        for seed in range(6):
+            lst = self._run(True, seed)
+            assert lst.check_consistent()
+            assert lst.to_list() == [1, 4]
+
+
+class TestConcurrentMix:
+    @pytest.mark.parametrize("system", ["2PL", "SSI-TM"])
+    def test_serializable_mix_consistent(self, system):
+        machine = Machine()
+        lst = TxDoublyLinkedList(machine)
+        lst.populate(range(0, 30, 2))
+        from repro.common.rng import SplitRandom
+        rng = SplitRandom(6)
+        programs = []
+        for t in range(3):
+            r = rng.split(t)
+            specs = []
+            for _ in range(20):
+                key = r.randrange(30)
+                op = lst.insert if r.random() < 0.5 else lst.remove
+                specs.append(spec(lambda k=key, op=op: op(k), "mix"))
+            programs.append(specs)
+        run_program(machine, system, programs)
+        items = lst.to_list()
+        assert items == sorted(set(items))
+        assert lst.check_consistent()

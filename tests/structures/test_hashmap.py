@@ -1,0 +1,106 @@
+"""TxHashMap tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.machine import Machine
+from repro.structures import TxHashMap
+
+from tests.conftest import drive_plain, run_program, spec
+
+
+@pytest.fixture
+def table(machine):
+    table = TxHashMap(machine, buckets=8)
+    table.populate([(1, 10), (2, 20), (3, 30)])
+    return table
+
+
+class TestSequential:
+    def test_get_hit(self, machine, table):
+        assert drive_plain(machine, table.get(2)) == 20
+
+    def test_get_miss(self, machine, table):
+        assert drive_plain(machine, table.get(9)) is None
+
+    def test_contains(self, machine, table):
+        assert drive_plain(machine, table.contains(1)) is True
+        assert drive_plain(machine, table.contains(7)) is False
+
+    def test_put_new(self, machine, table):
+        assert drive_plain(machine, table.put(4, 40)) is True
+        assert drive_plain(machine, table.get(4)) == 40
+
+    def test_put_update(self, machine, table):
+        assert drive_plain(machine, table.put(1, 11)) is False
+        assert drive_plain(machine, table.get(1)) == 11
+
+    def test_increment_existing(self, machine, table):
+        assert drive_plain(machine, table.increment(1, 5)) == 15
+
+    def test_increment_absent_creates(self, machine, table):
+        assert drive_plain(machine, table.increment(99, 3)) == 3
+        assert drive_plain(machine, table.get(99)) == 3
+
+    def test_remove(self, machine, table):
+        assert drive_plain(machine, table.remove(2)) is True
+        assert drive_plain(machine, table.get(2)) is None
+
+    def test_remove_absent(self, machine, table):
+        assert drive_plain(machine, table.remove(42)) is False
+
+    def test_remove_middle_of_chain(self, machine):
+        # force all keys into one bucket
+        table = TxHashMap(machine, buckets=1)
+        table.populate([(1, 1), (2, 2), (3, 3)])
+        assert drive_plain(machine, table.remove(2)) is True
+        assert drive_plain(machine, table.get(1)) == 1
+        assert drive_plain(machine, table.get(3)) == 3
+
+    def test_to_dict(self, table):
+        assert table.to_dict() == {1: 10, 2: 20, 3: 30}
+
+    def test_invalid_buckets(self, machine):
+        with pytest.raises(ValueError):
+            TxHashMap(machine, buckets=0)
+
+
+class TestModelBased:
+    @given(st.lists(st.tuples(st.sampled_from(["put", "remove", "inc"]),
+                              st.integers(0, 15),
+                              st.integers(0, 9)),
+                    max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dict_model(self, ops):
+        machine = Machine()
+        table = TxHashMap(machine, buckets=4)
+        model = {}
+        for op, key, value in ops:
+            if op == "put":
+                drive_plain(machine, table.put(key, value))
+                model[key] = value
+            elif op == "remove":
+                result = drive_plain(machine, table.remove(key))
+                assert result is (key in model)
+                model.pop(key, None)
+            else:
+                expected = model.get(key, 0) + value
+                assert drive_plain(machine,
+                                   table.increment(key, value)) == expected
+                model[key] = expected
+        assert table.to_dict() == model
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("system", ["2PL", "SONTM", "SI-TM"])
+    def test_concurrent_increments_conserved(self, system):
+        machine = Machine()
+        table = TxHashMap(machine, buckets=16)
+        table.populate([(k, 0) for k in range(8)])
+        programs = [
+            [spec(lambda k=k: table.increment(k % 8), "inc")
+             for k in range(40)]
+            for _ in range(4)]
+        run_program(machine, system, programs)
+        assert sum(table.to_dict().values()) == 160

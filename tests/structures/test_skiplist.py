@@ -1,0 +1,139 @@
+"""TxSkipList tests: determinism, model-based checks, concurrency."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.machine import Machine
+from repro.structures.skiplist import MAX_HEIGHT, TxSkipList, tower_height
+
+from tests.conftest import drive_plain, run_program, spec
+
+
+@pytest.fixture
+def slist(machine):
+    lst = TxSkipList(machine)
+    lst.populate([(10, 1), (20, 2), (30, 3)])
+    return lst
+
+
+class TestTowerHeights:
+    def test_deterministic(self):
+        assert all(tower_height(k) == tower_height(k) for k in range(500))
+
+    def test_bounded(self):
+        heights = [tower_height(k) for k in range(2000)]
+        assert all(1 <= h <= MAX_HEIGHT for h in heights)
+
+    def test_geometric_ish_distribution(self):
+        heights = [tower_height(k) for k in range(4000)]
+        ones = sum(1 for h in heights if h == 1)
+        twos = sum(1 for h in heights if h == 2)
+        # p = 1/2 per level: roughly half the towers are height 1
+        assert 0.3 < ones / len(heights) < 0.7
+        assert twos < ones
+
+
+class TestSequential:
+    def test_lookup(self, machine, slist):
+        assert drive_plain(machine, slist.lookup(20)) == 2
+        assert drive_plain(machine, slist.lookup(25)) is None
+
+    def test_insert(self, machine, slist):
+        assert drive_plain(machine, slist.insert(25, 9)) is True
+        assert slist.keys() == [10, 20, 25, 30]
+        assert slist.check_invariants()
+
+    def test_insert_duplicate(self, machine, slist):
+        assert drive_plain(machine, slist.insert(20, 5)) is False
+
+    def test_remove(self, machine, slist):
+        assert drive_plain(machine, slist.remove(20)) is True
+        assert slist.keys() == [10, 30]
+        assert slist.check_invariants()
+
+    def test_remove_absent(self, machine, slist):
+        assert drive_plain(machine, slist.remove(21)) is False
+
+    def test_length(self, machine, slist):
+        assert drive_plain(machine, slist.length()) == 3
+
+    def test_empty(self, machine):
+        lst = TxSkipList(machine)
+        assert lst.keys() == []
+        assert drive_plain(machine, lst.lookup(1)) is None
+        assert lst.check_invariants()
+
+    def test_many_keys_all_levels_sorted(self, machine):
+        lst = TxSkipList(machine)
+        lst.populate(range(0, 300, 3))
+        assert lst.keys() == list(range(0, 300, 3))
+        assert lst.check_invariants()
+
+
+class TestModelBased:
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "remove"]),
+                              st.integers(0, 40)),
+                    min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_set_model(self, ops):
+        machine = Machine()
+        lst = TxSkipList(machine)
+        model = set()
+        for op, key in ops:
+            if op == "insert":
+                expected = key not in model
+                result = drive_plain(machine, lst.insert(key))
+                model.add(key)
+            else:
+                expected = key in model
+                result = drive_plain(machine, lst.remove(key))
+                model.discard(key)
+            assert result is expected
+        assert lst.keys() == sorted(model)
+        assert lst.check_invariants()
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("system", ["2PL", "SONTM", "SSI-TM"])
+    def test_serializable_systems_keep_invariants(self, system):
+        machine = Machine()
+        lst = TxSkipList(machine)
+        programs = []
+        for tid in range(4):
+            keys = list(range(tid * 25, tid * 25 + 25))
+            programs.append([spec(lambda k=k: lst.insert(k), "ins")
+                             for k in keys])
+        run_program(machine, system, programs)
+        assert lst.keys() == list(range(100))
+        assert lst.check_invariants()
+
+    def test_si_with_fix_consistent_mix(self):
+        machine = Machine()
+        lst = TxSkipList(machine, skew_safe=True)
+        lst.populate(range(0, 60, 2))
+        from repro.common.rng import SplitRandom
+
+        rng = SplitRandom(8)
+        programs = []
+        for tid in range(4):
+            thread_rng = rng.split(tid)
+            specs = []
+            for _ in range(25):
+                key = thread_rng.randrange(60)
+                op = lst.insert if thread_rng.random() < 0.5 else lst.remove
+                specs.append(spec(lambda k=key, op=op: op(k), "mix"))
+            programs.append(specs)
+        run_program(machine, "SI-TM", programs)
+        keys = lst.keys()
+        assert keys == sorted(set(keys))
+        assert lst.check_invariants()
+
+    def test_lookups_read_only_under_si(self):
+        machine = Machine()
+        lst = TxSkipList(machine, skew_safe=True)
+        lst.populate(range(40))
+        programs = [[spec(lambda k=k: lst.lookup(k), "get")
+                     for k in range(40)]]
+        stats = run_program(machine, "SI-TM", programs)
+        assert stats.total_aborts == 0

@@ -1,0 +1,85 @@
+"""Cross-system semantic equivalence properties.
+
+With a single thread there is no concurrency, so every TM system must
+produce the *identical* final memory state for the same program — the
+policies differ only in how they resolve concurrency.  Hypothesis drives
+random programs over a transactional hash map and checks all four systems
+against a plain-dict model.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import SplitRandom
+from repro.sim.machine import Machine
+from repro.structures import TxHashMap, TxLinkedList
+from repro.tm import SYSTEMS
+
+from tests.conftest import run_program, spec
+
+op_strategy = st.lists(
+    st.tuples(st.sampled_from(["put", "remove", "inc"]),
+              st.integers(0, 12), st.integers(0, 9)),
+    min_size=1, max_size=40)
+
+
+class TestSingleThreadEquivalence:
+    @given(ops=op_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_all_systems_match_dict_model(self, ops):
+        outcomes = {}
+        for system in SYSTEMS:
+            machine = Machine()
+            table = TxHashMap(machine, buckets=4)
+            model = {}
+            specs = []
+            for op, key, value in ops:
+                if op == "put":
+                    specs.append(spec(
+                        lambda k=key, v=value: table.put(k, v), "put"))
+                    model[key] = value
+                elif op == "remove":
+                    specs.append(spec(lambda k=key: table.remove(k), "rm"))
+                    model.pop(key, None)
+                else:
+                    specs.append(spec(
+                        lambda k=key, v=value: table.increment(k, v), "inc"))
+                    model[key] = model.get(key, 0) + value
+            stats = run_program(machine, system, [specs])
+            assert stats.total_aborts == 0, system
+            assert table.to_dict() == model, system
+            outcomes[system] = table.to_dict()
+        assert len({frozenset(o.items()) for o in outcomes.values()}) == 1
+
+    @given(keys=st.lists(st.integers(0, 30), min_size=1, max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_list_single_thread_identical(self, keys):
+        final = {}
+        for system in SYSTEMS:
+            machine = Machine()
+            lst = TxLinkedList(machine, skew_safe=True)
+            specs = [spec(lambda k=k: lst.insert(k), "ins") for k in keys]
+            run_program(machine, system, [specs])
+            final[system] = tuple(lst.to_list())
+        assert len(set(final.values())) == 1
+        assert final["SI-TM"] == tuple(sorted(set(keys)))
+
+
+class TestConcurrentAgreementOnCommutativeWork:
+    """Commutative disjoint updates: all systems agree on the final state
+    even concurrently (only timing may differ)."""
+
+    @pytest.mark.parametrize("system", list(SYSTEMS))
+    def test_disjoint_upserts_agree(self, system):
+        machine = Machine()
+        table = TxHashMap(machine, buckets=16)
+        programs = []
+        for tid in range(4):
+            programs.append([
+                spec(lambda k=(tid * 100 + i): table.put(k, k), "put")
+                for i in range(20)])
+        run_program(machine, system, programs)
+        expected = {tid * 100 + i: tid * 100 + i
+                    for tid in range(4) for i in range(20)}
+        assert table.to_dict() == expected

@@ -1,0 +1,87 @@
+"""TM API plumbing tests: Txn bookkeeping, CommitToken, plain access."""
+
+import pytest
+
+from repro.common.errors import AbortCause, TMError
+from repro.common.rng import SplitRandom
+from repro.tm.api import CommitToken, Txn
+from repro.tm.twopl import TwoPhaseLockingTM
+
+
+class TestTxn:
+    def test_fresh_state(self):
+        txn = Txn(thread_id=3, label="x", attempt=0)
+        assert txn.is_read_only
+        assert txn.doomed is None
+        assert txn.active
+        assert txn.validation_lines() == set()
+
+    def test_writes_clear_read_only(self):
+        txn = Txn(0, "x", 0)
+        txn.write_lines.add(5)
+        assert not txn.is_read_only
+
+    def test_promotion_clears_read_only(self):
+        txn = Txn(0, "x", 0)
+        txn.promoted_lines.add(5)
+        assert not txn.is_read_only
+
+    def test_validation_lines_union(self):
+        txn = Txn(0, "x", 0)
+        txn.write_lines.add(1)
+        txn.promoted_lines.add(2)
+        assert txn.validation_lines() == {1, 2}
+
+    def test_doom_first_cause_sticks(self):
+        txn = Txn(0, "x", 0)
+        txn.doom(AbortCause.READ_WRITE)
+        txn.doom(AbortCause.WRITE_WRITE)
+        assert txn.doomed is AbortCause.READ_WRITE
+
+
+class TestCommitToken:
+    def test_uncontended_no_wait(self):
+        token = CommitToken()
+        assert token.acquire(now=100, hold_cycles=50) == 0
+
+    def test_queued_behind_holder(self):
+        token = CommitToken()
+        token.acquire(now=100, hold_cycles=50)   # busy until 150
+        assert token.acquire(now=120, hold_cycles=10) == 30
+
+    def test_free_after_release_time(self):
+        token = CommitToken()
+        token.acquire(now=100, hold_cycles=50)
+        assert token.acquire(now=200, hold_cycles=10) == 0
+
+    def test_fifo_accumulation(self):
+        token = CommitToken()
+        token.acquire(now=0, hold_cycles=100)
+        w1 = token.acquire(now=0, hold_cycles=100)
+        w2 = token.acquire(now=0, hold_cycles=100)
+        assert (w1, w2) == (100, 200)
+
+
+class TestSystemPlumbing:
+    def test_double_begin_same_thread_rejected(self, machine):
+        tm = TwoPhaseLockingTM(machine, SplitRandom(1))
+        tm.begin(0, "a", 0)
+        with pytest.raises(TMError):
+            tm.begin(0, "b", 0)
+
+    def test_plain_access_with_timing(self, machine):
+        tm = TwoPhaseLockingTM(machine, SplitRandom(1))
+        addr = machine.mvmalloc(1)
+        cycles_w = tm.plain_write(0, addr, 7)
+        value, cycles_r = tm.plain_read(0, addr)
+        assert value == 7
+        assert cycles_w >= machine.config.machine.l1d.latency_cycles
+        assert cycles_r == machine.config.machine.l1d.latency_cycles
+
+    def test_others_excludes_self_and_dead(self, machine):
+        tm = TwoPhaseLockingTM(machine, SplitRandom(1))
+        t0, _ = tm.begin(0, "a", 0)
+        t1, _ = tm.begin(1, "b", 0)
+        assert list(tm.others(t0)) == [t1]
+        tm.abort(t1, AbortCause.EXPLICIT)
+        assert list(tm.others(t0)) == []

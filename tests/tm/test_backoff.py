@@ -1,0 +1,43 @@
+"""Exponential-backoff policy tests."""
+
+from repro.common.config import TMConfig
+from repro.common.rng import SplitRandom
+from repro.tm.backoff import ExponentialBackoff, NoBackoff
+
+
+class TestExponentialBackoff:
+    def _policy(self, **kwargs):
+        return ExponentialBackoff(TMConfig(**kwargs), SplitRandom(9))
+
+    def test_no_delay_before_first_abort(self):
+        assert self._policy().delay(0) == 0
+
+    def test_delay_bounded_by_window(self):
+        policy = self._policy(backoff_base_cycles=64)
+        for attempt in range(1, 10):
+            ceiling = 64 * (1 << attempt)
+            for _ in range(20):
+                assert 0 <= policy.delay(attempt) < ceiling
+
+    def test_exponent_capped(self):
+        policy = self._policy(backoff_base_cycles=2, backoff_max_exponent=3)
+        ceiling = 2 * (1 << 3)
+        assert all(policy.delay(50) < ceiling for _ in range(100))
+
+    def test_disabled_returns_zero(self):
+        policy = ExponentialBackoff(TMConfig(backoff_enabled=False),
+                                    SplitRandom(9))
+        assert policy.delay(5) == 0
+
+    def test_windows_grow_on_average(self):
+        policy = self._policy()
+        early = sum(policy.delay(1) for _ in range(300)) / 300
+        late = sum(policy.delay(8) for _ in range(300)) / 300
+        assert late > early * 10
+
+
+class TestNoBackoff:
+    def test_always_zero(self):
+        policy = NoBackoff()
+        assert policy.delay(0) == 0
+        assert policy.delay(100) == 0

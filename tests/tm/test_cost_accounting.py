@@ -1,0 +1,95 @@
+"""Timing/accounting plumbing: waits, backoff and spill costs reach stats."""
+
+import pytest
+
+from repro.common.rng import SplitRandom
+from repro.sim.machine import Machine
+from repro.tm.ops import Compute, Read, Write
+
+from tests.conftest import run_program, spec
+
+
+def writer_storm(machine, threads=4, txns=15):
+    """Writers to disjoint lines: contend only on the commit token."""
+    base = machine.mvmalloc(8 * threads * txns)
+    programs = []
+    index = 0
+    for _ in range(threads):
+        specs = []
+        for _ in range(txns):
+            addr = base + index * 8
+            index += 1
+
+            def body(addr=addr):
+                yield Write(addr, 1)
+
+            specs.append(spec(body, "w"))
+        programs.append(specs)
+    return programs
+
+
+class TestCommitTokenAccounting:
+    def test_2pl_commit_waits_recorded(self):
+        machine = Machine()
+        programs = writer_storm(machine)
+        stats = run_program(machine, "2PL", programs)
+        waits = sum(t.commit_wait_cycles for t in stats.threads)
+        assert waits > 0  # disjoint writers still queue on the token
+
+    def test_si_has_no_commit_token(self):
+        machine = Machine()
+        programs = writer_storm(machine)
+        stats = run_program(machine, "SI-TM", programs)
+        waits = sum(t.commit_wait_cycles for t in stats.threads)
+        assert waits == 0
+
+
+class TestBackoffAccounting:
+    def test_2pl_backoff_cycles_recorded_under_contention(self):
+        machine = Machine()
+        addr = machine.mvmalloc(1)
+
+        def body():
+            value = yield Read(addr)
+            yield Compute(3)
+            yield Write(addr, value + 1)
+
+        programs = [[spec(body, "inc") for _ in range(20)]
+                    for _ in range(4)]
+        stats = run_program(machine, "2PL", programs)
+        assert stats.total_aborts > 0
+        assert sum(t.backoff_cycles for t in stats.threads) > 0
+
+    def test_si_records_no_backoff(self):
+        machine = Machine()
+        addr = machine.mvmalloc(1)
+
+        def body():
+            value = yield Read(addr)
+            yield Compute(3)
+            yield Write(addr, value + 1)
+
+        programs = [[spec(body, "inc") for _ in range(20)]
+                    for _ in range(4)]
+        stats = run_program(machine, "SI-TM", programs)
+        assert stats.total_aborts > 0
+        assert sum(t.backoff_cycles for t in stats.threads) == 0
+
+
+class TestRetryHistogram:
+    @pytest.mark.parametrize("system", ["2PL", "SI-TM"])
+    def test_histogram_totals_commits(self, system):
+        machine = Machine()
+        addr = machine.mvmalloc(1)
+
+        def body():
+            value = yield Read(addr)
+            yield Write(addr, value + 1)
+
+        programs = [[spec(body, "inc") for _ in range(15)]
+                    for _ in range(4)]
+        stats = run_program(machine, system, programs)
+        assert sum(stats.retry_histogram.values()) == stats.total_commits
+        retried = sum(count for retries, count
+                      in stats.retry_histogram.items() if retries > 0)
+        assert retried <= stats.total_aborts

@@ -1,0 +1,154 @@
+"""EagerLogTM tests: in-place updates, undo rollback, NACK stalls."""
+
+import pytest
+
+from repro.common.errors import AbortCause, TransactionAborted
+from repro.common.rng import SplitRandom
+from repro.sim.machine import Machine
+from repro.tm.api import StallRequested
+from repro.tm.logtm import EagerLogTM
+from repro.tm.ops import Compute, Read, Write
+
+from tests.conftest import run_program, spec
+
+
+@pytest.fixture
+def tm(machine):
+    return EagerLogTM(machine, SplitRandom(3))
+
+
+def begin(tm, thread_id):
+    txn, _ = tm.begin(thread_id, f"t{thread_id}", 0)
+    return txn
+
+
+class TestEagerVersioning:
+    def test_writes_hit_memory_immediately(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        txn = begin(tm, 0)
+        tm.write(txn, addr, 42)
+        # eager version management: the store is in place pre-commit
+        assert machine.plain_load(addr) == 42
+
+    def test_undo_log_grows_per_write(self, machine, tm):
+        addr = machine.mvmalloc(2)
+        txn = begin(tm, 0)
+        tm.write(txn, addr, 1)
+        tm.write(txn, addr + 1, 2)
+        assert len(txn.undo_log) == 2
+
+    def test_commit_is_cheap_and_clears_log(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        txn = begin(tm, 0)
+        tm.write(txn, addr, 9)
+        cycles = tm.commit(txn, 0)
+        assert cycles == machine.config.txn_overhead_cycles
+        assert machine.plain_load(addr) == 9
+
+    def test_abort_restores_old_values(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        machine.plain_store(addr, 7)
+        txn = begin(tm, 0)
+        tm.write(txn, addr, 100)
+        tm.write(txn, addr, 200)
+        tm.abort(txn, AbortCause.EXPLICIT)
+        assert machine.plain_load(addr) == 7
+
+    def test_abort_cost_scales_with_log(self, machine, tm):
+        base = machine.mvmalloc(8 * 20)
+        small = begin(tm, 0)
+        tm.write(small, base, 1)
+        small_cost = tm.abort(small, AbortCause.EXPLICIT)
+        big = begin(tm, 0)
+        for i in range(20):
+            tm.write(big, base + 8 * i, 1)
+        big_cost = tm.abort(big, AbortCause.EXPLICIT)
+        # backoff jitter aside, 20 undo entries dominate 1
+        assert big_cost > small_cost + 10 * tm.UNDO_CYCLES
+
+
+class TestNackStalls:
+    def test_conflicting_read_stalls(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        writer = begin(tm, 0)
+        tm.write(writer, addr, 1)
+        reader = begin(tm, 1)
+        with pytest.raises(StallRequested):
+            tm.read(reader, addr)
+
+    def test_conflicting_write_stalls(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        tm.read(reader, addr)
+        writer = begin(tm, 1)
+        with pytest.raises(StallRequested):
+            tm.write(writer, addr, 1)
+
+    def test_stall_budget_exhaustion_aborts_requester(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        writer = begin(tm, 0)
+        tm.write(writer, addr, 1)
+        reader = begin(tm, 1)
+        for _ in range(tm.MAX_STALLS):
+            with pytest.raises(StallRequested):
+                tm.read(reader, addr)
+        with pytest.raises(TransactionAborted):
+            tm.read(reader, addr)
+
+    def test_stall_clears_after_owner_commits(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        writer = begin(tm, 0)
+        tm.write(writer, addr, 5)
+        reader = begin(tm, 1)
+        with pytest.raises(StallRequested):
+            tm.read(reader, addr)
+        tm.commit(writer, 0)
+        value, _ = tm.read(reader, addr)
+        assert value == 5
+
+
+class TestEndToEnd:
+    def test_counter_conserved(self):
+        machine = Machine()
+        addr = machine.mvmalloc(1)
+
+        def body():
+            value = yield Read(addr)
+            yield Compute(3)
+            yield Write(addr, value + 1)
+
+        programs = [[spec(body, "inc") for _ in range(20)]
+                    for _ in range(4)]
+        stats = run_program(machine, "LogTM", programs)
+        assert stats.total_commits == 80
+        assert machine.plain_load(addr) == 80
+
+    def test_isolation_under_contention(self):
+        """Transfers conserve money even with in-place eager updates."""
+        machine = Machine()
+        accounts = machine.mvmalloc(8 * 8)
+        for i in range(8):
+            machine.plain_store(accounts + i * 8, 50)
+
+        def transfer(src, dst):
+            def body():
+                balance = yield Read(accounts + src * 8)
+                yield Compute(2)
+                if balance >= 10:
+                    yield Write(accounts + src * 8, balance - 10)
+                    other = yield Read(accounts + dst * 8)
+                    yield Write(accounts + dst * 8, other + 10)
+            return body
+
+        rng = SplitRandom(5)
+        programs = []
+        for tid in range(4):
+            thread_rng = rng.split(tid)
+            specs = []
+            for _ in range(20):
+                src, dst = thread_rng.distinct(2, 0, 8)
+                specs.append(spec(transfer(src, dst), "transfer"))
+            programs.append(specs)
+        run_program(machine, "LogTM", programs)
+        total = sum(machine.plain_load(accounts + i * 8) for i in range(8))
+        assert total == 400

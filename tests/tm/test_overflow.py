@@ -1,0 +1,89 @@
+"""Timestamp-counter overflow handling end to end (section 4.1).
+
+On overflow, all active transactions abort with TIMESTAMP_OVERFLOW, an
+"interrupt" drains the system, the newest committed versions survive as
+fresh base versions, the counter restarts, and execution continues —
+with no lost committed data.
+"""
+
+import pytest
+
+from repro.common.config import MVMConfig, SimConfig
+from repro.common.errors import AbortCause
+from repro.sim.machine import Machine
+from repro.tm.ops import Compute, Read, Write
+
+from tests.conftest import run_program, spec
+
+
+def tiny_clock_machine(max_timestamp=60):
+    return Machine(SimConfig(mvm=MVMConfig(max_timestamp=max_timestamp,
+                                           commit_delta=8)))
+
+
+class TestOverflowRecovery:
+    def test_program_completes_across_overflows(self):
+        machine = tiny_clock_machine()
+        addr = machine.mvmalloc(1)
+
+        def increment():
+            value = yield Read(addr)
+            yield Compute(2)
+            yield Write(addr, value + 1)
+
+        # far more transactions than the 60-timestamp budget allows
+        programs = [[spec(increment, "inc") for _ in range(40)]
+                    for _ in range(2)]
+        stats = run_program(machine, "SI-TM", programs)
+        assert stats.total_commits == 80
+        assert machine.plain_load(addr) == 80
+
+    def test_overflow_aborts_recorded(self):
+        machine = tiny_clock_machine()
+        a, b = machine.mvmalloc(1), machine.mvmalloc(1)
+
+        def busy(target):
+            def body():
+                value = yield Read(target)
+                yield Compute(30)
+                yield Write(target, value + 1)
+            return body
+
+        programs = [[spec(busy(a), "a") for _ in range(30)],
+                    [spec(busy(b), "b") for _ in range(30)]]
+        stats = run_program(machine, "SI-TM", programs)
+        assert stats.total_commits == 60
+        assert stats.aborts_by(AbortCause.TIMESTAMP_OVERFLOW) > 0
+
+    def test_committed_data_survives_reset(self):
+        machine = tiny_clock_machine(max_timestamp=40)
+        base = machine.mvmalloc(8 * 10)
+
+        def write_cell(i):
+            def body():
+                yield Write(base + i * 8, i + 100)
+            return body
+
+        programs = [[spec(write_cell(i), "w") for i in range(30)]]
+        stats = run_program(machine, "SI-TM", programs)
+        assert stats.total_commits == 30
+        for i in range(30):
+            assert machine.plain_load(base + i * 8) == i + 100
+
+    def test_overflow_counter_increments(self):
+        from repro.common.rng import SplitRandom
+        from repro.sim.engine import Engine
+        from repro.tm import SnapshotIsolationTM
+
+        machine = tiny_clock_machine(max_timestamp=30)
+        addr = machine.mvmalloc(1)
+
+        def touch():
+            value = yield Read(addr)
+            yield Write(addr, value + 1)
+
+        tm = SnapshotIsolationTM(machine, SplitRandom(1))
+        engine = Engine(tm, [[spec(touch, "t") for _ in range(40)]])
+        engine.run()
+        assert tm.timestamp_overflows >= 1
+        assert machine.clock.now <= 30

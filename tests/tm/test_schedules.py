@@ -1,0 +1,57 @@
+"""Figures 2 and 6: the paper's example schedules, via the harness."""
+
+from repro.harness.experiments import figure2, figure6
+
+
+class TestFigure2:
+    """2PL aborts three, CS aborts TX2+TX3, SI aborts only TX3."""
+
+    def _by_system(self):
+        return {o.system: o for o in figure2()}
+
+    def test_2pl_aborts_everything_conflicting(self):
+        out = self._by_system()["2PL"]
+        assert sorted(out.aborted) == ["TX1", "TX2", "TX3"]
+        assert out.committed == ["TX0"]
+
+    def test_cs_commits_tx0_tx1(self):
+        out = self._by_system()["SONTM"]
+        assert sorted(out.committed) == ["TX0", "TX1"]
+        assert sorted(out.aborted) == ["TX2", "TX3"]
+
+    def test_si_aborts_only_tx3(self):
+        out = self._by_system()["SI-TM"]
+        assert sorted(out.committed) == ["TX0", "TX1", "TX2"]
+        assert out.aborted == ["TX3"]
+
+    def test_si_abort_is_write_write(self):
+        out = self._by_system()["SI-TM"]
+        assert out.abort_causes["TX3"] == "write-write"
+
+    def test_monotone_improvement(self):
+        by_system = self._by_system()
+        assert len(by_system["2PL"].aborted) \
+            > len(by_system["SONTM"].aborted) \
+            > len(by_system["SI-TM"].aborted)
+
+
+class TestFigure6:
+    """Temporal (CS) vs type-based (SSI) dependency cycles."""
+
+    def _by_system(self):
+        return {o.system: o for o in figure6()}
+
+    def test_cs_aborts_long_reader(self):
+        out = self._by_system()["SONTM"]
+        assert "TX0" in out.aborted
+        assert "TX1" in out.committed
+
+    def test_si_commits_both(self):
+        out = self._by_system()["SI-TM"]
+        assert sorted(out.committed) == ["TX0", "TX1"]
+
+    def test_ssi_commits_both(self):
+        # two same-direction rw edges are not a dangerous structure
+        out = self._by_system()["SSI-TM"]
+        assert sorted(out.committed) == ["TX0", "TX1"]
+        assert not out.aborted

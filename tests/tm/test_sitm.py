@@ -1,0 +1,272 @@
+"""SI-TM tests: snapshot reads, invisible readers, WW-only validation."""
+
+import pytest
+
+from repro.common.config import (
+    MVMConfig,
+    SimConfig,
+    TMConfig,
+    VersionCapPolicy,
+)
+from repro.common.errors import AbortCause, TransactionAborted
+from repro.common.rng import SplitRandom
+from repro.sim.machine import Machine
+from repro.tm.sitm import SnapshotIsolationTM
+
+
+@pytest.fixture
+def tm(machine):
+    return SnapshotIsolationTM(machine, SplitRandom(3))
+
+
+def begin(tm, thread_id, attempt=0):
+    txn, _ = tm.begin(thread_id, f"t{thread_id}", attempt)
+    return txn
+
+
+class TestSnapshotSemantics:
+    def test_reader_sees_pre_transaction_state(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        machine.plain_store(addr, 5)
+        reader = begin(tm, 0)
+        writer = begin(tm, 1)
+        tm.write(writer, addr, 9)
+        tm.commit(writer, 0)
+        # reader's snapshot predates the writer's commit
+        assert tm.read(reader, addr)[0] == 5
+
+    def test_new_transaction_sees_committed_state(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        writer = begin(tm, 0)
+        tm.write(writer, addr, 9)
+        tm.commit(writer, 0)
+        late = begin(tm, 1)
+        assert tm.read(late, addr)[0] == 9
+
+    def test_reads_own_writes(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        txn = begin(tm, 0)
+        tm.write(txn, addr, 4)
+        assert tm.read(txn, addr)[0] == 4
+
+    def test_repeatable_reads_under_concurrent_commits(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        first = tm.read(reader, addr)[0]
+        writer = begin(tm, 1)
+        tm.write(writer, addr, 123)
+        tm.commit(writer, 0)
+        assert tm.read(reader, addr)[0] == first
+
+    def test_invisible_readers_doom_nothing(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        writer = begin(tm, 0)
+        tm.write(writer, addr, 1)
+        reader = begin(tm, 1)
+        tm.read(reader, addr)
+        assert writer.doomed is None and reader.doomed is None
+
+
+class TestConflictDetection:
+    def test_no_abort_on_read_write_conflict(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        tm.read(reader, addr)
+        writer = begin(tm, 1)
+        tm.write(writer, addr, 1)
+        tm.commit(writer, 0)
+        tm.commit(reader, 0)  # must not raise: SI ignores rw conflicts
+
+    def test_write_write_conflict_aborts_second(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        first = begin(tm, 0)
+        second = begin(tm, 1)
+        tm.write(first, addr, 1)
+        tm.write(second, addr, 2)
+        tm.commit(first, 0)
+        with pytest.raises(TransactionAborted) as exc:
+            tm.commit(second, 0)
+        assert exc.value.cause is AbortCause.WRITE_WRITE
+
+    def test_non_overlapping_writers_both_commit(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        first = begin(tm, 0)
+        tm.write(first, addr, 1)
+        tm.commit(first, 0)
+        second = begin(tm, 1)  # starts after first committed
+        tm.write(second, addr, 2)
+        tm.commit(second, 0)
+        assert machine.plain_load(addr) == 2
+
+    def test_read_only_commit_is_free(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        txn = begin(tm, 0)
+        tm.read(txn, addr)
+        assert tm.commit(txn, 0) == 0
+
+    def test_write_write_on_disjoint_lines_commits(self, machine, tm):
+        a, b = machine.mvmalloc(1), machine.mvmalloc(1)
+        t1, t2 = begin(tm, 0), begin(tm, 1)
+        tm.write(t1, a, 1)
+        tm.write(t2, b, 2)
+        tm.commit(t1, 0)
+        tm.commit(t2, 0)
+        assert machine.plain_load(a) == 1
+        assert machine.plain_load(b) == 2
+
+
+class TestPromotedReads:
+    def test_promoted_read_validates_like_write(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        txn = begin(tm, 0)
+        tm.read(txn, addr, promote=True)
+        tm.write(txn, addr + 8, 1)      # different line: stays a writer
+        writer = begin(tm, 1)
+        tm.write(writer, addr, 5)
+        tm.commit(writer, 0)
+        with pytest.raises(TransactionAborted) as exc:
+            tm.commit(txn, 0)
+        assert exc.value.cause is AbortCause.WRITE_WRITE
+
+    def test_promoted_read_creates_no_version(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        line = machine.address_map.line_of(addr)
+        txn = begin(tm, 0)
+        tm.read(txn, addr, promote=True)
+        tm.write(txn, addr + 8, 1)
+        tm.commit(txn, 0)
+        assert machine.mvm.live_version_count(line) == 0
+
+    def test_promote_only_txn_not_read_only(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        txn = begin(tm, 0)
+        tm.read(txn, addr, promote=True)
+        assert not txn.is_read_only
+
+
+class TestVersionCap:
+    def _machine(self, policy):
+        return Machine(SimConfig(mvm=MVMConfig(
+            max_versions=2, cap_policy=policy, coalescing=False)))
+
+    def test_fifth_version_aborts_writer(self):
+        machine = self._machine(VersionCapPolicy.ABORT_WRITER)
+        tm = SnapshotIsolationTM(machine, SplitRandom(3))
+        addr = machine.mvmalloc(1)
+        pins = []
+        for i in range(4):
+            pin = begin(tm, 2 + i)       # active snapshots pin history
+            pins.append(pin)
+            writer = begin(tm, 0)
+            tm.write(writer, addr, i)
+            if i < 2:
+                tm.commit(writer, 0)
+            else:
+                with pytest.raises(TransactionAborted) as exc:
+                    tm.commit(writer, 0)
+                assert exc.value.cause is AbortCause.VERSION_OVERFLOW
+                break
+
+    def test_drop_oldest_aborts_old_reader_instead(self):
+        machine = self._machine(VersionCapPolicy.DROP_OLDEST)
+        tm = SnapshotIsolationTM(machine, SplitRandom(3))
+        addr = machine.mvmalloc(1)
+        old_reader = begin(tm, 5)
+        tm.read(old_reader, addr)  # snapshot of the implicit base
+        for i in range(3):
+            pin = begin(tm, 2 + i)
+            writer = begin(tm, 0)
+            tm.write(writer, addr, i)
+            tm.commit(writer, 0)   # never aborts under DROP_OLDEST
+        with pytest.raises(TransactionAborted) as exc:
+            tm.read(old_reader, addr)
+        assert exc.value.cause is AbortCause.SNAPSHOT_TOO_OLD
+
+
+class TestDeltaProtocol:
+    def test_begin_stalls_when_delta_exhausted(self):
+        machine = Machine(SimConfig(mvm=MVMConfig(commit_delta=3)))
+        tm = SnapshotIsolationTM(machine, SplitRandom(3))
+        addr = machine.mvmalloc(1)
+        writer = begin(tm, 0)
+        tm.write(writer, addr, 1)
+        machine.clock.begin_commit()  # a commit in flight
+        txn1, _ = tm.begin(1, "a", 0)
+        txn2, _ = tm.begin(2, "b", 0)
+        assert txn1 is not None
+        assert txn2 is None  # must stall
+
+
+class TestWordGranularityCommit:
+    def _tm(self):
+        machine = Machine(SimConfig(tm=TMConfig(
+            word_grain_commit_filter=True)))
+        return machine, SnapshotIsolationTM(machine, SplitRandom(3))
+
+    def test_false_sharing_filtered(self):
+        machine, tm = self._tm()
+        base = machine.mvmalloc(8)
+        t1, t2 = begin(tm, 0), begin(tm, 1)
+        tm.write(t1, base, 1)       # word 0
+        tm.write(t2, base + 5, 2)   # word 5, same line
+        tm.commit(t1, 0)
+        tm.commit(t2, 0)            # line-level WW, but words disjoint
+        assert machine.plain_load(base) == 1
+        assert machine.plain_load(base + 5) == 2
+
+    def test_true_word_conflict_still_aborts(self):
+        machine, tm = self._tm()
+        base = machine.mvmalloc(8)
+        t1, t2 = begin(tm, 0), begin(tm, 1)
+        tm.write(t1, base, 1)
+        tm.write(t2, base, 2)
+        tm.commit(t1, 0)
+        with pytest.raises(TransactionAborted):
+            tm.commit(t2, 0)
+
+
+class TestAbortCleanup:
+    def test_abort_is_idempotent_after_commit_failure(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        t1, t2 = begin(tm, 0), begin(tm, 1)
+        tm.write(t1, addr, 1)
+        tm.write(t2, addr, 2)
+        tm.commit(t1, 0)
+        with pytest.raises(TransactionAborted):
+            tm.commit(t2, 0)
+        tm.abort(t2, AbortCause.WRITE_WRITE)  # engine's follow-up call
+        assert len(machine.mvm.active) == 0
+
+    def test_no_undo_needed_previous_version_survives(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        machine.plain_store(addr, 7)
+        pin = begin(tm, 2)
+        t1, t2 = begin(tm, 0), begin(tm, 1)
+        tm.write(t1, addr, 1)
+        tm.write(t2, addr, 2)
+        tm.commit(t1, 0)
+        with pytest.raises(TransactionAborted):
+            tm.commit(t2, 0)
+        assert tm.read(pin, addr)[0] == 7  # pinned snapshot intact
+
+
+class TestConventionalRegionGuard:
+    def test_write_to_conventional_address_rejected(self, machine, tm):
+        from repro.common.errors import TMError
+
+        addr = machine.malloc(1)
+        txn = begin(tm, 0)
+        with pytest.raises(TMError):
+            tm.write(txn, addr, 1)
+
+    def test_read_of_conventional_address_allowed(self, machine, tm):
+        addr = machine.malloc(1)
+        machine.plain_store(addr, 9)
+        txn = begin(tm, 0)
+        assert tm.read(txn, addr)[0] == 9
+
+    def test_promotion_of_conventional_read_is_noop(self, machine, tm):
+        addr = machine.malloc(1)
+        txn = begin(tm, 0)
+        tm.read(txn, addr, promote=True)
+        assert txn.is_read_only  # nothing joined the validation set

@@ -1,0 +1,128 @@
+"""SONTM conflict-serializability tests: SON ranges, histories, edges."""
+
+import pytest
+
+from repro.common.errors import AbortCause, TransactionAborted
+from repro.common.rng import SplitRandom
+from repro.tm.sontm import SONTM
+
+
+@pytest.fixture
+def tm(machine):
+    return SONTM(machine, SplitRandom(3))
+
+
+def begin(tm, thread_id):
+    txn, _ = tm.begin(thread_id, f"t{thread_id}", 0)
+    return txn
+
+
+class TestRelaxedConcurrency:
+    def test_read_write_conflict_tolerated(self, machine, tm):
+        """CS's raison d'être: a single rw conflict orders, not aborts."""
+        addr = machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        writer = begin(tm, 1)
+        tm.read(reader, addr)
+        tm.write(writer, addr, 1)
+        tm.commit(writer, 0)
+        tm.commit(reader, 0)  # serialises before the writer
+
+    def test_reader_before_committed_writer_orders_correctly(
+            self, machine, tm):
+        addr = machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        writer = begin(tm, 1)
+        tm.read(reader, addr)
+        tm.write(writer, addr, 1)
+        tm.commit(writer, 0)
+        # the reader's upper bound sits below the writer's SON
+        assert reader.son_hi is not None
+
+    def test_cyclic_dependency_aborts(self, machine, tm):
+        """r1(A) w2(A) r2(B)... classic cycle: one of the two must die."""
+        a, b = machine.mvmalloc(1), machine.mvmalloc(1)
+        t1, t2 = begin(tm, 0), begin(tm, 1)
+        tm.read(t1, a)
+        tm.read(t2, b)
+        tm.write(t2, a, 1)   # t1 before t2
+        tm.write(t1, b, 1)   # t2 before t1 -> cycle
+        tm.commit(t1, 0)     # t1 commits, constraining t2 both ways
+        with pytest.raises(TransactionAborted) as exc:
+            tm.commit(t2, 0)
+        assert exc.value.cause is AbortCause.SON_RANGE_EMPTY
+
+    def test_read_after_committed_write_forces_lo(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        writer = begin(tm, 0)
+        tm.write(writer, addr, 1)
+        tm.commit(writer, 0)
+        reader = begin(tm, 1)
+        tm.read(reader, addr)
+        assert reader.son_lo > 0
+        tm.commit(reader, 0)
+
+    def test_figure6_temporal_cycle_aborts_long_reader(self, machine, tm):
+        addrs = [machine.mvmalloc(1) for _ in range(5)]
+        reader = begin(tm, 0)
+        writer = begin(tm, 1)
+        tm.read(reader, addrs[0])          # A before writer's commit
+        tm.write(writer, addrs[0], 1)
+        tm.write(writer, addrs[4], 1)
+        tm.commit(writer, 0)
+        for addr in addrs[1:]:
+            tm.read(reader, addr)          # E after writer's commit
+        with pytest.raises(TransactionAborted) as exc:
+            tm.commit(reader, 0)
+        assert exc.value.cause is AbortCause.SON_RANGE_EMPTY
+
+
+class TestWriteHistories:
+    def test_write_numbers_recorded(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        line = machine.address_map.line_of(addr)
+        writer = begin(tm, 0)
+        tm.write(writer, addr, 1)
+        tm.commit(writer, 0)
+        assert line in tm.write_numbers
+
+    def test_read_history_constrains_later_writer(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        tm.read(reader, addr)
+        tm.commit(reader, 0)
+        writer = begin(tm, 1)
+        tm.write(writer, addr, 1)
+        tm.commit(writer, 0)
+        line = machine.address_map.line_of(addr)
+        assert tm.write_numbers[line] > tm.read_history[line] - 1
+
+    def test_writes_published_at_commit(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        writer = begin(tm, 0)
+        tm.write(writer, addr, 42)
+        assert machine.plain_load(addr) == 0
+        tm.commit(writer, 0)
+        assert machine.plain_load(addr) == 42
+
+
+class TestAbortHygiene:
+    def test_abort_severs_edges(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        writer = begin(tm, 1)
+        tm.read(reader, addr)
+        tm.write(writer, addr, 1)
+        tm.abort(reader, AbortCause.EXPLICIT)
+        assert reader not in writer.after
+        tm.commit(writer, 0)
+
+    def test_committed_edges_skip_dead_transactions(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        writer = begin(tm, 1)
+        tm.read(reader, addr)
+        tm.write(writer, addr, 1)
+        tm.abort(writer, AbortCause.EXPLICIT)
+        tm.commit(reader, 0)   # must not see constraints from the dead txn
+        assert reader.son_hi is None or reader.son_lo <= reader.son_hi

@@ -1,0 +1,147 @@
+"""SSI-TM tests: dangerous-structure detection, read-only immunity."""
+
+import pytest
+
+from repro.common.errors import AbortCause, TransactionAborted
+from repro.common.rng import SplitRandom
+from repro.tm.ssi import SerializableSITM
+
+
+@pytest.fixture
+def tm(machine):
+    return SerializableSITM(machine, SplitRandom(3))
+
+
+def begin(tm, thread_id):
+    txn, _ = tm.begin(thread_id, f"t{thread_id}", 0)
+    return txn
+
+
+class TestWriteSkewPrevention:
+    def test_classic_write_skew_aborted(self, machine, tm):
+        """The Listing 1 bank anomaly: disjoint writes, crossed reads."""
+        checking = machine.mvmalloc(1)
+        saving = machine.mvmalloc(1)
+        machine.plain_store(checking, 60)
+        machine.plain_store(saving, 60)
+        t1, t2 = begin(tm, 0), begin(tm, 1)
+        # both verify the invariant over BOTH accounts...
+        tm.read(t1, checking)
+        tm.read(t1, saving)
+        tm.read(t2, checking)
+        tm.read(t2, saving)
+        # ...then withdraw from different accounts (disjoint writes)
+        tm.write(t1, checking, 60 - 100)
+        tm.write(t2, saving, 60 - 100)
+        tm.commit(t1, 0)
+        with pytest.raises(TransactionAborted) as exc:
+            tm.commit(t2, 0)
+        assert exc.value.cause is AbortCause.DANGEROUS_STRUCTURE
+
+    def test_plain_rw_conflict_still_commits(self, machine, tm):
+        """One-directional conflicts are not dangerous."""
+        addr = machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        writer = begin(tm, 1)
+        tm.read(reader, addr)
+        tm.write(writer, addr + 8, 1)  # disjoint: no conflict at all
+        tm.commit(writer, 0)
+        tm.commit(reader, 0)
+
+    def test_figure6_long_reader_commits(self, machine, tm):
+        """Type-based dependencies: two same-direction edges, no abort."""
+        addrs = [machine.mvmalloc(1) for _ in range(5)]
+        reader = begin(tm, 0)
+        writer = begin(tm, 1)
+        tm.read(reader, addrs[0])
+        tm.write(writer, addrs[0], 1)
+        tm.write(writer, addrs[4], 1)
+        tm.commit(writer, 0)
+        for addr in addrs[1:]:
+            tm.read(reader, addr)
+        tm.commit(reader, 0)  # must not raise (SONTM aborts here)
+
+    def test_committed_pivot_neighbour_aborts(self, machine, tm):
+        """An edge completing a committed pivot aborts the edge's source."""
+        a, b, c = (machine.mvmalloc(1) for _ in range(3))
+        t1, t2, t3 = begin(tm, 0), begin(tm, 1), begin(tm, 2)
+        # t2 is the pivot: in-edge from t1 (t1 reads a, t2 writes a),
+        # out-edge to t3 (t2 reads b, t3 writes b)
+        tm.read(t1, a)
+        tm.write(t1, c, 1)
+        tm.read(t2, b)
+        tm.write(t2, a, 1)
+        tm.write(t3, b, 1)
+        tm.commit(t3, 0)          # t2 gains outbound when it commits
+        tm.commit(t2, 0)          # commits with outbound only
+        with pytest.raises(TransactionAborted) as exc:
+            tm.commit(t1, 0)      # would complete t2 as a pivot
+        assert exc.value.cause is AbortCause.DANGEROUS_STRUCTURE
+
+
+class TestReadOnlyImmunity:
+    def test_read_only_never_aborts(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        tm.read(reader, addr)
+        writer = begin(tm, 1)
+        tm.write(writer, addr, 1)
+        tm.commit(writer, 0)
+        tm.commit(reader, 0)  # read-only: outbound edges are harmless
+
+    def test_read_only_records_still_flag_writers(self, machine, tm):
+        a, b = machine.mvmalloc(1), machine.mvmalloc(1)
+        reader = begin(tm, 0)
+        tm.read(reader, a)
+        tm.commit(reader, 0)
+        # a later concurrent... the reader is committed; a writer that
+        # started before the reader committed gains an inbound edge
+        # (the reader record is concurrent with it)
+        writer = begin(tm, 1)
+        tm.write(writer, a, 1)
+        tm.commit(writer, 0)  # inbound only: fine
+        assert True
+
+
+class TestWindowHygiene:
+    def test_window_prunes_when_no_overlap_possible(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        for i in range(5):
+            txn = begin(tm, 0)
+            tm.write(txn, addr, i)
+            tm.commit(txn, 0)
+        # no active transactions: next commit prunes everything prior
+        txn = begin(tm, 0)
+        tm.write(txn, addr, 9)
+        tm.commit(txn, 0)
+        assert len(tm._window) <= 2
+
+    def test_window_retains_overlapping_records(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        pin = begin(tm, 5)   # long-running: keeps records alive
+        for i in range(4):
+            txn = begin(tm, 0)
+            tm.write(txn, addr + 8 * i, i)
+            tm.commit(txn, 0)
+        assert len(tm._window) == 4
+        tm.commit(pin, 0)
+
+
+class TestStillSnapshotIsolation:
+    def test_ww_conflict_still_aborts(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        t1, t2 = begin(tm, 0), begin(tm, 1)
+        tm.write(t1, addr, 1)
+        tm.write(t2, addr, 2)
+        tm.commit(t1, 0)
+        with pytest.raises(TransactionAborted):
+            tm.commit(t2, 0)
+
+    def test_snapshot_reads_preserved(self, machine, tm):
+        addr = machine.mvmalloc(1)
+        machine.plain_store(addr, 5)
+        reader = begin(tm, 0)
+        writer = begin(tm, 1)
+        tm.write(writer, addr, 9)
+        tm.commit(writer, 0)
+        assert tm.read(reader, addr)[0] == 5

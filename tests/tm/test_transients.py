@@ -1,0 +1,80 @@
+"""Transient-spill path tests (section 4.2's temporary-ID mechanism).
+
+When an uncommitted transactionally-written line is evicted from the
+private caches, SI-TM stores it in the MVM under a temporary owner ID
+instead of aborting — the mechanism behind unbounded transactions.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import CacheConfig, MachineConfig, SimConfig
+from repro.common.rng import SplitRandom
+from repro.sim.engine import Engine, TransactionSpec
+from repro.sim.machine import Machine
+from repro.tm import SnapshotIsolationTM
+from repro.tm.ops import Write
+
+
+def tiny_cache_machine():
+    """A machine whose private caches hold almost nothing."""
+    machine_config = MachineConfig(
+        cores=2,
+        l1d=CacheConfig(size_bytes=4 * 64, associativity=1,
+                        latency_cycles=4),
+        l2=CacheConfig(size_bytes=4 * 64, associativity=1,
+                       latency_cycles=8))
+    return Machine(SimConfig(machine=machine_config))
+
+
+class TestTransientSpills:
+    def test_big_write_set_spills_and_commits(self):
+        machine = tiny_cache_machine()
+        per_line = machine.address_map.words_per_line
+        lines = 64
+        base = machine.mvmalloc(lines * per_line)
+
+        def bulk():
+            for i in range(lines):
+                yield Write(base + i * per_line, i + 1)
+
+        tm = SnapshotIsolationTM(machine, SplitRandom(1))
+        stats = Engine(tm, [[TransactionSpec(bulk, "bulk")]]).run()
+        assert stats.total_commits == 1
+        assert stats.total_aborts == 0
+        for i in range(lines):
+            assert machine.plain_load(base + i * per_line) == i + 1
+
+    def test_transients_dropped_after_commit(self):
+        machine = tiny_cache_machine()
+        per_line = machine.address_map.words_per_line
+        base = machine.mvmalloc(32 * per_line)
+
+        def bulk():
+            for i in range(32):
+                yield Write(base + i * per_line, 1)
+
+        tm = SnapshotIsolationTM(machine, SplitRandom(1))
+        Engine(tm, [[TransactionSpec(bulk, "bulk")]]).run()
+        for i in range(32):
+            line = machine.address_map.line_of(base + i * per_line)
+            assert machine.mvm.load_transient(line, 0) is None
+
+    def test_spill_charges_shared_level_cycles(self):
+        """The spilling run costs more cycles than a no-pressure run."""
+        results = {}
+        for name, factory in (("tiny", tiny_cache_machine),
+                              ("roomy", Machine)):
+            machine = factory()
+            per_line = machine.address_map.words_per_line
+            base = machine.mvmalloc(48 * per_line)
+
+            def bulk():
+                for i in range(48):
+                    yield Write(base + i * per_line, 1)
+
+            tm = SnapshotIsolationTM(machine, SplitRandom(1))
+            stats = Engine(tm, [[TransactionSpec(bulk, "bulk")]]).run()
+            results[name] = stats.makespan_cycles
+        assert results["tiny"] > results["roomy"]

@@ -1,0 +1,91 @@
+"""Extra (non-paper) workload tests: hashtable and pipeline."""
+
+import pytest
+
+from repro.common.rng import SplitRandom
+from repro.sim.machine import Machine
+from repro.workloads import PAPER_ORDER, REGISTRY
+
+from tests.conftest import run_program
+
+
+class TestRegistration:
+    def test_registered_but_not_in_paper_order(self):
+        assert "hashtable" in REGISTRY
+        assert "pipeline" in REGISTRY
+        assert "hashtable" not in PAPER_ORDER
+        assert "pipeline" not in PAPER_ORDER
+
+
+@pytest.mark.parametrize("name", ["hashtable", "pipeline"])
+@pytest.mark.parametrize("system", ["2PL", "SONTM", "SI-TM"])
+def test_runs_clean(name, system):
+    workload = REGISTRY.create(name, profile="test")
+    machine = Machine()
+    instance = workload.setup(machine, 4, SplitRandom(3))
+    total = sum(len(p) for p in instance.programs)
+    stats = run_program(machine, system, instance.programs, seed=1)
+    assert stats.total_commits == total
+    assert instance.verify()
+
+
+class TestCharacteristics:
+    def test_hashtable_moderate_contention_for_everyone(self):
+        rates = {}
+        for system in ("2PL", "SI-TM"):
+            workload = REGISTRY.create("hashtable", profile="test")
+            machine = Machine()
+            instance = workload.setup(machine, 8, SplitRandom(5))
+            stats = run_program(machine, system, instance.programs, seed=2)
+            rates[system] = stats.abort_rate
+        assert all(rate < 0.35 for rate in rates.values())
+        # per-bucket conflicts favour SI (bucket-head writes vs chain reads)
+        assert rates["SI-TM"] <= rates["2PL"]
+
+    def test_pipeline_conflicts_regardless_of_system(self):
+        """Cursor RMW: SI gains nothing (every conflict is write-write)."""
+        aborts = {}
+        for system in ("2PL", "SI-TM"):
+            workload = REGISTRY.create("pipeline", profile="test")
+            machine = Machine()
+            instance = workload.setup(machine, 8, SplitRandom(5))
+            stats = run_program(machine, system, instance.programs, seed=2)
+            aborts[system] = stats.total_aborts
+        assert aborts["SI-TM"] > aborts["2PL"] / 50
+
+    def test_hashtable_contention_levels(self):
+        lows, highs = [], []
+        for level, bucket in (("low", lows), ("high", highs)):
+            workload = REGISTRY.create("hashtable", profile="test",
+                                       contention=level)
+            machine = Machine()
+            instance = workload.setup(machine, 8, SplitRandom(5))
+            stats = run_program(machine, "2PL", instance.programs, seed=2)
+            bucket.append(stats.total_aborts)
+        assert highs[0] >= lows[0]
+
+
+class TestYada:
+    @pytest.mark.parametrize("system", ["2PL", "SONTM", "SI-TM"])
+    def test_runs_and_verifies(self, system):
+        workload = REGISTRY.create("yada", profile="test")
+        machine = Machine()
+        instance = workload.setup(machine, 4, SplitRandom(9))
+        total = sum(len(p) for p in instance.programs)
+        stats = run_program(machine, system, instance.programs, seed=4)
+        assert stats.total_commits == total
+        assert instance.verify()
+
+    def test_cavities_conflict_under_everyone(self):
+        """Overlapping cavities produce aborts for every policy (unlike
+        the pure-reader benchmarks where SI collapses them to ~zero)."""
+        aborts = {}
+        for system in ("2PL", "SI-TM"):
+            workload = REGISTRY.create("yada", profile="test",
+                                       contention="high")
+            machine = Machine()
+            instance = workload.setup(machine, 8, SplitRandom(2))
+            stats = run_program(machine, system, instance.programs, seed=2)
+            aborts[system] = stats.total_aborts
+        assert aborts["2PL"] > 0
+        assert aborts["SI-TM"] > 0

@@ -1,0 +1,68 @@
+"""Scaling-profile behaviour tests."""
+
+import pytest
+
+from repro.common.rng import SplitRandom
+from repro.sim.machine import Machine
+from repro.workloads import PAPER_ORDER, REGISTRY
+
+
+def total_specs(name, profile, threads=4):
+    workload = REGISTRY.create(name, profile=profile)
+    instance = workload.setup(Machine(), threads, SplitRandom(7))
+    return sum(len(p) for p in instance.programs)
+
+
+class TestProfileScaling:
+    @pytest.mark.parametrize("name", PAPER_ORDER)
+    def test_quick_not_smaller_than_test(self, name):
+        assert total_specs(name, "quick") >= total_specs(name, "test")
+
+    @pytest.mark.parametrize("name", ["array", "list", "rbtree"])
+    def test_full_profile_keeps_paper_per_thread_counts(self, name):
+        # paper: 1000 transactions per thread for the microbenchmarks
+        assert total_specs(name, "full", threads=2) == 2000
+
+    def test_micro_full_sizes_match_paper(self):
+        from repro.workloads.micro import ArrayBench, ListBench, RBTreeBench
+
+        array = ArrayBench(profile="full")
+        assert array._pick(test=0, quick=0, full=30_000) == 30_000
+        lst = ListBench(profile="full")
+        assert lst._pick(test=0, quick=0, full=1000) == 1000
+        tree = RBTreeBench(profile="full")
+        assert tree._pick(test=0, quick=0, full=100) == 100
+
+
+class TestMixRatios:
+    """The paper's operation mixes hold across profiles (within noise)."""
+
+    def _label_fractions(self, name, profile, threads=8, seed=3):
+        workload = REGISTRY.create(name, profile=profile)
+        instance = workload.setup(Machine(), threads, SplitRandom(seed))
+        from collections import Counter
+
+        counts = Counter(s.label for p in instance.programs for s in p)
+        total = sum(counts.values())
+        return {label: n / total for label, n in counts.items()}
+
+    def test_array_mix_20_80(self):
+        fractions = self._label_fractions("array", "quick")
+        assert 0.10 <= fractions.get("array.scan", 0) <= 0.30
+        assert 0.70 <= fractions.get("array.update", 0) <= 0.90
+
+    def test_list_mix_40_40_20(self):
+        fractions = self._label_fractions("list", "quick")
+        assert 0.30 <= fractions.get("list.insert", 0) <= 0.50
+        assert 0.30 <= fractions.get("list.remove", 0) <= 0.50
+        assert 0.10 <= fractions.get("list.lookup", 0) <= 0.30
+
+    def test_rbtree_mix_50_25_25(self):
+        fractions = self._label_fractions("rbtree", "quick")
+        assert 0.40 <= fractions.get("rbtree.lookup", 0) <= 0.60
+        assert 0.15 <= fractions.get("rbtree.insert", 0) <= 0.35
+        assert 0.15 <= fractions.get("rbtree.remove", 0) <= 0.35
+
+    def test_bayes_quarter_read_only(self):
+        fractions = self._label_fractions("bayes", "quick")
+        assert 0.10 <= fractions.get("bayes.evaluate", 0) <= 0.40
