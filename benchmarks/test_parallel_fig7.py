@@ -1,0 +1,79 @@
+"""Execution-layer smoke benchmarks: parallel speedup and cache hits.
+
+Acceptance targets for the spec/executor refactor:
+
+* ``fig7 --jobs 4`` must produce numerically identical cells to
+  ``--jobs 1`` (checked on every run, whatever the core count);
+* on a >=4-core runner, 4 jobs must beat serial by >=1.8x wall-clock;
+* a second invocation must be served >=90% from cache.
+
+The speedup assertion is gated on the machine actually having the
+cores: a 1-core container still checks equality and cache behaviour,
+but process-pool wall-clock there measures scheduling, not the
+refactor.
+"""
+
+import dataclasses
+import os
+import time
+
+import pytest
+
+from repro.harness.executor import Executor
+from repro.harness.experiments import figure7
+
+from conftest import SEEDS
+
+#: enough grid cells (3 workloads x 2 thread counts x 3 systems x seeds)
+#: that pool startup is amortised, small enough to stay CI-friendly
+WORKLOADS = ["rbtree", "list", "vacation"]
+THREAD_COUNTS = (8, 16)
+PROFILE = "quick"
+
+
+def _cells_key(cells):
+    return [dataclasses.asdict(c) for c in cells]
+
+
+def _run(jobs, tmp_path, cache=False):
+    executor = Executor(jobs=jobs, cache=cache,
+                        cache_dir=tmp_path / "cache")
+    start = time.perf_counter()
+    cells = figure7(PROFILE, THREAD_COUNTS, SEEDS,
+                    workloads=WORKLOADS, executor=executor)
+    return cells, time.perf_counter() - start, executor
+
+
+def test_parallel_fig7_identical_and_faster(tmp_path, benchmark):
+    serial_cells, serial_secs, _ = _run(jobs=1, tmp_path=tmp_path)
+    parallel_cells, parallel_secs, _ = _run(jobs=4, tmp_path=tmp_path)
+
+    # numerically identical rows, serial vs 4 workers
+    assert _cells_key(parallel_cells) == _cells_key(serial_cells)
+
+    speedup = serial_secs / parallel_secs if parallel_secs else 0.0
+    benchmark.extra_info["serial_secs"] = serial_secs
+    benchmark.extra_info["parallel_secs"] = parallel_secs
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 1.8, (
+            f"4 jobs gave only {speedup:.2f}x over serial "
+            f"({serial_secs:.1f}s -> {parallel_secs:.1f}s)")
+
+
+def test_cached_rerun_mostly_hits(tmp_path, benchmark):
+    first_cells, _, first = _run(jobs=1, tmp_path=tmp_path, cache=True)
+    second_cells, second_secs, second = _run(jobs=1, tmp_path=tmp_path,
+                                             cache=True)
+
+    counters = second.counters()
+    benchmark.extra_info["counters"] = counters
+    benchmark.extra_info["cached_secs"] = second_secs
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    assert counters["hit_rate"] >= 0.90
+    assert counters["executed"] == 0
+    assert _cells_key(second_cells) == _cells_key(first_cells)

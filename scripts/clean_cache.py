@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Maintain the experiment result cache (`results/.cache`).
+
+Usage::
+
+    PYTHONPATH=src python scripts/clean_cache.py            # print stats
+    PYTHONPATH=src python scripts/clean_cache.py --clear    # delete all
+    PYTHONPATH=src python scripts/clean_cache.py --prune    # delete stale
+
+``--prune`` removes only entries whose code fingerprint no longer
+matches the working tree — i.e. results no current invocation could ever
+be served (the executor keys its cache on a hash of every ``repro/*.py``
+source file, so any edit orphans old entries).  Equivalent CLI:
+``sitm-harness cache --stats/--clear``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    """Entry point: stats by default, ``--clear``/``--prune`` to delete."""
+    from repro.harness.executor import ResultCache, code_fingerprint
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache location (default results/.cache, "
+                             "or $SITM_CACHE_DIR)")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--clear", action="store_true",
+                       help="delete every cache entry")
+    group.add_argument("--prune", action="store_true",
+                       help="delete only entries from old code versions")
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        print(f"removed {cache.clear()} entries from {cache.root}")
+        return 0
+    if args.prune:
+        removed = 0
+        current = code_fingerprint()
+        for path in sorted(cache.root.glob("*.json")) \
+                if cache.root.is_dir() else []:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                payload = {}
+            if payload.get("fingerprint") != current:
+                path.unlink()
+                removed += 1
+        print(f"pruned {removed} stale entries from {cache.root}")
+        return 0
+    for key, value in cache.stats().items():
+        print(f"{key:14s} {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

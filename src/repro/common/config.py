@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigError
@@ -216,6 +218,73 @@ class SimConfig:
     def replace(self, **kwargs) -> "SimConfig":
         """Return a copy with top-level fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """Serialise to plain JSON-safe types (enums become their values)."""
+        return _config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimConfig":
+        """Inverse of :meth:`to_dict`; validates via each ``__post_init__``."""
+        return cls(
+            machine=_machine_from_dict(data["machine"]),
+            mvm=_mvm_from_dict(data["mvm"]),
+            tm=_tm_from_dict(data["tm"]),
+            compute_cycles=data["compute_cycles"],
+            txn_overhead_cycles=data["txn_overhead_cycles"])
+
+    def canonical_json(self) -> str:
+        """Canonical JSON form (sorted keys, no whitespace) for hashing."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def fingerprint(self) -> str:
+        """Stable hex digest of the full configuration.
+
+        Two :class:`SimConfig` instances share a fingerprint iff every
+        field (machine geometry, MVM, TM policies, cost model) is equal —
+        the experiment cache keys results on it so a config change can
+        never serve stale numbers.
+        """
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+
+def _config_to_dict(config) -> dict:
+    """Recursively convert a config dataclass tree to JSON-safe types."""
+    out = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        if dataclasses.is_dataclass(value):
+            out[f.name] = _config_to_dict(value)
+        elif isinstance(value, enum.Enum):
+            out[f.name] = value.value
+        else:
+            out[f.name] = value
+    return out
+
+
+def _cache_from_dict(data: dict) -> CacheConfig:
+    return CacheConfig(**data)
+
+
+def _machine_from_dict(data: dict) -> MachineConfig:
+    kwargs = dict(data)
+    for level in ("l1d", "l2", "l3"):
+        kwargs[level] = _cache_from_dict(kwargs[level])
+    return MachineConfig(**kwargs)
+
+
+def _mvm_from_dict(data: dict) -> MVMConfig:
+    kwargs = dict(data)
+    kwargs["cap_policy"] = VersionCapPolicy(kwargs["cap_policy"])
+    return MVMConfig(**kwargs)
+
+
+def _tm_from_dict(data: dict) -> TMConfig:
+    kwargs = dict(data)
+    kwargs["granularity"] = ConflictGranularity(kwargs["granularity"])
+    return TMConfig(**kwargs)
 
 
 def table1_dict() -> dict:

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.harness import experiments
-from repro.harness.runner import run_seeds
+from repro.harness.executor import Executor
 
 
 @dataclass
@@ -40,12 +40,17 @@ def _relative(cells, workload: str, system: str) -> Optional[float]:
 
 
 def check_claims(profile: str = "test", threads: int = 8,
-                 seeds: int = 2) -> List[ClaimResult]:
-    """Run the whole battery; returns one result per headline claim."""
+                 seeds: int = 2,
+                 executor: Optional[Executor] = None) -> List[ClaimResult]:
+    """Run the whole battery; returns one result per headline claim.
+
+    ``executor`` parallelises/memoizes the grid-shaped checks; the
+    hand-built schedules (Figures 2 and 6) always run inline.
+    """
     results: List[ClaimResult] = []
 
     # -- Figure 1: read-write aborts dominate under 2PL ------------------
-    rows = experiments.figure1(profile, threads, seeds)
+    rows = experiments.figure1(profile, threads, seeds, executor=executor)
     rw = sum(r.read_write_pct * r.total_aborts for r in rows)
     ww = sum(r.write_write_pct * r.total_aborts for r in rows)
     fraction = rw / (rw + ww) if rw + ww else 0.0
@@ -55,7 +60,8 @@ def check_claims(profile: str = "test", threads: int = 8,
         ">= 0.75", f"{fraction:.3f}", fraction >= 0.75))
 
     # -- Figure 7 shapes --------------------------------------------------
-    cells = experiments.figure7(profile, (threads,), seeds)
+    cells = experiments.figure7(profile, (threads,), seeds,
+                                executor=executor)
 
     def claim_relative(claim_id, workload, bound, description):
         value = _relative(cells, workload, "SI-TM")
@@ -90,7 +96,8 @@ def check_claims(profile: str = "test", threads: int = 8,
 
     # -- Figure 8: read-heavy scalability ---------------------------------
     series = experiments.figure8(profile, (1, threads), seeds,
-                                 workloads=["array", "vacation"])
+                                 workloads=["array", "vacation"],
+                                 executor=executor)
     by_key = {(s.workload, s.system): s.speedup[-1] for s in series}
     for workload in ("array", "vacation"):
         si = by_key[(workload, "SI-TM")]
@@ -102,7 +109,8 @@ def check_claims(profile: str = "test", threads: int = 8,
 
     # -- Table 2: 4 versions suffice --------------------------------------
     census = experiments.table2(profile, threads,
-                                workloads=["array", "list", "rbtree"])
+                                workloads=["array", "list", "rbtree"],
+                                executor=executor)
     worst_tail = max(experiments.census_tail_fraction(rows_, 4)
                      for rows_ in census.values())
     results.append(ClaimResult(

@@ -5,16 +5,26 @@ Usage::
     sitm-harness fig1  [--profile quick] [--threads 16] [--seeds 3]
     sitm-harness fig2
     sitm-harness fig6
-    sitm-harness fig7  [--profile quick] [--seeds 3]
-    sitm-harness fig8  [--profile quick] [--seeds 3]
+    sitm-harness fig7  [--profile quick] [--seeds 3] [--jobs 4]
+    sitm-harness fig8  [--profile quick] [--seeds 3] [--jobs 4]
     sitm-harness table1
     sitm-harness table2 [--profile quick]
     sitm-harness overheads
+    sitm-harness cache [--stats | --clear]
     sitm-harness all   [--profile test]
 
 ``--profile`` selects the workload scaling profile (see
 :mod:`repro.workloads.base`); ``full`` is closest to the paper but slow in
-pure Python.
+pure Python.  ``--seeds`` sets independent seeds per cell: the default 3
+keeps quick runs fast, the paper's protocol averages 5 (``--seeds 5``).
+
+Grid commands (fig1/fig7/fig8/table2/claims) execute through the
+parallel, memoizing executor: ``--jobs N`` fans simulations out over N
+worker processes (``--jobs 0`` = one per CPU), and completed runs are
+cached content-addressed under ``results/.cache`` so a re-run is served
+from disk.  ``--no-cache`` disables the cache, ``--refresh`` recomputes
+and overwrites it, and ``sitm-harness cache --stats/--clear`` inspects
+or empties it.  Results are byte-identical serial, parallel, or cached.
 """
 
 from __future__ import annotations
@@ -27,12 +37,15 @@ from repro.common.config import table1_dict
 from repro.harness import experiments
 from repro.harness.claims import all_passed, check_claims
 from repro.harness import export
-from repro.harness.report import (format_relative, format_series,
-                                  format_table, line_chart)
+from repro.harness.executor import Executor, ResultCache
+from repro.harness.report import (format_rel_stddev, format_relative,
+                                  format_series, format_table, line_chart)
+from repro.harness.runner import DEFAULT_SEEDS, PAPER_SEEDS
 
 
 def _fig1(args) -> str:
-    rows = experiments.figure1(args.profile, args.threads, args.seeds)
+    rows = experiments.figure1(args.profile, args.threads, args.seeds,
+                               executor=args.executor)
     _export(args, export.figure1_rows(rows))
     return format_table(
         ["benchmark", "read-write %", "write-write %", "aborts/run"],
@@ -76,16 +89,20 @@ def _fig7(args) -> str:
     if "2PL" not in systems:
         systems = ["2PL"] + systems
     cells = experiments.figure7(args.profile, seeds=args.seeds,
-                                workloads=args.workloads, systems=systems)
+                                workloads=args.workloads, systems=systems,
+                                executor=args.executor)
     _export(args, export.figure7_rows(cells))
     headers = (["benchmark", "threads"] + systems
-               + [f"{s}/2PL" for s in systems if s != "2PL"])
+               + [f"{s}/2PL" for s in systems if s != "2PL"]
+               + ["max sd"])
     rows = []
     for c in cells:
         row = [c.workload, c.threads]
         row += [f"{c.aborts[s]:.0f}" for s in systems]
         row += [format_relative(c.relative[s]) for s in systems
                 if s != "2PL"]
+        row.append(format_rel_stddev(
+            max(c.rel_stddev.values()) if c.rel_stddev else None))
         rows.append(row)
     return format_table(headers, rows,
                         title="Figure 7: aborts relative to 2PL")
@@ -94,12 +111,13 @@ def _fig7(args) -> str:
 def _fig8(args) -> str:
     series = experiments.figure8(args.profile, seeds=args.seeds,
                                  workloads=args.workloads,
-                                 systems=args.systems)
+                                 systems=args.systems,
+                                 executor=args.executor)
     _export(args, export.figure8_rows(series))
     lines = ["Figure 8: speedup over one thread"]
     for s in series:
         lines.append(format_series(f"{s.workload:10s} {s.system:6s}",
-                                   s.threads, s.speedup))
+                                   s.threads, s.speedup, s.rel_stddev))
     if args.chart:
         by_workload = {}
         for s in series:
@@ -118,7 +136,8 @@ def _table1(args) -> str:
 
 
 def _table2(args) -> str:
-    results = experiments.table2(args.profile, workloads=args.workloads)
+    results = experiments.table2(args.profile, workloads=args.workloads,
+                                 executor=args.executor)
     headers = ["version"] + list(results)
     depth_rows = {}
     for name, rows in results.items():
@@ -132,7 +151,7 @@ def _table2(args) -> str:
 
 def _claims(args) -> str:
     results = check_claims(profile=args.profile, threads=args.threads,
-                           seeds=args.seeds)
+                           seeds=args.seeds, executor=args.executor)
     table = format_table(
         ["claim", "description", "expected", "measured", "ok"],
         [[r.claim_id, r.description, r.expected, r.measured,
@@ -153,6 +172,22 @@ def _overheads(args) -> str:
         title="Section 3.2: MVM overhead model")
 
 
+def _cache(args) -> str:
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        return f"cache cleared: {removed} entries removed from {cache.root}"
+    stats = cache.stats()
+    return format_table(
+        ["property", "value"],
+        [["location", stats["root"]],
+         ["entries", stats["entries"]],
+         ["size (KB)", stats["bytes"] // 1024],
+         ["current code", stats["current_code"]],
+         ["stale (old code)", stats["stale"]]],
+        title="Experiment result cache")
+
+
 _COMMANDS = {
     "fig1": _fig1,
     "fig2": _fig2,
@@ -171,19 +206,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sitm-harness",
         description="Regenerate the SI-TM paper's figures and tables.")
-    parser.add_argument("command", choices=list(_COMMANDS) + ["all"])
+    parser.add_argument("command", choices=list(_COMMANDS) + ["cache", "all"])
     parser.add_argument("--profile", default="quick",
                         choices=("test", "quick", "full"))
     parser.add_argument("--threads", type=int, default=16,
                         help="thread count for fig1")
-    parser.add_argument("--seeds", type=int, default=3,
-                        help="independent seeds per cell (paper uses 5)")
+    parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS,
+                        help="independent seeds per cell (default "
+                             f"{DEFAULT_SEEDS} for quick runs; the paper "
+                             f"averages {PAPER_SEEDS})")
     parser.add_argument("--workloads", nargs="*", default=None,
                         help="restrict to these workloads")
     parser.add_argument("--systems", nargs="*", default=None,
                         choices=("2PL", "SONTM", "SI-TM", "SSI-TM", "LogTM"),
                         help="systems for fig7/fig8 (default: the paper's "
                              "three; add SSI-TM to measure the extension)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for grid experiments "
+                             "(1 = serial, 0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute every run, overwriting the cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache location (default "
+                             "results/.cache, or $SITM_CACHE_DIR)")
     parser.add_argument("--out", default=None,
                         help="also write the report to this file")
     parser.add_argument("--chart", action="store_true",
@@ -192,17 +239,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fig1/fig7/fig8: write rows to this CSV file")
     parser.add_argument("--json", default=None,
                         help="fig1/fig7/fig8: write rows to this JSON file")
+    parser.add_argument("--clear", action="store_true",
+                        help="cache: delete every entry")
+    parser.add_argument("--stats", action="store_true",
+                        help="cache: print entry counts (the default)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 = one per CPU)")
+    args.executor = Executor(jobs=args.jobs, cache=not args.no_cache,
+                             refresh=args.refresh,
+                             cache_dir=args.cache_dir)
     if args.command == "all":
         report = "\n\n".join(fn(args) for fn in _COMMANDS.values())
+    elif args.command == "cache":
+        report = _cache(args)
     else:
         report = _COMMANDS[args.command](args)
-    print(report)
+    counters = args.executor.counters()
+    if counters["runs"]:
+        # stdout only: archived --out reports must not embed run-specific
+        # cache counters
+        print(report + (
+            "\n\n[executor] jobs={jobs} runs={runs} "
+            "cache-hits={cache_hits} cache-misses={cache_misses} "
+            "hit-rate={pct:.0f}%".format(
+                pct=100.0 * counters["hit_rate"], **counters)))
+    else:
+        print(report)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")

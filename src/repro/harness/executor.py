@@ -1,0 +1,237 @@
+"""Parallel, memoizing execution layer for experiment grids.
+
+The figure drivers declare :class:`~repro.harness.spec.ExperimentSpec`
+grids; this module executes them:
+
+* **Fan-out** — specs run across a
+  :class:`concurrent.futures.ProcessPoolExecutor` (``jobs > 1``) or
+  inline (``jobs == 1``).  Specs and results cross the process boundary
+  as JSON dicts, exercising the same serialization the cache uses, and
+  the result map is assembled in submission order, so output is
+  byte-identical whichever path ran — same seeds, same numbers, serial
+  or parallel.
+* **Memoization** — completed :class:`~repro.harness.runner.RunResult`
+  records live in a content-addressed on-disk cache
+  (``results/.cache/<key>.json``).  The key hashes the spec (including
+  the config fingerprint) *and* a fingerprint of every ``repro/*.py``
+  source file, so editing the simulator, a workload, or a config knob
+  silently invalidates old entries.  ``cache=False`` disables the cache
+  and ``refresh=True`` recomputes but re-stores (the CLI's
+  ``--no-cache`` / ``--refresh`` escape hatches).
+
+The executor keeps hit/miss/executed counters so callers can verify a
+re-run was actually served from cache.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+import repro
+from repro.harness.runner import RunResult
+from repro.harness.spec import ExperimentSpec
+
+#: default cache location, relative to the repository root / CWD
+DEFAULT_CACHE_DIR = pathlib.Path("results") / ".cache"
+#: environment override for the cache location
+CACHE_DIR_ENV = "SITM_CACHE_DIR"
+
+_code_fingerprint_cache: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``.py`` source file in the ``repro`` package.
+
+    Part of the cache key: any edit to the simulator, TM protocols,
+    workloads, or harness invalidates all cached results, because a
+    cached number is only trustworthy if the code that produced it is
+    the code that would produce it now.  Computed once per process.
+    """
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        package_root = pathlib.Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_fingerprint_cache = digest.hexdigest()[:16]
+    return _code_fingerprint_cache
+
+
+def _run_spec_payload(payload: dict) -> dict:
+    """Worker entry point: spec dict in, result dict out.
+
+    Module-level (picklable) and dict-typed so the pool never pickles
+    harness objects — results take the exact JSON path the cache uses.
+    """
+    return ExperimentSpec.from_dict(payload).run().to_dict()
+
+
+class ResultCache:
+    """Content-addressed on-disk store of completed run results.
+
+    One JSON file per ``(spec, code fingerprint)`` pair under ``root``;
+    the filename is the combined hash, the payload carries the spec and
+    fingerprint back for inspection and for paranoid load-time
+    validation.
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        env = os.environ.get(CACHE_DIR_ENV)
+        self.root = pathlib.Path(root or env or DEFAULT_CACHE_DIR)
+
+    def key(self, spec: ExperimentSpec) -> str:
+        """Cache key: spec hash x current code fingerprint."""
+        digest = hashlib.sha256()
+        digest.update(spec.canonical_json().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(code_fingerprint().encode("utf-8"))
+        return digest.hexdigest()[:24]
+
+    def path(self, spec: ExperimentSpec) -> pathlib.Path:
+        """Cache file backing ``spec`` under the current code."""
+        return self.root / f"{self.key(spec)}.json"
+
+    def load(self, spec: ExperimentSpec) -> Optional[RunResult]:
+        """Cached result for ``spec``, or ``None`` (missing/corrupt)."""
+        path = self.path(spec)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if payload.get("fingerprint") != code_fingerprint():
+            return None
+        try:
+            return RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def store(self, spec: ExperimentSpec, result: RunResult) -> None:
+        """Persist ``result`` atomically (rename over partial writes)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(spec)
+        payload = {
+            "spec": spec.to_dict(),
+            "fingerprint": code_fingerprint(),
+            "result": result.to_dict(),
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True),
+                       encoding="utf-8")
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        """Entry count, total bytes, and how many match current code."""
+        entries = list(self.root.glob("*.json")) if self.root.is_dir() \
+            else []
+        current = 0
+        for path in entries:
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+            if payload.get("fingerprint") == code_fingerprint():
+                current += 1
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "current_code": current,
+            "stale": len(entries) - current,
+        }
+
+
+class Executor:
+    """Runs spec grids with parallelism and memoization.
+
+    ``jobs=1`` executes inline; ``jobs=N`` fans out over a process
+    pool; ``jobs=0`` means one job per CPU.  Counters (``hits``,
+    ``misses``, ``executed``) accumulate across :meth:`run` calls so a
+    CLI invocation can report its overall cache behaviour.
+    """
+
+    def __init__(self, jobs: int = 1, cache: bool = True,
+                 refresh: bool = False,
+                 cache_dir: Optional[os.PathLike] = None):
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = one per CPU)")
+        self.jobs = jobs or (os.cpu_count() or 1)
+        self.use_cache = cache
+        self.refresh = refresh
+        self.cache = ResultCache(cache_dir)
+        self.hits = 0
+        self.misses = 0
+        self.executed = 0
+
+    def run(self, specs: Sequence[ExperimentSpec]
+            ) -> Dict[ExperimentSpec, RunResult]:
+        """Execute ``specs``; returns a result map in input order.
+
+        Duplicate specs are computed once.  Cache hits are served
+        without touching the pool; misses are executed (in parallel
+        when ``jobs > 1``) and stored back unless caching is off.
+        """
+        ordered = list(dict.fromkeys(specs))
+        results: Dict[ExperimentSpec, RunResult] = {}
+        pending: List[ExperimentSpec] = []
+        for spec in ordered:
+            cached = None
+            if self.use_cache and not self.refresh:
+                cached = self.cache.load(spec)
+            if cached is not None:
+                self.hits += 1
+                results[spec] = cached
+            else:
+                self.misses += 1
+                pending.append(spec)
+        for spec, result in zip(pending, self._execute(pending)):
+            self.executed += 1
+            if self.use_cache:
+                self.cache.store(spec, result)
+            results[spec] = result
+        return {spec: results[spec] for spec in ordered}
+
+    def _execute(self, pending: Sequence[ExperimentSpec]
+                 ) -> List[RunResult]:
+        if not pending:
+            return []
+        if self.jobs == 1 or len(pending) == 1:
+            return [spec.run() for spec in pending]
+        workers = min(self.jobs, len(pending))
+        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+            futures = [pool.submit(_run_spec_payload, spec.to_dict())
+                       for spec in pending]
+            return [RunResult.from_dict(f.result()) for f in futures]
+
+    def counters(self) -> dict:
+        """Snapshot of the executor's bookkeeping for reports."""
+        total = self.hits + self.misses
+        return {
+            "jobs": self.jobs,
+            "runs": total,
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "executed": self.executed,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+def serial_executor() -> Executor:
+    """The library default: inline execution, no cache side effects."""
+    return Executor(jobs=1, cache=False)

@@ -4,13 +4,21 @@ Each ``figure*``/``table*`` function regenerates the corresponding result
 of the paper as structured data; the CLI (:mod:`repro.harness.cli`)
 renders them as text.  DESIGN.md carries the experiment index mapping
 each function to the paper's figure/table and to the modules involved.
+
+The grid drivers (Figures 1, 7, 8 and Table 2) *declare* their whole
+:class:`~repro.harness.spec.ExperimentSpec` grid up front and hand it to
+an :class:`~repro.harness.executor.Executor`, then assemble rows from
+the returned result map — so one ``--jobs N`` knob parallelises every
+figure and the content-addressed cache memoizes across invocations.
+With no executor argument they run serially with caching off, which is
+byte-identical to the historical inline-loop behaviour.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import MVMConfig, SimConfig, VersionCapPolicy
 from repro.common.errors import AbortCause, TransactionAborted
@@ -18,7 +26,9 @@ from repro.common.rng import SplitRandom
 from repro.mvm.overhead import report as overhead_report
 from repro.sim.machine import Machine
 from repro.tm import SYSTEMS, SONTM, SerializableSITM, SnapshotIsolationTM
-from repro.harness.runner import Aggregate, run_once, run_seeds
+from repro.harness.executor import Executor, serial_executor
+from repro.harness.runner import Aggregate
+from repro.harness.spec import ExperimentSpec, seed_specs
 from repro.workloads import PAPER_ORDER
 
 #: benchmarks shown in Figure 1 (2PL abort breakdown)
@@ -26,6 +36,34 @@ FIGURE1_BENCHMARKS = ["genome", "bayes", "intruder", "kmeans", "labyrinth",
                       "ssca2", "vacation", "list", "rbtree"]
 #: systems compared throughout section 6
 FIGURE_SYSTEMS = ["2PL", "SONTM", "SI-TM"]
+
+#: one aggregate cell of a figure grid
+Cell = Tuple[str, str, int]
+
+
+def _run_cells(cells: Sequence[Cell], profile: str, seeds: int,
+               executor: Optional[Executor],
+               config: Optional[SimConfig] = None,
+               seed0: int = 1) -> Dict[Cell, Aggregate]:
+    """Fan a grid of aggregate cells out through one executor batch.
+
+    Declares every (cell x seed) spec up front — one ``run`` call gives
+    the executor the whole grid to parallelise — then regroups results
+    into seed-averaged :class:`Aggregate` records per cell.
+    """
+    executor = executor if executor is not None else serial_executor()
+    specs = [spec for workload, system, threads in cells
+             for spec in seed_specs(workload, system, threads, profile,
+                                    seeds, seed0, config)]
+    results = executor.run(specs)
+    aggregates: Dict[Cell, Aggregate] = {}
+    for workload, system, threads in cells:
+        runs = [results[spec]
+                for spec in seed_specs(workload, system, threads, profile,
+                                       seeds, seed0, config)]
+        aggregates[(workload, system, threads)] = Aggregate(
+            workload, system, threads, runs)
+    return aggregates
 
 
 # ----------------------------------------------------------------------
@@ -43,20 +81,23 @@ class Figure1Row:
 
 
 def figure1(profile: str = "quick", threads: int = 16,
-            seeds: int = 3) -> List[Figure1Row]:
+            seeds: int = 3,
+            executor: Optional[Executor] = None) -> List[Figure1Row]:
     """Reproduce Figure 1: abort-cause split under the 2PL baseline.
 
     The paper's claim: 75%-99% of all aborts in STAMP-class applications
     are read-write conflicts.
     """
+    cells = [(name, "2PL", threads) for name in FIGURE1_BENCHMARKS]
+    aggregates = _run_cells(cells, profile, seeds, executor)
     rows = []
-    for name in FIGURE1_BENCHMARKS:
-        agg = run_seeds(name, "2PL", threads, profile=profile, seeds=seeds)
+    for cell in cells:
+        agg = aggregates[cell]
         rw = sum(r.read_write_aborts for r in agg.runs)
         ww = sum(r.write_write_aborts for r in agg.runs)
         total = rw + ww
         rows.append(Figure1Row(
-            workload=name,
+            workload=agg.workload,
             read_write_pct=100.0 * rw / total if total else 0.0,
             write_write_pct=100.0 * ww / total if total else 0.0,
             total_aborts=total / seeds))
@@ -196,30 +237,42 @@ class Figure7Cell:
     threads: int
     aborts: Dict[str, float]            # system -> mean absolute aborts
     relative: Dict[str, Optional[float]]  # system -> aborts / 2PL aborts
+    #: system -> relative stddev of per-seed throughput (paper: <5%)
+    rel_stddev: Dict[str, float] = field(default_factory=dict)
 
 
 def figure7(profile: str = "quick",
             thread_counts: Sequence[int] = (8, 16, 32),
             seeds: int = 3,
             workloads: Optional[Sequence[str]] = None,
-            systems: Optional[Sequence[str]] = None) -> List[Figure7Cell]:
+            systems: Optional[Sequence[str]] = None,
+            executor: Optional[Executor] = None) -> List[Figure7Cell]:
     """Reproduce Figure 7: aborts of each system relative to 2PL.
 
     ``systems`` defaults to the paper's three; add ``"SSI-TM"`` to measure
     the serializable-SI extension alongside them.
     """
+    workloads = list(workloads or PAPER_ORDER)
+    systems = list(systems or FIGURE_SYSTEMS)
+    grid = [(name, system, threads)
+            for name in workloads
+            for threads in thread_counts
+            for system in systems]
+    aggregates = _run_cells(grid, profile, seeds, executor)
     cells = []
-    for name in (workloads or PAPER_ORDER):
+    for name in workloads:
         for threads in thread_counts:
             aborts: Dict[str, float] = {}
-            for system in (systems or FIGURE_SYSTEMS):
-                agg = run_seeds(name, system, threads,
-                                profile=profile, seeds=seeds)
+            stddev: Dict[str, float] = {}
+            for system in systems:
+                agg = aggregates[(name, system, threads)]
                 aborts[system] = agg.aborts
+                stddev[system] = agg.throughput_rel_stddev
             base = aborts["2PL"]
             relative = {system: (value / base if base else None)
                         for system, value in aborts.items()}
-            cells.append(Figure7Cell(name, threads, aborts, relative))
+            cells.append(Figure7Cell(name, threads, aborts, relative,
+                                     stddev))
     return cells
 
 
@@ -235,32 +288,44 @@ class Figure8Series:
     system: str
     threads: List[int]
     speedup: List[float]
+    #: per-point relative stddev of throughput across seeds (paper: <5%)
+    rel_stddev: List[float] = field(default_factory=list)
 
 
 def figure8(profile: str = "quick",
             thread_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
             seeds: int = 3,
             workloads: Optional[Sequence[str]] = None,
-            systems: Optional[Sequence[str]] = None) -> List[Figure8Series]:
+            systems: Optional[Sequence[str]] = None,
+            executor: Optional[Executor] = None) -> List[Figure8Series]:
     """Reproduce Figure 8: throughput speedup over one thread.
 
     Speedup is committed-transaction throughput (commits per cycle)
     normalised to the same system's single-thread run, which is valid for
     both fixed-total and per-thread-scaled workloads.
     """
+    workloads = list(workloads or PAPER_ORDER)
+    systems = list(systems or FIGURE_SYSTEMS)
+    grid = [(name, system, threads)
+            for name in workloads
+            for system in systems
+            for threads in thread_counts]
+    aggregates = _run_cells(grid, profile, seeds, executor)
     series = []
-    for name in (workloads or PAPER_ORDER):
-        for system in (systems or FIGURE_SYSTEMS):
+    for name in workloads:
+        for system in systems:
             speedups: List[float] = []
+            stddevs: List[float] = []
             base: Optional[float] = None
             for threads in thread_counts:
-                agg = run_seeds(name, system, threads,
-                                profile=profile, seeds=seeds)
+                agg = aggregates[(name, system, threads)]
                 if base is None:
                     base = agg.throughput or 1e-12
                 speedups.append(agg.throughput / base)
+                stddevs.append(agg.throughput_rel_stddev)
             series.append(Figure8Series(name, system,
-                                        list(thread_counts), speedups))
+                                        list(thread_counts), speedups,
+                                        stddevs))
     return series
 
 
@@ -270,7 +335,8 @@ def figure8(profile: str = "quick",
 
 def table2(profile: str = "quick", threads: int = 32,
            seed: int = 1,
-           workloads: Optional[Sequence[str]] = None) -> Dict[str, List[dict]]:
+           workloads: Optional[Sequence[str]] = None,
+           executor: Optional[Executor] = None) -> Dict[str, List[dict]]:
     """Reproduce Table 2: accesses per version depth, unbounded versions.
 
     Runs every benchmark under SI-TM with the version cap removed and the
@@ -280,11 +346,14 @@ def table2(profile: str = "quick", threads: int = 32,
     """
     config = SimConfig(mvm=MVMConfig(
         cap_policy=VersionCapPolicy.UNBOUNDED, census=True))
+    names = list(workloads or PAPER_ORDER)
+    specs = [ExperimentSpec(name, "SI-TM", threads, seed, profile, config)
+             for name in names]
+    executor = executor if executor is not None else serial_executor()
+    run_results = executor.run(specs)
     results: Dict[str, List[dict]] = {}
-    for name in (workloads or PAPER_ORDER):
-        result = run_once(name, "SI-TM", threads, seed,
-                          profile=profile, config=config)
-        results[name] = result.census_rows or []
+    for name, spec in zip(names, specs):
+        results[name] = run_results[spec].census_rows or []
     return results
 
 

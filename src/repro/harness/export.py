@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.harness.experiments import (
     Figure1Row,
@@ -19,6 +19,8 @@ from repro.harness.experiments import (
     Figure8Series,
     ScheduleOutcome,
 )
+from repro.harness.runner import RunResult
+from repro.harness.spec import ExperimentSpec
 
 
 def figure1_rows(rows: Sequence[Figure1Row]) -> List[dict]:
@@ -35,6 +37,7 @@ def figure7_rows(cells: Sequence[Figure7Cell]) -> List[dict]:
     for cell in cells:
         for system, aborts in cell.aborts.items():
             relative = cell.relative.get(system)
+            rel_stddev = cell.rel_stddev.get(system)
             out.append({
                 "workload": cell.workload,
                 "threads": cell.threads,
@@ -42,6 +45,8 @@ def figure7_rows(cells: Sequence[Figure7Cell]) -> List[dict]:
                 "aborts": round(aborts, 2),
                 "relative_to_2pl": (round(relative, 6)
                                     if relative is not None else ""),
+                "throughput_rel_stddev": (round(rel_stddev, 6)
+                                          if rel_stddev is not None else ""),
             })
     return out
 
@@ -50,11 +55,42 @@ def figure8_rows(series: Sequence[Figure8Series]) -> List[dict]:
     """Flatten Figure 8 results: one row per (workload, system, threads)."""
     out = []
     for entry in series:
-        for threads, speedup in zip(entry.threads, entry.speedup):
+        stddevs = entry.rel_stddev or [None] * len(entry.threads)
+        for threads, speedup, stddev in zip(entry.threads, entry.speedup,
+                                            stddevs):
             out.append({"workload": entry.workload,
                         "system": entry.system,
                         "threads": threads,
-                        "speedup": round(speedup, 4)})
+                        "speedup": round(speedup, 4),
+                        "throughput_rel_stddev": (round(stddev, 6)
+                                                  if stddev is not None
+                                                  else "")})
+    return out
+
+
+def run_result_rows(results: Mapping[ExperimentSpec, RunResult]
+                    ) -> List[dict]:
+    """Flatten an executor result map: one row per spec.
+
+    The unified record the execution layer traffics in — each row is the
+    spec's identity (including its hash, which is also the cache key
+    input) plus the headline metrics of its :class:`RunResult`.
+    """
+    out = []
+    for spec, result in results.items():
+        out.append({
+            "spec_hash": spec.spec_hash(),
+            "workload": spec.workload,
+            "system": spec.system,
+            "threads": spec.threads,
+            "seed": spec.seed,
+            "profile": spec.profile,
+            "commits": result.commits,
+            "aborts": result.aborts,
+            "abort_rate": round(result.abort_rate, 6),
+            "makespan_cycles": result.makespan_cycles,
+            "throughput": round(result.throughput, 6),
+        })
     return out
 
 

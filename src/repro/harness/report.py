@@ -60,11 +60,26 @@ def format_relative(value: Optional[float]) -> str:
     return f"{value:.3f}"
 
 
-def format_series(label: str, xs: Sequence[int],
-                  ys: Sequence[float]) -> str:
-    """Render one figure series as ``label: x=y, x=y, ...``."""
+def format_rel_stddev(value: Optional[float]) -> str:
+    """Render a relative stddev as a percentage (the paper claims <5%)."""
+    if value is None:
+        return "n/a"
+    return f"{100.0 * value:.1f}%"
+
+
+def format_series(label: str, xs: Sequence[int], ys: Sequence[float],
+                  stddev: Optional[Sequence[float]] = None) -> str:
+    """Render one figure series as ``label: x=y, x=y, ...``.
+
+    With ``stddev`` (per-point relative stddevs), appends the series'
+    worst seed noise as ``(max sd x.x%)`` so the paper's <5% protocol
+    claim is visible in every table.
+    """
     points = ", ".join(f"{x}={_cell(float(y))}" for x, y in zip(xs, ys))
-    return f"{label}: {points}"
+    suffix = ""
+    if stddev:
+        suffix = f"  (max sd {format_rel_stddev(max(stddev))})"
+    return f"{label}: {points}{suffix}"
 
 
 def line_chart(series: Dict[str, Sequence[float]], xs: Sequence[int],

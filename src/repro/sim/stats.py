@@ -10,6 +10,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -29,6 +30,15 @@ class ThreadStats:
     writes: int = 0
     backoff_cycles: int = 0
     commit_wait_cycles: int = 0
+
+    def to_dict(self) -> dict:
+        """Serialise to plain JSON-safe types."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ThreadStats":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
 
 
 class RunStats:
@@ -108,6 +118,34 @@ class RunStats:
         """Fraction of conflict aborts that are read-write (Figure 1)."""
         conflict = self.read_write_aborts + self.write_write_aborts
         return self.read_write_aborts / conflict if conflict else None
+
+    # ------------------------------------------------------------------
+    # serialization — RunStats must survive a process boundary (the
+    # parallel executor ships results back as JSON, not pickles)
+
+    def to_dict(self) -> dict:
+        """Full serialisation: every counter, not just the summary."""
+        return {
+            "threads": [t.to_dict() for t in self.threads],
+            "abort_causes": {c.value: n for c, n in self.abort_causes.items()},
+            "retry_histogram": {str(k): v
+                                for k, v in self.retry_histogram.items()},
+            "per_label": {label: dict(counter)
+                          for label, counter in self.per_label.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunStats":
+        """Inverse of :meth:`to_dict` (JSON string keys become typed)."""
+        stats = cls(len(data["threads"]))
+        stats.threads = [ThreadStats.from_dict(t) for t in data["threads"]]
+        stats.abort_causes = Counter(
+            {AbortCause(c): n for c, n in data["abort_causes"].items()})
+        stats.retry_histogram = Counter(
+            {int(k): v for k, v in data["retry_histogram"].items()})
+        stats.per_label = {label: Counter(counter)
+                           for label, counter in data["per_label"].items()}
+        return stats
 
     def summary(self) -> dict:
         """Flat summary dict for reports and JSON dumps."""

@@ -146,3 +146,46 @@ class TestSimConfig:
         c = SimConfig().replace(compute_cycles=3)
         assert c.compute_cycles == 3
         assert SimConfig().compute_cycles == 1
+
+
+class TestSerialization:
+    """to_dict/from_dict/fingerprint back the experiment cache keys."""
+
+    def test_round_trip_default(self):
+        config = SimConfig()
+        assert SimConfig.from_dict(config.to_dict()) == config
+
+    def test_round_trip_non_default(self):
+        config = SimConfig(
+            machine=dataclasses.replace(MachineConfig(), cores=8,
+                                        interconnect="bus"),
+            mvm=MVMConfig(cap_policy=VersionCapPolicy.DROP_OLDEST,
+                          census=True, bundle_lines=8),
+            tm=TMConfig(granularity=ConflictGranularity.WORD,
+                        backoff_enabled=False),
+            compute_cycles=2)
+        recovered = SimConfig.from_dict(config.to_dict())
+        assert recovered == config
+        assert recovered.mvm.cap_policy is VersionCapPolicy.DROP_OLDEST
+        assert recovered.tm.granularity is ConflictGranularity.WORD
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        json.dumps(SimConfig().to_dict())
+
+    def test_fingerprint_stable(self):
+        assert SimConfig().fingerprint() == SimConfig().fingerprint()
+
+    def test_fingerprint_sensitive_to_any_field(self):
+        base = SimConfig().fingerprint()
+        assert SimConfig(compute_cycles=2).fingerprint() != base
+        assert SimConfig(mvm=MVMConfig(max_versions=2)).fingerprint() != base
+        assert SimConfig(machine=dataclasses.replace(
+            MachineConfig(), cores=8)).fingerprint() != base
+
+    def test_from_dict_validates(self):
+        data = SimConfig().to_dict()
+        data["mvm"]["max_versions"] = 0
+        with pytest.raises(ConfigError):
+            SimConfig.from_dict(data)

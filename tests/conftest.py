@@ -12,6 +12,16 @@ from repro.tm import SYSTEMS
 from repro.tm.ops import Read, Write
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the experiment result cache at a throwaway directory.
+
+    Tests exercising the CLI or executor with default settings must not
+    write into the repository's ``results/.cache``.
+    """
+    monkeypatch.setenv("SITM_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def machine() -> Machine:
     """A cold machine with default (Table 1) configuration."""

@@ -27,6 +27,26 @@ class TestParser:
             ["fig7", "--workloads", "array", "list"])
         assert args.workloads == ["array", "list"]
 
+    def test_jobs_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["fig7", "--jobs", "4", "--no-cache", "--refresh",
+             "--cache-dir", "/tmp/x"])
+        assert args.jobs == 4
+        assert args.no_cache and args.refresh
+        assert args.cache_dir == "/tmp/x"
+
+    def test_jobs_default_serial(self):
+        assert build_parser().parse_args(["fig7"]).jobs == 1
+
+    def test_seeds_plumbed_everywhere(self):
+        for command in ("fig1", "fig7", "fig8", "claims"):
+            args = build_parser().parse_args([command, "--seeds", "5"])
+            assert args.seeds == 5
+
+    def test_cache_command(self):
+        args = build_parser().parse_args(["cache", "--clear"])
+        assert args.command == "cache" and args.clear
+
 
 class TestExecution:
     def test_fig2_prints_table(self, capsys):
@@ -55,6 +75,42 @@ class TestExecution:
         assert code == 0
         out = capsys.readouterr().out
         assert "rbtree" in out and "SI-TM/2PL" in out
+
+
+class TestExecutorIntegration:
+    def test_fig7_cached_rerun_identical(self, tmp_path, capsys):
+        argv = ["fig7", "--profile", "test", "--seeds", "1",
+                "--workloads", "rbtree", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache-misses=9" in first  # 3 thread counts x 3 systems
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "hit-rate=100%" in second
+        strip = lambda text: [line for line in text.splitlines()
+                              if not line.startswith("[executor]")]
+        assert strip(first) == strip(second)
+
+    def test_no_cache_flag_respected(self, tmp_path, capsys):
+        argv = ["fig7", "--profile", "test", "--seeds", "1",
+                "--workloads", "rbtree", "--no-cache",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        run = ["fig7", "--profile", "test", "--seeds", "1",
+               "--workloads", "rbtree", "--cache-dir", str(tmp_path)]
+        assert main(run) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "9" in out
+        assert main(["cache", "--clear", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "9 entries removed" in out
+        assert not list(tmp_path.glob("*.json"))
 
 
 class TestExportFlags:

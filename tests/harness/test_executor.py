@@ -1,0 +1,153 @@
+"""Executor tests: cache behaviour, parallel determinism, ordering.
+
+The determinism tests are the load-bearing ones: the acceptance bar for
+the execution layer is that the same spec produces field-identical
+results in-process, through a worker pool, and from the cache.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.config import SimConfig
+from repro.harness.executor import (
+    Executor,
+    ResultCache,
+    code_fingerprint,
+    serial_executor,
+)
+from repro.harness.spec import ExperimentSpec
+
+SPEC = ExperimentSpec("rbtree", "SI-TM", 2, 1, "test")
+SPECS = [ExperimentSpec("list", "2PL", 2, seed, "test")
+         for seed in (1, 2, 3)]
+
+
+class TestCodeFingerprint:
+    def test_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+
+    def test_hex_string(self):
+        fp = code_fingerprint()
+        assert len(fp) == 16
+        int(fp, 16)
+
+
+class TestResultCache:
+    def test_store_load_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = SPEC.run()
+        cache.store(SPEC, result)
+        assert cache.load(SPEC) == result
+
+    def test_miss_on_empty(self, tmp_path):
+        assert ResultCache(tmp_path).load(SPEC) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(SPEC, SPEC.run())
+        cache.path(SPEC).write_text("not json")
+        assert cache.load(SPEC) is None
+
+    def test_stale_fingerprint_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(SPEC, SPEC.run())
+        payload = json.loads(cache.path(SPEC).read_text())
+        payload["fingerprint"] = "0" * 16
+        cache.path(SPEC).write_text(json.dumps(payload))
+        assert cache.load(SPEC) is None
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(SPEC, SPEC.run())
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["current_code"] == 1
+        assert cache.clear() == 1
+        assert cache.stats()["entries"] == 0
+
+    def test_env_var_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SITM_CACHE_DIR", str(tmp_path / "env"))
+        assert ResultCache().root == tmp_path / "env"
+
+
+class TestExecutorCaching:
+    def test_second_run_fully_cached(self, tmp_path):
+        first = Executor(jobs=1, cache=True, cache_dir=tmp_path)
+        results1 = first.run(SPECS)
+        assert first.counters()["cache_misses"] == len(SPECS)
+
+        second = Executor(jobs=1, cache=True, cache_dir=tmp_path)
+        results2 = second.run(SPECS)
+        counters = second.counters()
+        assert counters["cache_hits"] == len(SPECS)
+        assert counters["executed"] == 0
+        assert counters["hit_rate"] == 1.0
+        assert results1 == results2
+
+    def test_no_cache_leaves_disk_untouched(self, tmp_path):
+        executor = Executor(jobs=1, cache=False, cache_dir=tmp_path)
+        executor.run([SPEC])
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_refresh_recomputes_but_stores(self, tmp_path):
+        Executor(jobs=1, cache=True, cache_dir=tmp_path).run([SPEC])
+        refresher = Executor(jobs=1, cache=True, refresh=True,
+                             cache_dir=tmp_path)
+        refresher.run([SPEC])
+        assert refresher.counters()["executed"] == 1
+        # entry is still (re)stored for the next non-refresh run
+        follower = Executor(jobs=1, cache=True, cache_dir=tmp_path)
+        follower.run([SPEC])
+        assert follower.counters()["cache_hits"] == 1
+
+    def test_duplicate_specs_computed_once(self, tmp_path):
+        executor = Executor(jobs=1, cache=False, cache_dir=tmp_path)
+        results = executor.run([SPEC, SPEC, SPEC])
+        assert executor.counters()["executed"] == 1
+        assert len(results) == 1
+
+
+class TestDeterminismAcrossProcesses:
+    """Same spec, same numbers: in-process vs pool vs cache."""
+
+    def test_pool_matches_inline(self):
+        inline = {spec: spec.run() for spec in SPECS}
+        pooled = Executor(jobs=2, cache=False).run(SPECS)
+        for spec in SPECS:
+            assert dataclasses.asdict(pooled[spec]) == \
+                dataclasses.asdict(inline[spec])
+
+    def test_pool_with_custom_config(self):
+        config = SimConfig(txn_overhead_cycles=10)
+        spec = ExperimentSpec("list", "SI-TM", 2, 1, "test", config)
+        pooled = Executor(jobs=2, cache=False).run([spec, SPEC])
+        assert pooled[spec] == spec.run()
+
+    def test_cached_result_field_identical(self, tmp_path):
+        Executor(jobs=1, cache=True, cache_dir=tmp_path).run([SPEC])
+        cached = Executor(jobs=1, cache=True,
+                          cache_dir=tmp_path).run([SPEC])[SPEC]
+        assert dataclasses.asdict(cached) == \
+            dataclasses.asdict(SPEC.run())
+
+
+class TestOrdering:
+    def test_result_map_in_input_order(self, tmp_path):
+        executor = Executor(jobs=1, cache=False, cache_dir=tmp_path)
+        shuffled = [SPECS[2], SPECS[0], SPECS[1]]
+        results = executor.run(shuffled)
+        assert list(results) == shuffled
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(jobs=-1)
+
+    def test_jobs_zero_means_cpu_count(self):
+        assert Executor(jobs=0).jobs >= 1
+
+    def test_serial_executor_defaults(self):
+        executor = serial_executor()
+        assert executor.jobs == 1
+        assert executor.use_cache is False

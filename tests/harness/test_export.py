@@ -44,7 +44,14 @@ class TestFlattening:
         series = Figure8Series("list", "SI-TM", [1, 8], [1.0, 5.3])
         rows = figure8_rows([series])
         assert rows[1] == {"workload": "list", "system": "SI-TM",
-                           "threads": 8, "speedup": 5.3}
+                           "threads": 8, "speedup": 5.3,
+                           "throughput_rel_stddev": ""}
+
+    def test_figure8_stddev(self):
+        series = Figure8Series("list", "SI-TM", [1, 8], [1.0, 5.3],
+                               [0.0, 0.031])
+        rows = figure8_rows([series])
+        assert rows[1]["throughput_rel_stddev"] == 0.031
 
     def test_schedules(self):
         outcome = ScheduleOutcome("SI-TM", ["TX0"], ["TX3"],

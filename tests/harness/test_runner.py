@@ -65,3 +65,48 @@ class TestRunSeeds:
         agg = run_seeds("list", "2PL", 4, profile="test", seeds=2)
         fraction = agg.read_write_fraction
         assert fraction is None or 0.0 <= fraction <= 1.0
+
+    def test_throughput_stddev(self):
+        agg = run_seeds("rbtree", "SI-TM", 2, profile="test", seeds=3)
+        throughputs = [r.throughput for r in agg.runs]
+        mean = sum(throughputs) / len(throughputs)
+        variance = sum((t - mean) ** 2 for t in throughputs) / len(throughputs)
+        assert agg.throughput_stddev == pytest.approx(variance ** 0.5)
+        assert agg.throughput_rel_stddev == \
+            pytest.approx(agg.throughput_stddev / mean)
+
+    def test_rel_stddev_zero_when_identical(self):
+        one = run_once("rbtree", "SI-TM", 2, 1, profile="test")
+        from repro.harness.runner import Aggregate
+
+        agg = Aggregate("rbtree", "SI-TM", 2, [one, one])
+        assert agg.throughput_stddev == 0.0
+        assert agg.throughput_rel_stddev == 0.0
+
+
+class TestRunResultSerialization:
+    def test_round_trip(self):
+        from repro.harness.runner import RunResult
+
+        result = run_once("rbtree", "SI-TM", 2, 1, profile="test")
+        recovered = RunResult.from_dict(result.to_dict())
+        assert recovered == result
+        assert recovered.throughput == result.throughput
+
+    def test_json_safe(self):
+        import json
+
+        from repro.harness.runner import RunResult
+
+        result = run_once("list", "2PL", 2, 1, profile="test")
+        recovered = RunResult.from_dict(json.loads(
+            json.dumps(result.to_dict())))
+        assert recovered == result
+
+
+class TestSeedConstants:
+    def test_defaults_documented(self):
+        from repro.harness.runner import DEFAULT_SEEDS, PAPER_SEEDS
+
+        assert DEFAULT_SEEDS == 3
+        assert PAPER_SEEDS == 5

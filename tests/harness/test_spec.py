@@ -1,0 +1,91 @@
+"""ExperimentSpec tests: canonical form, hashing, round trips, grids."""
+
+import json
+
+import pytest
+
+from repro.common.config import MVMConfig, SimConfig, VersionCapPolicy
+from repro.harness.spec import ExperimentSpec, grid, seed_specs
+
+
+class TestCanonicalForm:
+    def test_json_round_trip(self):
+        spec = ExperimentSpec("rbtree", "SI-TM", 8, 3, "quick")
+        recovered = ExperimentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert recovered == spec
+
+    def test_config_round_trip(self):
+        config = SimConfig(mvm=MVMConfig(
+            cap_policy=VersionCapPolicy.UNBOUNDED, census=True))
+        spec = ExperimentSpec("list", "SI-TM", 4, 1, "test", config)
+        recovered = ExperimentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert recovered == spec
+        assert recovered.config.mvm.census is True
+
+    def test_default_config_stays_none(self):
+        spec = ExperimentSpec("list", "2PL", 2, 1)
+        assert spec.to_dict()["config"] is None
+        assert ExperimentSpec.from_dict(spec.to_dict()).config is None
+
+    def test_hashable_dict_key(self):
+        a = ExperimentSpec("list", "2PL", 2, 1, "test")
+        b = ExperimentSpec("list", "2PL", 2, 1, "test")
+        assert {a: 1}[b] == 1
+
+
+class TestSpecHash:
+    def test_stable_across_instances(self):
+        a = ExperimentSpec("list", "2PL", 2, 1, "test")
+        b = ExperimentSpec("list", "2PL", 2, 1, "test")
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_every_field_matters(self):
+        base = ExperimentSpec("list", "2PL", 2, 1, "test")
+        variants = [
+            ExperimentSpec("rbtree", "2PL", 2, 1, "test"),
+            ExperimentSpec("list", "SI-TM", 2, 1, "test"),
+            ExperimentSpec("list", "2PL", 4, 1, "test"),
+            ExperimentSpec("list", "2PL", 2, 2, "test"),
+            ExperimentSpec("list", "2PL", 2, 1, "quick"),
+            ExperimentSpec("list", "2PL", 2, 1, "test",
+                           SimConfig(compute_cycles=2)),
+        ]
+        hashes = {spec.spec_hash() for spec in variants}
+        assert base.spec_hash() not in hashes
+        assert len(hashes) == len(variants)
+
+    def test_config_fingerprint_feeds_hash(self):
+        default_config = ExperimentSpec("list", "2PL", 2, 1, "test",
+                                        SimConfig())
+        tweaked = ExperimentSpec("list", "2PL", 2, 1, "test",
+                                 SimConfig(txn_overhead_cycles=5))
+        assert default_config.spec_hash() != tweaked.spec_hash()
+
+
+class TestRun:
+    def test_run_matches_run_once(self):
+        from repro.harness.runner import run_once
+
+        spec = ExperimentSpec("rbtree", "SI-TM", 2, 1, "test")
+        assert spec.run() == run_once("rbtree", "SI-TM", 2, 1, "test")
+
+
+class TestGridHelpers:
+    def test_seed_specs_consecutive(self):
+        specs = seed_specs("list", "2PL", 2, "test", seeds=3, seed0=5)
+        assert [s.seed for s in specs] == [5, 6, 7]
+        assert all(s.workload == "list" for s in specs)
+
+    def test_grid_shape_and_order(self):
+        specs = grid(["a", "b"], ["2PL", "SI-TM"], (2, 4), "test", seeds=2)
+        assert len(specs) == 2 * 2 * 2 * 2
+        # row-major: workload outermost, seeds innermost
+        assert specs[0] == ExperimentSpec("a", "2PL", 2, 1, "test")
+        assert specs[1] == ExperimentSpec("a", "2PL", 2, 2, "test")
+        assert specs[-1] == ExperimentSpec("b", "SI-TM", 4, 2, "test")
+
+    def test_grid_deterministic(self):
+        args = (["x"], ["2PL"], (2,), "test")
+        assert grid(*args) == grid(*args)

@@ -66,3 +66,43 @@ class TestDerivedMetrics:
         for key in ("commits", "aborts", "abort_rate", "makespan_cycles",
                     "abort_causes", "reads", "writes"):
             assert key in summary
+
+
+class TestSerialization:
+    """RunStats must survive the executor's JSON process boundary."""
+
+    def _populated(self):
+        stats = RunStats(2)
+        stats.threads[0].cycles = 100
+        stats.threads[0].reads = 7
+        stats.threads[1].cycles = 250
+        stats.record_commit(0, "a", retries=0)
+        stats.record_commit(1, "b", retries=2)
+        stats.record_abort(0, "a", AbortCause.READ_WRITE)
+        stats.record_abort(1, "b", AbortCause.WRITE_WRITE)
+        return stats
+
+    def test_round_trip_preserves_everything(self):
+        stats = self._populated()
+        recovered = RunStats.from_dict(stats.to_dict())
+        assert recovered.to_dict() == stats.to_dict()
+        assert recovered.total_commits == stats.total_commits
+        assert recovered.abort_causes == stats.abort_causes
+        assert recovered.retry_histogram == stats.retry_histogram
+        assert recovered.per_label == stats.per_label
+        assert recovered.makespan_cycles == 250
+
+    def test_json_round_trip(self):
+        import json
+
+        stats = self._populated()
+        recovered = RunStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert recovered.to_dict() == stats.to_dict()
+        assert recovered.aborts_by(AbortCause.READ_WRITE) == 1
+
+    def test_typed_keys_restored(self):
+        stats = self._populated()
+        recovered = RunStats.from_dict(stats.to_dict())
+        assert all(isinstance(k, int) for k in recovered.retry_histogram)
+        assert all(isinstance(c, AbortCause)
+                   for c in recovered.abort_causes)
