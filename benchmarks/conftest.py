@@ -23,6 +23,18 @@ THREADS = 8
 SEEDS = 2
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep benchmark runs out of the repository's result cache.
+
+    Benchmarks time actual execution; serving a run from
+    ``results/.cache`` (or polluting it) would corrupt both the timings
+    and later harness invocations.
+    """
+    monkeypatch.setenv("SITM_CACHE_DIR", str(tmp_path / "result-cache"))
+    monkeypatch.setenv("SITM_FUZZ_DIR", str(tmp_path / "fuzz"))
+
+
 @pytest.fixture
 def once(benchmark):
     """Run a callable exactly once under pytest-benchmark timing.

@@ -11,6 +11,7 @@ Usage::
     sitm-harness table2 [--profile quick]
     sitm-harness overheads
     sitm-harness cache [--stats | --clear]
+    sitm-harness fuzz  [--backend all] [--schedules N] [--seed S] [--jobs 4]
     sitm-harness all   [--profile test]
 
 ``--profile`` selects the workload scaling profile (see
@@ -172,6 +173,51 @@ def _overheads(args) -> str:
         title="Section 3.2: MVM overhead model")
 
 
+def _fuzz(args) -> str:
+    from repro.oracle.fuzz import fuzz_batch, schedule_violations
+    from repro.oracle.shrink import load_repro
+    from repro.tm import SYSTEMS
+    systems = (list(SYSTEMS) if args.backend == "all" else [args.backend])
+    if args.replay:
+        payload = load_repro(args.replay)
+        replay_systems = payload.get("systems") or systems
+        violations = schedule_violations(
+            payload["schedule"], replay_systems,
+            seed=payload.get("seed", args.seed),
+            broken=payload.get("broken") or args.broken)
+        args._fuzz_failed = bool(violations)
+        lines = [f"replayed {args.replay} under "
+                 f"{' '.join(replay_systems)}: "
+                 f"{len(violations)} violation(s)"]
+        lines += [f"  {v}" for v in violations]
+        return "\n".join(lines)
+    report = fuzz_batch(
+        args.executor, systems, args.schedules, seed=args.seed,
+        threads=args.fuzz_threads, txns=args.fuzz_txns,
+        cells=args.fuzz_cells, ops=args.fuzz_ops, broken=args.broken,
+        out_dir=args.fuzz_out)
+    args._fuzz_failed = not report.clean
+    table = format_table(
+        ["system", "schedules", "committed", "aborted", "violations"],
+        [[system, row["schedules"], row["committed"], row["aborted"],
+          row["violations"]]
+         for system, row in report.per_system.items()],
+        title=f"Isolation fuzz: {args.schedules} schedules, seed "
+              f"{args.seed}" + (f", broken={args.broken}"
+                                if args.broken else ""))
+    if report.clean:
+        return table + "\nNO ISOLATION VIOLATIONS"
+    lines = [table, f"{len(report.violations)} VIOLATION(S):"]
+    for system, index, violation in report.violations[:20]:
+        lines.append(f"  schedule {index} [{system}] "
+                     f"{violation['rule']}: {violation['detail']}")
+    if len(report.violations) > 20:
+        lines.append(f"  ... and {len(report.violations) - 20} more")
+    if report.repro_path:
+        lines.append(f"minimal repro persisted: {report.repro_path}")
+    return "\n".join(lines)
+
+
 def _cache(args) -> str:
     cache = ResultCache(args.cache_dir)
     if args.clear:
@@ -206,7 +252,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sitm-harness",
         description="Regenerate the SI-TM paper's figures and tables.")
-    parser.add_argument("command", choices=list(_COMMANDS) + ["cache", "all"])
+    parser.add_argument("command",
+                        choices=list(_COMMANDS) + ["cache", "fuzz", "all"])
     parser.add_argument("--profile", default="quick",
                         choices=("test", "quick", "full"))
     parser.add_argument("--threads", type=int, default=16,
@@ -243,6 +290,32 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cache: delete every entry")
     parser.add_argument("--stats", action="store_true",
                         help="cache: print entry counts (the default)")
+    parser.add_argument("--backend", default="all",
+                        choices=("2PL", "SONTM", "SI-TM", "SSI-TM",
+                                 "LogTM", "all"),
+                        help="fuzz: backend(s) to cross-check")
+    parser.add_argument("--schedules", type=int, default=50,
+                        help="fuzz: number of randomized schedules")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fuzz: root seed (schedules are a pure "
+                             "function of it)")
+    parser.add_argument("--fuzz-threads", type=int, default=3,
+                        help="fuzz: simulated threads per schedule")
+    parser.add_argument("--fuzz-txns", type=int, default=2,
+                        help="fuzz: transactions per thread")
+    parser.add_argument("--fuzz-cells", type=int, default=4,
+                        help="fuzz: shared cells (one line each)")
+    parser.add_argument("--fuzz-ops", type=int, default=3,
+                        help="fuzz: max operations per transaction")
+    parser.add_argument("--fuzz-out", default=None,
+                        help="fuzz: repro output directory (default "
+                             "results/fuzz, or $SITM_FUZZ_DIR)")
+    parser.add_argument("--broken", default=None, choices=("no-ww",),
+                        help="fuzz: deliberately break a backend "
+                             "(oracle self-test hook)")
+    parser.add_argument("--replay", default=None,
+                        help="fuzz: re-check a persisted repro or "
+                             "schedule JSON instead of generating")
     return parser
 
 
@@ -261,6 +334,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = "\n\n".join(fn(args) for fn in _COMMANDS.values())
     elif args.command == "cache":
         report = _cache(args)
+    elif args.command == "fuzz":
+        report = _fuzz(args)
     else:
         report = _COMMANDS[args.command](args)
     counters = args.executor.counters()
@@ -277,7 +352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
-    return 0
+    return 1 if getattr(args, "_fuzz_failed", False) else 0
 
 
 if __name__ == "__main__":

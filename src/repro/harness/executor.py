@@ -70,7 +70,12 @@ def _run_spec_payload(payload: dict) -> dict:
 
     Module-level (picklable) and dict-typed so the pool never pickles
     harness objects — results take the exact JSON path the cache uses.
+    Dispatches on the payload's ``kind`` discriminator; experiment
+    payloads carry no ``kind`` key (their canonical form predates it).
     """
+    if payload.get("kind") == "fuzz":
+        from repro.oracle.fuzz import FuzzSpec
+        return FuzzSpec.from_dict(payload).run().to_dict()
     return ExperimentSpec.from_dict(payload).run().to_dict()
 
 
@@ -109,7 +114,7 @@ class ResultCache:
         if payload.get("fingerprint") != code_fingerprint():
             return None
         try:
-            return RunResult.from_dict(payload["result"])
+            return spec.result_from_dict(payload["result"])
         except (KeyError, TypeError):
             return None
 
@@ -217,7 +222,8 @@ class Executor:
         with concurrent.futures.ProcessPoolExecutor(workers) as pool:
             futures = [pool.submit(_run_spec_payload, spec.to_dict())
                        for spec in pending]
-            return [RunResult.from_dict(f.result()) for f in futures]
+            return [spec.result_from_dict(f.result())
+                    for spec, f in zip(pending, futures)]
 
     def counters(self) -> dict:
         """Snapshot of the executor's bookkeeping for reports."""

@@ -43,6 +43,16 @@ class ExperimentSpec:
     profile: str = "quick"
     config: Optional[SimConfig] = None
 
+    #: spec-kind discriminator for the executor's worker payloads; the
+    #: canonical dict deliberately omits it so existing cache keys and
+    #: entries stay valid
+    kind = "experiment"
+
+    @staticmethod
+    def result_from_dict(data: dict) -> RunResult:
+        """Deserialize this spec kind's result (executor/cache hook)."""
+        return RunResult.from_dict(data)
+
     def to_dict(self) -> dict:
         """Canonical JSON-safe form (stable key set, nested config)."""
         return {

@@ -1,0 +1,35 @@
+"""Isolation-level oracle: full-history recording, checking, fuzzing.
+
+The oracle closes the loop the paper leaves implicit: every TM system
+*declares* an isolation level (:class:`repro.tm.api.IsolationLevel`) and
+this package *verifies* it.  A :class:`~repro.oracle.history.HistoryRecorder`
+captures the complete global history of a run — begins with start
+timestamps, reads with the value observed, writes, commits with end
+timestamps, aborts with their cause — and the Adya-style checker
+(:mod:`repro.oracle.checker`) validates the history against the declared
+level.  The deterministic schedule fuzzer (:mod:`repro.oracle.fuzz`) then
+drives randomized transaction mixes through every backend, cross-checks
+them, and shrinks any violation to a minimal persisted repro
+(:mod:`repro.oracle.shrink`).
+"""
+
+from repro.oracle.checker import Violation, check_history
+from repro.oracle.fuzz import (FuzzResult, FuzzSpec, fuzz_batch,
+                               generate_schedule, run_schedule)
+from repro.oracle.history import History, HistoryRecorder, TxnRecord
+from repro.oracle.shrink import persist_repro, shrink_schedule
+
+__all__ = [
+    "FuzzResult",
+    "FuzzSpec",
+    "History",
+    "HistoryRecorder",
+    "TxnRecord",
+    "Violation",
+    "check_history",
+    "fuzz_batch",
+    "generate_schedule",
+    "persist_repro",
+    "run_schedule",
+    "shrink_schedule",
+]

@@ -1,0 +1,282 @@
+"""Full-history recording for the isolation oracle.
+
+The write-skew tool's :class:`~repro.skew.trace.TraceRecorder` records
+*which* addresses were touched; verifying an isolation level needs more —
+the **value** every read observed, every write stored, and the start/end
+timestamps the system assigned.  :class:`HistoryRecorder` is an engine
+:class:`~repro.sim.engine.Tracer` capturing exactly that into a
+serializable :class:`History`, which the checker
+(:mod:`repro.oracle.checker`) consumes and the fuzzer persists as JSON
+repros.
+
+A :class:`History` converts losslessly to a
+:class:`~repro.skew.trace.TraceRecorder` (:meth:`History.to_trace`), so
+all the serialization-graph machinery of :mod:`repro.skew` applies to it
+unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import AbortCause
+from repro.sim.engine import Tracer
+from repro.skew.trace import (EventKind, TracedTransaction, TraceEvent,
+                              TraceRecorder)
+from repro.tm.api import TMSystem, Txn
+
+#: event kinds, as the short strings used in serialized histories
+BEGIN, READ, WRITE, COMMIT, ABORT = "begin", "read", "write", "commit", "abort"
+
+_TRACE_KINDS = {
+    BEGIN: EventKind.BEGIN,
+    READ: EventKind.READ,
+    WRITE: EventKind.WRITE,
+    COMMIT: EventKind.COMMIT,
+    ABORT: EventKind.ABORT,
+}
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One globally ordered event of a recorded history."""
+
+    index: int
+    kind: str
+    txn_uid: int
+    thread_id: int
+    label: str
+    addr: Optional[int] = None
+    value: Optional[int] = None
+    site: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (stable key set)."""
+        return {"index": self.index, "kind": self.kind, "txn": self.txn_uid,
+                "thread": self.thread_id, "label": self.label,
+                "addr": self.addr, "value": self.value, "site": self.site}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HistoryEvent":
+        """Inverse of :meth:`to_dict`."""
+        return cls(data["index"], data["kind"], data["txn"], data["thread"],
+                   data["label"], data.get("addr"), data.get("value"),
+                   data.get("site", ""))
+
+
+@dataclass
+class TxnRecord:
+    """Per-attempt transaction view of a history.
+
+    One record exists per *attempt*: a retry after an abort begins a new
+    record, mirroring the engine's one-:class:`~repro.tm.api.Txn`-per-
+    attempt contract.  ``reads``/``writes`` hold ``(addr, value, index)``
+    triples in program order.
+    """
+
+    uid: int
+    thread_id: int
+    label: str
+    begin_index: int
+    start_ts: Optional[int] = None
+    commit_index: Optional[int] = None
+    commit_ts: Optional[int] = None
+    abort_cause: Optional[str] = None
+    reads: List[Tuple[int, int, int]] = field(default_factory=list)
+    writes: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def committed(self) -> bool:
+        """True when this attempt committed."""
+        return self.commit_index is not None
+
+    @property
+    def aborted(self) -> bool:
+        """True when this attempt aborted."""
+        return self.abort_cause is not None
+
+    def final_writes(self) -> Dict[int, int]:
+        """Last written value per address — what a commit publishes."""
+        return {addr: value for addr, value, _ in self.writes}
+
+    def ops_in_order(self) -> List[Tuple[str, int, int, int]]:
+        """Reads and writes merged as ``(kind, addr, value, index)``."""
+        ops = ([(READ, a, v, i) for a, v, i in self.reads]
+               + [(WRITE, a, v, i) for a, v, i in self.writes])
+        ops.sort(key=lambda op: op[3])
+        return ops
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (stable key set)."""
+        return {"uid": self.uid, "thread": self.thread_id,
+                "label": self.label, "begin_index": self.begin_index,
+                "start_ts": self.start_ts, "commit_index": self.commit_index,
+                "commit_ts": self.commit_ts, "abort_cause": self.abort_cause,
+                "reads": [list(r) for r in self.reads],
+                "writes": [list(w) for w in self.writes]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TxnRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(data["uid"], data["thread"], data["label"],
+                   data["begin_index"], data.get("start_ts"),
+                   data.get("commit_index"), data.get("commit_ts"),
+                   data.get("abort_cause"),
+                   [tuple(r) for r in data.get("reads", [])],
+                   [tuple(w) for w in data.get("writes", [])])
+
+
+@dataclass
+class History:
+    """The complete recorded global history of one run.
+
+    ``initial`` maps addresses to their pre-transactional values (the
+    state non-transactional setup code established); reads that precede
+    every committed write resolve against it.  ``abort_causes`` carries
+    the system's declared legal causes so a serialized history is
+    self-contained for checking.
+    """
+
+    system: str
+    isolation: str
+    abort_causes: Tuple[str, ...] = ()
+    events: List[HistoryEvent] = field(default_factory=list)
+    transactions: Dict[int, TxnRecord] = field(default_factory=dict)
+    initial: Dict[int, int] = field(default_factory=dict)
+
+    def committed(self) -> List[TxnRecord]:
+        """Committed transaction records, in begin order."""
+        return sorted((t for t in self.transactions.values() if t.committed),
+                      key=lambda t: t.begin_index)
+
+    def aborts(self) -> List[TxnRecord]:
+        """Aborted attempts, in begin order."""
+        return sorted((t for t in self.transactions.values() if t.aborted),
+                      key=lambda t: t.begin_index)
+
+    def to_trace(self) -> TraceRecorder:
+        """Project onto the write-skew tool's trace representation.
+
+        The projection drops values and timestamps, keeping the global
+        event order — everything :mod:`repro.skew.serialization` needs.
+        """
+        recorder = TraceRecorder()
+        for ev in self.events:
+            recorder.events.append(TraceEvent(
+                ev.index, _TRACE_KINDS[ev.kind], ev.txn_uid, ev.thread_id,
+                ev.label, ev.addr, ev.site))
+        for uid, rec in self.transactions.items():
+            traced = TracedTransaction(
+                uid, rec.thread_id, rec.label, rec.begin_index,
+                rec.commit_index, rec.aborted)
+            traced.reads = [(addr, self._site_of(idx))
+                            for addr, _, idx in rec.reads]
+            traced.writes = [(addr, self._site_of(idx))
+                             for addr, _, idx in rec.writes]
+            recorder.transactions[uid] = traced
+            recorder._next_uid = max(recorder._next_uid, uid + 1)
+        return recorder
+
+    def _site_of(self, index: int) -> str:
+        return self.events[index].site
+
+    def to_dict(self) -> dict:
+        """JSON-safe form of the whole history."""
+        return {
+            "system": self.system,
+            "isolation": self.isolation,
+            "abort_causes": list(self.abort_causes),
+            "events": [ev.to_dict() for ev in self.events],
+            "transactions": [rec.to_dict()
+                             for _, rec in sorted(self.transactions.items())],
+            "initial": {str(addr): value
+                        for addr, value in sorted(self.initial.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "History":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            system=data["system"],
+            isolation=data["isolation"],
+            abort_causes=tuple(data.get("abort_causes", ())),
+            events=[HistoryEvent.from_dict(e) for e in data["events"]],
+            transactions={rec["uid"]: TxnRecord.from_dict(rec)
+                          for rec in data["transactions"]},
+            initial={int(addr): value
+                     for addr, value in data.get("initial", {}).items()})
+
+    def dumps(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "History":
+        """Deserialize from :meth:`dumps` output."""
+        return cls.from_dict(json.loads(text))
+
+
+class HistoryRecorder(Tracer):
+    """Engine tracer that captures a complete, checkable history."""
+
+    def __init__(self, system: str, isolation: str,
+                 abort_causes: Tuple[str, ...] = (),
+                 initial: Optional[Dict[int, int]] = None):
+        self.history = History(system=system, isolation=isolation,
+                               abort_causes=tuple(sorted(abort_causes)),
+                               initial=dict(initial or {}))
+        self._next_uid = 0
+        self._open: Dict[int, int] = {}  # thread_id -> txn uid
+
+    @classmethod
+    def for_system(cls, tm: TMSystem,
+                   initial: Optional[Dict[int, int]] = None
+                   ) -> "HistoryRecorder":
+        """A recorder carrying ``tm``'s declared isolation metadata."""
+        return cls(tm.name, tm.isolation.value,
+                   tuple(c.value for c in tm.ABORT_CAUSES), initial)
+
+    def _append(self, kind: str, txn: Txn, addr: Optional[int] = None,
+                value: Optional[int] = None, site: str = "") -> HistoryEvent:
+        uid = self._open[txn.thread_id]
+        event = HistoryEvent(len(self.history.events), kind, uid,
+                             txn.thread_id, txn.label, addr, value, site)
+        self.history.events.append(event)
+        return event
+
+    def on_begin(self, txn: Txn) -> None:
+        uid = self._next_uid
+        self._next_uid += 1
+        self._open[txn.thread_id] = uid
+        self.history.transactions[uid] = TxnRecord(
+            uid, txn.thread_id, txn.label,
+            begin_index=len(self.history.events), start_ts=txn.start_ts)
+        self.history.events.append(HistoryEvent(
+            len(self.history.events), BEGIN, uid, txn.thread_id, txn.label))
+
+    def on_read(self, txn: Txn, addr: int, site: str,
+                value: object = None) -> None:
+        event = self._append(READ, txn, addr, value, site)
+        self.history.transactions[event.txn_uid].reads.append(
+            (addr, value, event.index))
+
+    def on_write(self, txn: Txn, addr: int, site: str,
+                 value: object = None) -> None:
+        event = self._append(WRITE, txn, addr, value, site)
+        self.history.transactions[event.txn_uid].writes.append(
+            (addr, value, event.index))
+
+    def on_commit(self, txn: Txn) -> None:
+        event = self._append(COMMIT, txn)
+        record = self.history.transactions[event.txn_uid]
+        record.commit_index = event.index
+        record.commit_ts = txn.commit_ts
+
+    def on_abort(self, txn: Txn, cause: AbortCause) -> None:
+        event = self._append(ABORT, txn)
+        self.history.transactions[event.txn_uid].abort_cause = cause.value
+
+    def __len__(self) -> int:
+        return len(self.history.events)

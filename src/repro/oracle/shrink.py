@@ -1,0 +1,121 @@
+"""Greedy delta-debugging of failing fuzz schedules.
+
+When the fuzzer finds a violating schedule, :func:`shrink_schedule`
+minimises it: repeatedly remove whole transactions, then individual
+operations, keeping each removal only if the reduced schedule still
+fails the caller's predicate, until a fixpoint (or an evaluation
+budget) is reached.  The result is the smallest schedule this greedy
+process can reach — typically the two or three transactions that
+actually race — which :func:`persist_repro` writes as a self-contained
+JSON repro replayable by ``sitm-harness fuzz --replay`` and by the
+regression corpus tests.
+
+Empty threads are left in place during op-level shrinking and removed
+only through predicate-checked steps: deleting a thread renumbers the
+others, which perturbs the engine's deterministic tie-breaking, so the
+predicate must confirm the violation survives.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import pathlib
+from typing import Callable, List, Optional
+
+
+def _txn_count(schedule: dict) -> int:
+    return sum(len(thread) for thread in schedule["threads"])
+
+
+def shrink_schedule(schedule: dict, failing: Callable[[dict], bool],
+                    max_evals: int = 400) -> dict:
+    """Minimise ``schedule`` while ``failing(schedule)`` stays true.
+
+    ``failing`` re-runs the reduced candidate (through whatever systems
+    and checks the caller cares about) and returns True when the
+    violation is still present.  Raises :class:`ValueError` when the
+    input schedule does not fail to begin with.
+    """
+    if not failing(schedule):
+        raise ValueError("shrink_schedule: input schedule does not fail")
+    evals = 0
+
+    def still_fails(candidate: dict) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        evals += 1
+        return failing(candidate)
+
+    current = copy.deepcopy(schedule)
+    changed = True
+    while changed and evals < max_evals:
+        changed = False
+        # whole transactions, last first so indices stay valid
+        for t in reversed(range(len(current["threads"]))):
+            for j in reversed(range(len(current["threads"][t]))):
+                if _txn_count(current) <= 1:
+                    break
+                candidate = copy.deepcopy(current)
+                del candidate["threads"][t][j]
+                if still_fails(candidate):
+                    current = candidate
+                    changed = True
+        # now-empty threads (renumbers the rest, so predicate-checked)
+        for t in reversed(range(len(current["threads"]))):
+            if current["threads"][t] or len(current["threads"]) <= 1:
+                continue
+            candidate = copy.deepcopy(current)
+            del candidate["threads"][t]
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+        # individual operations
+        for t in reversed(range(len(current["threads"]))):
+            for j in reversed(range(len(current["threads"][t]))):
+                for k in reversed(range(len(current["threads"][t][j]["ops"]))):
+                    if len(current["threads"][t][j]["ops"]) <= 1:
+                        break
+                    candidate = copy.deepcopy(current)
+                    del candidate["threads"][t][j]["ops"][k]
+                    if still_fails(candidate):
+                        current = candidate
+                        changed = True
+    return current
+
+
+def schedule_digest(schedule: dict) -> str:
+    """Short content hash identifying a schedule."""
+    canonical = json.dumps(schedule, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def persist_repro(out_dir, schedule: dict, systems: List[str], seed: int,
+                  violations: List[dict],
+                  broken: Optional[str] = None) -> pathlib.Path:
+    """Write a minimal failing schedule as a replayable JSON repro."""
+    root = pathlib.Path(out_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schedule": schedule,
+        "systems": list(systems),
+        "seed": seed,
+        "broken": broken,
+        "violations": violations,
+    }
+    path = root / f"repro-{schedule_digest(schedule)}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_repro(path) -> dict:
+    """Read a repro written by :func:`persist_repro` (or a bare schedule)."""
+    payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    if "schedule" not in payload:
+        # a bare schedule file (e.g. a corpus entry) is accepted as-is
+        payload = {"schedule": payload, "systems": [], "seed": 0,
+                   "broken": None, "violations": []}
+    return payload

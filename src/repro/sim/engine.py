@@ -62,20 +62,26 @@ class TransactionSpec:
 
 
 class Tracer:
-    """Observer interface for the write-skew tool (section 5.1).
+    """Observer interface for trace tools (write-skew tool, oracle).
 
     The engine invokes these hooks for every transactional event; the
     default implementations do nothing, so tracing costs one attribute
-    lookup per event when disabled.
+    lookup per event when disabled.  ``on_read``/``on_write`` receive the
+    value observed/stored, giving full-history recorders
+    (:class:`repro.oracle.history.HistoryRecorder`) everything the
+    isolation checker needs; ``on_begin``/``on_commit`` fire after the
+    system assigned ``txn.start_ts`` / ``txn.commit_ts``.
     """
 
     def on_begin(self, txn: Txn) -> None:  # noqa: D102
         pass
 
-    def on_read(self, txn: Txn, addr: int, site: str) -> None:  # noqa: D102
+    def on_read(self, txn: Txn, addr: int, site: str,
+                value: object = None) -> None:  # noqa: D102
         pass
 
-    def on_write(self, txn: Txn, addr: int, site: str) -> None:  # noqa: D102
+    def on_write(self, txn: Txn, addr: int, site: str,
+                 value: object = None) -> None:  # noqa: D102
         pass
 
     def on_commit(self, txn: Txn) -> None:  # noqa: D102
@@ -222,12 +228,12 @@ class Engine:
             thread.pending = value
             thread.clock += cycles
             tstats.reads += 1
-            self.tracer.on_read(txn, op.addr, op.site)
+            self.tracer.on_read(txn, op.addr, op.site, value)
         elif type(op) is Write:
             cycles = self.tm.write(txn, op.addr, op.value)
             thread.clock += cycles
             tstats.writes += 1
-            self.tracer.on_write(txn, op.addr, op.site)
+            self.tracer.on_write(txn, op.addr, op.site, op.value)
         elif type(op) is Compute:
             thread.clock += op.cycles * self.machine.config.compute_cycles
         elif type(op) is Abort:

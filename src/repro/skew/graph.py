@@ -67,11 +67,15 @@ class SkewReport:
         return labels
 
 
-def _rw_edges(transactions: Sequence[TracedTransaction]):
+def rw_antidependency_edges(transactions: Sequence[TracedTransaction]):
     """Yield (reader, writer, addr, read_site) antidependency edges.
 
-    Indexes writers by address first so the pass is near-linear in trace
-    size rather than quadratic in transactions.
+    An edge reader ``rw->`` writer means the reader read an address that a
+    *concurrent* committed transaction wrote.  Shared by the write-skew
+    tool below and by the SSI dangerous-structure check in
+    :mod:`repro.oracle.checker`.  Indexes writers by address first so the
+    pass is near-linear in trace size rather than quadratic in
+    transactions.
     """
     writers_of: Dict[int, List[TracedTransaction]] = defaultdict(list)
     for txn in transactions:
@@ -96,7 +100,7 @@ def build_graph(trace: TraceRecorder) -> "nx.MultiDiGraph":
     committed = trace.committed_transactions()
     for txn in committed:
         graph.add_node(txn.uid, label=txn.label)
-    for reader, writer, addr, site in _rw_edges(committed):
+    for reader, writer, addr, site in rw_antidependency_edges(committed):
         graph.add_edge(reader.uid, writer.uid, addr=addr, site=site)
     return graph
 

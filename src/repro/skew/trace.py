@@ -110,11 +110,13 @@ class TraceRecorder(Tracer):
         self.events.append(TraceEvent(
             len(self.events), EventKind.BEGIN, uid, txn.thread_id, txn.label))
 
-    def on_read(self, txn: Txn, addr: int, site: str) -> None:
+    def on_read(self, txn: Txn, addr: int, site: str,
+                value: object = None) -> None:
         event = self._emit(EventKind.READ, txn, addr, site)
         self.transactions[event.txn_uid].reads.append((addr, site))
 
-    def on_write(self, txn: Txn, addr: int, site: str) -> None:
+    def on_write(self, txn: Txn, addr: int, site: str,
+                 value: object = None) -> None:
         event = self._emit(EventKind.WRITE, txn, addr, site)
         self.transactions[event.txn_uid].writes.append((addr, site))
 

@@ -2,7 +2,7 @@
 
 from typing import Dict, Type
 
-from repro.tm.api import CommitToken, TMSystem, Txn
+from repro.tm.api import CommitToken, IsolationLevel, TMSystem, Txn
 from repro.tm.backoff import ExponentialBackoff, NoBackoff
 from repro.tm.logtm import EagerLogTM
 from repro.tm.ops import Abort, Compute, Op, Read, Write
@@ -26,6 +26,7 @@ __all__ = [
     "CommitToken",
     "Compute",
     "ExponentialBackoff",
+    "IsolationLevel",
     "NoBackoff",
     "Op",
     "Read",

@@ -19,7 +19,8 @@ their next operation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+import enum
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.common.config import SimConfig
 from repro.common.errors import AbortCause, TMError
@@ -27,6 +28,29 @@ from repro.common.rng import SplitRandom
 from repro.sim.machine import Machine
 from repro.sim.stats import RunStats
 from repro.tm.backoff import ExponentialBackoff, NoBackoff
+
+
+class IsolationLevel(enum.Enum):
+    """The isolation guarantee a TM system declares for committed histories.
+
+    The isolation oracle (:mod:`repro.oracle.checker`) verifies every
+    recorded history against the level its system declares:
+
+    * ``CONFLICT_SERIALIZABLE`` — committed transactions admit an acyclic
+      direct serialization graph under *latest-committed* read semantics
+      (2PL, SONTM, LogTM);
+    * ``SNAPSHOT`` — every read observes the latest version committed
+      before the transaction's start timestamp, the first committer of two
+      overlapping writers wins, and no G0/G1 anomalies occur (SI-TM);
+    * ``SERIALIZABLE_SNAPSHOT`` — the snapshot guarantees *plus* full
+      serializability: no committed pivot (a transaction with both an
+      inbound and an outbound rw-antidependency to concurrent committed
+      transactions) and an acyclic serialization graph (SSI-TM).
+    """
+
+    CONFLICT_SERIALIZABLE = "conflict-serializable"
+    SNAPSHOT = "snapshot"
+    SERIALIZABLE_SNAPSHOT = "serializable-snapshot"
 
 
 class StallRequested(Exception):
@@ -49,7 +73,7 @@ class Txn:
     aborted attempts of the same logical transaction for backoff.
     """
 
-    __slots__ = ("thread_id", "label", "attempt", "start_ts",
+    __slots__ = ("thread_id", "label", "attempt", "start_ts", "commit_ts",
                  "read_lines", "write_lines", "promoted_lines",
                  "write_buffer", "doomed", "active", "start_removed",
                  "son_lo", "son_hi", "after", "before",
@@ -61,6 +85,10 @@ class Txn:
         self.label = label
         self.attempt = attempt
         self.start_ts: Optional[int] = None
+        #: end timestamp assigned at a successful commit (timestamped
+        #: systems only; ``None`` for untimestamped systems and read-only
+        #: SI commits).  Recorded by the history oracle.
+        self.commit_ts: Optional[int] = None
         self.read_lines: Set[int] = set()
         self.write_lines: Set[int] = set()
         #: promoted reads (section 5.1) — validated like writes, no version
@@ -134,6 +162,13 @@ class TMSystem:
 
     #: human-readable system name, used in reports
     name = "abstract"
+    #: isolation level this system guarantees for committed histories,
+    #: checked by the oracle (:mod:`repro.oracle.checker`)
+    isolation = IsolationLevel.CONFLICT_SERIALIZABLE
+    #: abort causes this system may legitimately raise; the oracle flags
+    #: any abort outside this set (plus the always-legal EXPLICIT and
+    #: TIMESTAMP_OVERFLOW causes)
+    ABORT_CAUSES: FrozenSet[AbortCause] = frozenset(AbortCause)
     #: cycles to acquire/release the commit token
     TOKEN_CYCLES = 10
     #: cycles per line written back at commit, on top of the L3 access

@@ -34,13 +34,17 @@ from typing import Optional, Tuple
 from repro.common.errors import AbortCause, TransactionAborted
 from repro.common.rng import SplitRandom
 from repro.sim.machine import Machine
-from repro.tm.api import StallRequested, TMSystem, Txn
+from repro.tm.api import IsolationLevel, StallRequested, TMSystem, Txn
 
 
 class EagerLogTM(TMSystem):
     """Eager version management + NACK-based eager conflict detection."""
 
     name = "LogTM"
+    isolation = IsolationLevel.CONFLICT_SERIALIZABLE
+    ABORT_CAUSES = frozenset({
+        AbortCause.READ_WRITE, AbortCause.WRITE_WRITE,
+        AbortCause.VERSION_BUFFER_OVERFLOW, AbortCause.EXPLICIT})
     #: cycles charged per NACK round trip
     NACK_CYCLES = 24
     #: consecutive NACKs before the requester aborts itself

@@ -45,17 +45,26 @@ from repro.common.rng import SplitRandom
 from repro.mem.cache import SetAssociativeCache
 from repro.mvm.version_list import CapExceeded, SnapshotTooOld
 from repro.sim.machine import Machine
-from repro.tm.api import TMSystem, Txn
+from repro.tm.api import IsolationLevel, TMSystem, Txn
 
 
 class SnapshotIsolationTM(TMSystem):
     """SI-TM: aborts on write-write conflicts only."""
 
     name = "SI-TM"
+    isolation = IsolationLevel.SNAPSHOT
+    ABORT_CAUSES = frozenset({
+        AbortCause.WRITE_WRITE, AbortCause.VERSION_OVERFLOW,
+        AbortCause.SNAPSHOT_TOO_OLD, AbortCause.TIMESTAMP_OVERFLOW,
+        AbortCause.EXPLICIT})
     #: version-list entries per metadata line (section 3.2: eight per line)
     ENTRIES_PER_METADATA_LINE = 8
     #: extra cycles for MVM controller version compare + line allocation
     MVM_CONTROL_CYCLES = 2
+    #: oracle test hook: setting this False (on an instance) disables
+    #: commit-time write-write validation, deliberately breaking snapshot
+    #: isolation so the checker's detection path can be exercised
+    ww_validation = True
 
     def __init__(self, machine: Machine, rng: SplitRandom):
         super().__init__(machine, rng)
@@ -170,6 +179,8 @@ class SnapshotIsolationTM(TMSystem):
 
     def _validate(self, txn: Txn) -> None:
         """Timestamp-based write-write validation (section 4.2)."""
+        if not self.ww_validation:
+            return
         word_filter = self.config.tm.word_grain_commit_filter
         words_per_line = self.amap.words_per_line
         for line in sorted(txn.validation_lines()):
@@ -252,6 +263,7 @@ class SnapshotIsolationTM(TMSystem):
             self._release(txn)
             raise TransactionAborted(AbortCause.VERSION_OVERFLOW)
         self.machine.clock.finish_commit(end_ts)
+        txn.commit_ts = end_ts
         self._release(txn)
         return cycles
 

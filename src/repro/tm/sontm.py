@@ -33,7 +33,7 @@ from typing import Dict, Optional, Tuple
 from repro.common.errors import AbortCause, TransactionAborted
 from repro.common.rng import SplitRandom
 from repro.sim.machine import Machine
-from repro.tm.api import CommitToken, TMSystem, Txn
+from repro.tm.api import CommitToken, IsolationLevel, TMSystem, Txn
 
 _INF = None  # open upper bound
 
@@ -42,6 +42,11 @@ class SONTM(TMSystem):
     """Conflict-serializable TM using serializability order numbers."""
 
     name = "SONTM"
+    isolation = IsolationLevel.CONFLICT_SERIALIZABLE
+    ABORT_CAUSES = frozenset({
+        AbortCause.SON_RANGE_EMPTY, AbortCause.READ_WRITE,
+        AbortCause.WRITE_WRITE, AbortCause.VERSION_BUFFER_OVERFLOW,
+        AbortCause.EXPLICIT})
     #: headroom left below a freshly chosen SON so that concurrent
     #: predecessors (which may commit later) still find a non-empty range
     SON_GAP = 1 << 20

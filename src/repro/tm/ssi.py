@@ -43,7 +43,7 @@ from typing import List, Set, Tuple
 from repro.common.errors import AbortCause, TransactionAborted
 from repro.common.rng import SplitRandom
 from repro.sim.machine import Machine
-from repro.tm.api import Txn
+from repro.tm.api import IsolationLevel, Txn
 from repro.tm.sitm import SnapshotIsolationTM
 
 
@@ -73,6 +73,9 @@ class SerializableSITM(SnapshotIsolationTM):
     """SI-TM plus dangerous-structure detection for full serializability."""
 
     name = "SSI-TM"
+    isolation = IsolationLevel.SERIALIZABLE_SNAPSHOT
+    ABORT_CAUSES = (SnapshotIsolationTM.ABORT_CAUSES
+                    | {AbortCause.DANGEROUS_STRUCTURE})
     #: cycles charged per committed-window record scanned at commit
     RECORD_SCAN_CYCLES = 1
 

@@ -28,13 +28,17 @@ from typing import Optional, Tuple
 from repro.common.errors import AbortCause, TransactionAborted
 from repro.common.rng import SplitRandom
 from repro.sim.machine import Machine
-from repro.tm.api import CommitToken, TMSystem, Txn
+from repro.tm.api import CommitToken, IsolationLevel, TMSystem, Txn
 
 
 class TwoPhaseLockingTM(TMSystem):
     """Eager requester-wins HTM with lazy version management."""
 
     name = "2PL"
+    isolation = IsolationLevel.CONFLICT_SERIALIZABLE
+    ABORT_CAUSES = frozenset({
+        AbortCause.READ_WRITE, AbortCause.WRITE_WRITE,
+        AbortCause.VERSION_BUFFER_OVERFLOW, AbortCause.EXPLICIT})
 
     def __init__(self, machine: Machine, rng: SplitRandom):
         super().__init__(machine, rng)

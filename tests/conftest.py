@@ -14,12 +14,14 @@ from repro.tm.ops import Read, Write
 
 @pytest.fixture(autouse=True)
 def _isolated_result_cache(tmp_path, monkeypatch):
-    """Point the experiment result cache at a throwaway directory.
+    """Point result cache and fuzz output at throwaway directories.
 
-    Tests exercising the CLI or executor with default settings must not
-    write into the repository's ``results/.cache``.
+    Tests exercising the CLI, executor or fuzzer with default settings
+    must not write into the repository's ``results/.cache`` or
+    ``results/fuzz``.
     """
     monkeypatch.setenv("SITM_CACHE_DIR", str(tmp_path / "result-cache"))
+    monkeypatch.setenv("SITM_FUZZ_DIR", str(tmp_path / "fuzz"))
 
 
 @pytest.fixture

@@ -1,0 +1,183 @@
+"""Property tests for version-list and controller invariants.
+
+Random interleavings of installs, snapshot begins/ends, GC and rollback
+are driven against a *full-history* model (every installed version kept,
+no coalescing or GC), checking the invariants the oracle relies on:
+
+* version timestamps are strictly increasing;
+* a snapshot read never observes a version newer than its start
+  timestamp — it returns exactly the model's newest version at or below
+  it;
+* coalescing and GC-on-write never drop a version a live snapshot still
+  needs: what a pinned snapshot reads is stable for its whole lifetime;
+* ``truncate_after`` discards exactly the versions newer than the
+  cutoff.
+
+Timestamps are generated so a snapshot's start never equals a version's
+commit timestamp, mirroring the real clock (``GlobalClock`` hands out
+distinct values and stalls starters near in-flight commits).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.common.config import MVMConfig, VersionCapPolicy  # noqa: E402
+from repro.mem.address import AddressMap  # noqa: E402
+from repro.mvm.controller import MVMController  # noqa: E402
+from repro.mvm.timestamps import ActiveTransactionTable  # noqa: E402
+from repro.mvm.version_list import VersionList  # noqa: E402
+
+WORDS = 8
+
+
+def line_data(tag: int):
+    return tuple([tag] * WORDS)
+
+
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("install"), st.integers(1, 4)),  # ts gap
+        st.tuples(st.just("begin"), st.just(0)),
+        st.tuples(st.just("end"), st.integers(0, 11)),     # which snapshot
+    ),
+    min_size=1, max_size=60)
+
+
+def drive(ops, coalescing):
+    """Run ``ops`` against a VersionList and a full-history model.
+
+    Yields ``(vlist, active, model, snapshots)`` after every step, where
+    ``model`` is the complete list of installed ``(ts, data)`` pairs and
+    ``snapshots`` maps each live start timestamp to the model version
+    index visible to it (-1 = the implicit base).
+    """
+    config = MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED,
+                       coalescing=coalescing)
+    vlist = VersionList()
+    active = ActiveTransactionTable()
+    model = []           # every (ts, data) ever installed
+    snapshots = {}       # live start_ts -> visible model index
+    now = 0
+    tag = 0
+    for op in ops:
+        if op[0] == "install":
+            now += op[1]
+            tag += 1
+            vlist.install(now, line_data(tag), config, active)
+            model.append((now, line_data(tag)))
+        elif op[0] == "begin":
+            now += 1
+            visible = max((i for i, (ts, _) in enumerate(model)
+                           if ts <= now), default=-1)
+            active.add(now)
+            snapshots[now] = visible
+        elif snapshots:
+            start_ts = sorted(snapshots)[op[1] % len(snapshots)]
+            active.remove(start_ts)
+            del snapshots[start_ts]
+        yield vlist, active, model, snapshots
+
+
+@given(ops=steps, coalescing=st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_version_timestamps_strictly_increase(ops, coalescing):
+    for vlist, _, _, _ in drive(ops, coalescing):
+        timestamps = vlist.timestamps
+        assert all(a < b for a, b in zip(timestamps, timestamps[1:]))
+
+
+@given(ops=steps, coalescing=st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_live_snapshots_read_their_version_forever(ops, coalescing):
+    # Neither coalescing nor GC-on-write may change what a live snapshot
+    # observes, and a snapshot never sees data newer than its start.
+    for vlist, _, model, snapshots in drive(ops, coalescing):
+        for start_ts, visible in snapshots.items():
+            data, _ = vlist.read_at(start_ts)  # must not raise
+            if visible < 0:
+                assert data is None, "snapshot predates every version"
+            else:
+                assert data == model[visible][1]
+
+
+@given(ops=steps, coalescing=st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_newest_version_is_the_last_installed(ops, coalescing):
+    for vlist, _, model, _ in drive(ops, coalescing):
+        if model:
+            assert vlist.newest_data() == model[-1][1]
+            assert vlist.newest_timestamp() == model[-1][0]
+
+
+controller_steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("install"), st.integers(0, 3),   # line
+                  st.integers(1, 4)),                      # ts gap
+        st.tuples(st.just("begin"), st.just(0), st.just(0)),
+        st.tuples(st.just("end"), st.integers(0, 11), st.just(0)),
+    ),
+    min_size=1, max_size=50)
+
+
+def drive_controller(ops):
+    """Mirror of :func:`drive` at the MVMController level, multi-line."""
+    controller = MVMController(
+        MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED),
+        AddressMap(WORDS))
+    model = {}       # line -> [(ts, data)]
+    snapshots = {}   # start_ts -> {line: visible model index}
+    now = 0
+    tag = 0
+    for op in ops:
+        if op[0] == "install":
+            line = op[1]
+            now += op[2]
+            tag += 1
+            controller.install_line(line, now, line_data(tag))
+            model.setdefault(line, []).append((now, line_data(tag)))
+        elif op[0] == "begin":
+            now += 1
+            controller.active.add(now)
+            snapshots[now] = {
+                line: max((i for i, (ts, _) in enumerate(versions)
+                           if ts <= now), default=-1)
+                for line, versions in model.items()}
+        elif snapshots:
+            start_ts = sorted(snapshots)[op[1] % len(snapshots)]
+            controller.active.remove(start_ts)
+            del snapshots[start_ts]
+        yield controller, model, snapshots, now
+
+
+@given(ops=controller_steps)
+@settings(max_examples=100, deadline=None)
+def test_controller_snapshot_reads_match_model(ops):
+    for controller, model, snapshots, _ in drive_controller(ops):
+        for start_ts, view in snapshots.items():
+            for line, visible in view.items():
+                data = controller.snapshot_read(line, start_ts)
+                if visible < 0:
+                    assert data is None
+                else:
+                    assert data == model[line][visible][1]
+
+
+@given(ops=controller_steps, cut=st.integers(0, 60))
+@settings(max_examples=100, deadline=None)
+def test_truncate_after_keeps_exactly_older_versions(ops, cut):
+    for controller, model, snapshots, now in drive_controller(ops):
+        pass  # run to completion, then truncate once
+    controller.truncate_after(cut)
+    for line, versions in model.items():
+        kept = controller.versions_of(line)
+        assert all(ts <= cut for ts in kept)
+        surviving = [ts for ts, _ in versions if ts <= cut]
+        # truncation never drops a version at or below the cutoff that
+        # was still live before it ran
+        if kept:
+            assert set(kept).issubset(set(surviving))
+            assert controller.plain_read(line) is not None

@@ -1,0 +1,200 @@
+"""Fuzzer tests: determinism, executor integration, shrinking, repros."""
+
+import json
+
+import pytest
+
+from repro.harness.executor import Executor
+from repro.oracle.fuzz import (FuzzReport, FuzzResult, FuzzSpec,
+                               addonly_cells, check_schedule_run,
+                               expected_counters, fuzz_batch,
+                               generate_schedule, run_schedule,
+                               schedule_violations)
+from repro.oracle.shrink import (load_repro, persist_repro,
+                                 schedule_digest, shrink_schedule)
+from repro.tm import SYSTEMS
+
+ALL_SYSTEMS = sorted(SYSTEMS)
+
+#: the minimal lost-update race: two concurrent read-modify-write adds
+RACE = {
+    "name": "race",
+    "initial": [7, 0],
+    "threads": [
+        [{"label": "t0", "ops": [["a", 0, 9]]}],
+        [{"label": "t1", "ops": [["a", 0, 2]]}],
+    ],
+}
+
+
+class TestScheduleGeneration:
+    def test_pure_function_of_arguments(self):
+        assert generate_schedule(3, 5) == generate_schedule(3, 5)
+
+    def test_distinct_indices_give_distinct_schedules(self):
+        schedules = [generate_schedule(0, i) for i in range(10)]
+        assert len({json.dumps(s, sort_keys=True)
+                    for s in schedules}) > 1
+
+    def test_every_transaction_has_ops(self):
+        for index in range(20):
+            schedule = generate_schedule(1, index)
+            for thread in schedule["threads"]:
+                for txn in thread:
+                    assert txn["ops"], txn
+
+    def test_addonly_cells_exclude_blindly_written(self):
+        schedule = {"initial": [0, 0, 0], "threads": [[
+            {"label": "t", "ops": [["a", 0, 1], ["a", 1, 2],
+                                   ["w", 1, 9]]}]]}
+        assert addonly_cells(schedule) == [0]
+        assert expected_counters(schedule) == {0: 1}
+
+
+class TestRunAndCheck:
+    @pytest.mark.parametrize("system", ALL_SYSTEMS)
+    def test_race_is_clean_on_every_backend(self, system):
+        violations, final, history = check_schedule_run(RACE, system)
+        assert violations == []
+        assert final[0] == 7 + 9 + 2
+        assert len(history.committed()) == 2
+
+    def test_broken_sitm_is_caught(self):
+        violations, final, _ = check_schedule_run(RACE, "SI-TM",
+                                                  broken="no-ww")
+        rules = {v.rule for v in violations}
+        assert "first-committer-wins" in rules
+        assert "lost-update" in rules
+        assert final[0] != 7 + 9 + 2
+
+    def test_broken_hook_is_noop_for_other_backends(self):
+        violations, final, _ = check_schedule_run(RACE, "2PL",
+                                                  broken="no-ww")
+        assert violations == [] and final[0] == 18
+
+    def test_config_patch_applies(self):
+        patched = dict(RACE, config={"mvm": {"max_versions": 2}})
+        history, final = run_schedule(patched, "SI-TM")
+        assert final[0] == 18 and len(history.committed()) == 2
+
+
+class TestFuzzSpec:
+    def test_round_trip(self):
+        spec = FuzzSpec(system="SI-TM", seed=4, index=9, broken="no-ww")
+        assert FuzzSpec.from_dict(spec.to_dict()) == spec
+        assert json.loads(spec.canonical_json())["kind"] == "fuzz"
+
+    def test_run_produces_serializable_result(self):
+        spec = FuzzSpec(system="SI-TM",
+                        schedule_json=json.dumps(RACE))
+        result = spec.run()
+        assert isinstance(result, FuzzResult)
+        assert result.committed == 2 and result.violations == []
+        assert FuzzResult.from_dict(result.to_dict()).to_dict() == \
+            result.to_dict()
+
+    def test_executor_caches_fuzz_results(self):
+        specs = [FuzzSpec(system=system, schedule_json=json.dumps(RACE))
+                 for system in ALL_SYSTEMS]
+        first = Executor(jobs=1, cache=True)
+        results = first.run(specs)
+        assert first.counters()["cache_misses"] == len(specs)
+        second = Executor(jobs=1, cache=True)
+        again = second.run(specs)
+        assert second.counters()["cache_hits"] == len(specs)
+        for spec in specs:
+            assert again[spec].to_dict() == results[spec].to_dict()
+
+    def test_process_pool_matches_inline(self):
+        specs = [FuzzSpec(system=system, seed=0, index=1)
+                 for system in ALL_SYSTEMS]
+        inline = Executor(jobs=1, cache=False).run(specs)
+        pooled = Executor(jobs=2, cache=False).run(specs)
+        for spec in specs:
+            assert pooled[spec].to_dict() == inline[spec].to_dict()
+
+
+class TestShrinking:
+    def test_requires_failing_input(self):
+        with pytest.raises(ValueError):
+            shrink_schedule(RACE, lambda schedule: False)
+
+    def test_shrinks_to_minimal_core(self):
+        padded = {
+            "name": "padded", "initial": [7, 0, 0],
+            "threads": [
+                [{"label": "t0", "ops": [["r", 2], ["a", 0, 9]]},
+                 {"label": "t0b", "ops": [["r", 1]]}],
+                [{"label": "t1", "ops": [["a", 0, 2], ["c", 2]]}],
+                [{"label": "t2", "ops": [["r", 2], ["c", 1]]}],
+            ],
+        }
+
+        def failing(candidate):
+            return bool(schedule_violations(candidate, ["SI-TM"],
+                                            broken="no-ww"))
+
+        assert failing(padded)
+        minimal = shrink_schedule(padded, failing)
+        txns = [txn for thread in minimal["threads"] for txn in thread]
+        assert len(txns) == 2
+        assert all(len(txn["ops"]) == 1 and txn["ops"][0][0] == "a"
+                   for txn in txns)
+        assert failing(minimal)
+
+    def test_digest_is_content_addressed(self):
+        assert schedule_digest(RACE) == schedule_digest(json.loads(
+            json.dumps(RACE)))
+        assert schedule_digest(RACE) != schedule_digest(
+            dict(RACE, initial=[8, 0]))
+
+
+class TestRepros:
+    def test_persist_and_load_round_trip(self, tmp_path):
+        path = persist_repro(tmp_path, RACE, ["SI-TM"], seed=3,
+                             violations=[{"rule": "x", "detail": "d",
+                                          "txns": [], "addr": None}],
+                             broken="no-ww")
+        payload = load_repro(path)
+        assert payload["schedule"] == RACE
+        assert payload["systems"] == ["SI-TM"]
+        assert payload["seed"] == 3 and payload["broken"] == "no-ww"
+        assert payload["violations"][0]["rule"] == "x"
+
+    def test_load_accepts_bare_schedule(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(RACE))
+        assert load_repro(path)["schedule"] == RACE
+
+
+class TestFuzzBatch:
+    def test_clean_campaign(self, tmp_path):
+        report = fuzz_batch(Executor(jobs=1, cache=False),
+                            ALL_SYSTEMS, schedules=5, seed=0,
+                            out_dir=tmp_path)
+        assert isinstance(report, FuzzReport) and report.clean
+        assert report.repro_path is None
+        for system in ALL_SYSTEMS:
+            row = report.per_system[system]
+            assert row["schedules"] == 5 and row["violations"] == 0
+            assert row["committed"] > 0
+
+    @pytest.mark.slow
+    def test_long_campaign_is_clean(self, tmp_path):
+        report = fuzz_batch(Executor(jobs=0, cache=False),
+                            ALL_SYSTEMS, schedules=200, seed=0,
+                            out_dir=tmp_path)
+        assert report.clean, report.violations[:5]
+
+    def test_broken_campaign_persists_minimal_repro(self, tmp_path):
+        report = fuzz_batch(Executor(jobs=1, cache=False),
+                            ["SI-TM"], schedules=5, seed=0,
+                            broken="no-ww", out_dir=tmp_path)
+        assert not report.clean
+        assert report.repro_path is not None
+        payload = load_repro(report.repro_path)
+        assert payload["broken"] == "no-ww"
+        assert payload["violations"]
+        # the persisted schedule still reproduces the violation
+        assert schedule_violations(payload["schedule"], ["SI-TM"],
+                                   seed=payload["seed"], broken="no-ww")

@@ -171,10 +171,10 @@ class TestTracerHooks:
             def on_begin(self, txn):
                 events.append("begin")
 
-            def on_read(self, txn, addr, site):
+            def on_read(self, txn, addr, site, value=None):
                 events.append(("read", site))
 
-            def on_write(self, txn, addr, site):
+            def on_write(self, txn, addr, site, value=None):
                 events.append(("write", site))
 
             def on_commit(self, txn):
