@@ -1,0 +1,100 @@
+"""Telemetry overhead contract: disabled-by-default must stay free.
+
+The observability subsystem (:mod:`repro.obs`) promises that a run
+without ``telemetry=True`` pays nothing beyond one ``is not None`` test
+per hot-path site.  Two checks enforce it:
+
+* **structural** — a default run constructs no telemetry objects at
+  all (the registry and span recorder classes are poisoned and must
+  never be instantiated);
+* **temporal** — ``run_once(telemetry=False)`` stays within 5% (plus
+  measured machine noise) of a hand-rolled engine loop with no
+  telemetry plumbing around it, i.e. the pre-telemetry execution path.
+
+Both sides of the wall-clock comparison use min-of-N, which on a noisy
+CI box is the stable estimator of the true cost floor.
+"""
+
+import dataclasses
+import time
+
+from repro.common.config import SimConfig
+from repro.common.rng import SplitRandom, derive_seed
+from repro.harness.runner import run_once
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.tm import SYSTEMS
+from repro.workloads import REGISTRY
+
+from conftest import PROFILE
+
+WORKLOAD = "rbtree"
+SYSTEM = "SI-TM"
+THREADS = 4
+#: timing repetitions (min-of-N absorbs scheduler noise)
+REPS = 5
+#: the contract: telemetry off may cost at most this fraction extra
+MAX_OVERHEAD = 0.05
+
+
+def _bare_run():
+    """run_once's simulation core with zero telemetry plumbing."""
+    config = SimConfig()
+    if THREADS > config.machine.cores:
+        config = config.replace(
+            machine=dataclasses.replace(config.machine, cores=THREADS))
+    machine = Machine(config)
+    rng = SplitRandom(derive_seed(1, WORKLOAD, SYSTEM, THREADS))
+    bench = REGISTRY.create(WORKLOAD, profile=PROFILE)
+    instance = bench.setup(machine, THREADS, rng.split("workload"))
+    tm = SYSTEMS[SYSTEM](machine, rng.split("tm"))
+    return Engine(tm, instance.programs).run()
+
+
+def _min_seconds(fn, reps=REPS):
+    best = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def test_disabled_run_constructs_no_telemetry_objects(monkeypatch):
+    """telemetry=False must never touch repro.obs at all."""
+    import repro.obs.metrics as metrics_mod
+    import repro.obs.spans as spans_mod
+
+    def poison(*args, **kwargs):
+        raise AssertionError("telemetry object built in a disabled run")
+
+    monkeypatch.setattr(metrics_mod.MetricsRegistry, "__init__", poison)
+    monkeypatch.setattr(spans_mod.SpanRecorder, "__init__", poison)
+    result = run_once(WORKLOAD, SYSTEM, THREADS, seed=1, profile=PROFILE)
+    assert result.metrics is None and result.spans is None
+
+
+def test_telemetry_off_overhead_within_contract(once, benchmark):
+    def experiment():
+        # interleave to keep cache/frequency drift symmetric
+        bare = _min_seconds(_bare_run)
+        off = _min_seconds(lambda: run_once(
+            WORKLOAD, SYSTEM, THREADS, seed=1, profile=PROFILE))
+        bare2 = _min_seconds(_bare_run)
+        on = _min_seconds(lambda: run_once(
+            WORKLOAD, SYSTEM, THREADS, seed=1, profile=PROFILE,
+            telemetry=True))
+        return {"bare_s": min(bare, bare2), "off_s": off, "on_s": on,
+                "noise": abs(bare - bare2) / min(bare, bare2)}
+
+    results = once(experiment)
+    benchmark.extra_info["results"] = results
+    noise = results["noise"]
+    assert noise < 0.5, f"machine too noisy to measure: {results}"
+    overhead = results["off_s"] / results["bare_s"] - 1.0
+    benchmark.extra_info["telemetry_off_overhead"] = overhead
+    assert overhead <= MAX_OVERHEAD + noise, results
+    # Sanity: the telemetry-on path works; its cost lands on the
+    # enabled run only (it may legitimately be slower than both).
+    assert results["on_s"] > 0

@@ -12,6 +12,9 @@ Usage::
     sitm-harness overheads
     sitm-harness cache [--stats | --clear]
     sitm-harness fuzz  [--backend all] [--schedules N] [--seed S] [--jobs 4]
+    sitm-harness trace   [--experiment figure7] [--backend sitm]
+                         [--out trace.json]
+    sitm-harness metrics [--experiment rbtree] [--backend sitm]
     sitm-harness all   [--profile test]
 
 ``--profile`` selects the workload scaling profile (see
@@ -95,7 +98,7 @@ def _fig7(args) -> str:
     _export(args, export.figure7_rows(cells))
     headers = (["benchmark", "threads"] + systems
                + [f"{s}/2PL" for s in systems if s != "2PL"]
-               + ["max sd"])
+               + ["max sd", "backoff(2PL) kc", "wait(2PL) kc"])
     rows = []
     for c in cells:
         row = [c.workload, c.threads]
@@ -104,6 +107,8 @@ def _fig7(args) -> str:
                 if s != "2PL"]
         row.append(format_rel_stddev(
             max(c.rel_stddev.values()) if c.rel_stddev else None))
+        row.append(f"{c.backoff.get('2PL', 0.0) / 1000.0:.1f}")
+        row.append(f"{c.commit_wait.get('2PL', 0.0) / 1000.0:.1f}")
         rows.append(row)
     return format_table(headers, rows,
                         title="Figure 7: aborts relative to 2PL")
@@ -117,8 +122,15 @@ def _fig8(args) -> str:
     _export(args, export.figure8_rows(series))
     lines = ["Figure 8: speedup over one thread"]
     for s in series:
-        lines.append(format_series(f"{s.workload:10s} {s.system:6s}",
-                                   s.threads, s.speedup, s.rel_stddev))
+        line = format_series(f"{s.workload:10s} {s.system:6s}",
+                             s.threads, s.speedup, s.rel_stddev)
+        if s.backoff and s.commit_wait:
+            # contention cost at the widest point of the curve: where
+            # backoff and commit-token queueing eat the speedup
+            line += (f"  [backoff {s.backoff[-1] / 1000.0:.1f}kc"
+                     f" wait {s.commit_wait[-1] / 1000.0:.1f}kc"
+                     f" @t{s.threads[-1]}]")
+        lines.append(line)
     if args.chart:
         by_workload = {}
         for s in series:
@@ -190,6 +202,11 @@ def _fuzz(args) -> str:
                  f"{' '.join(replay_systems)}: "
                  f"{len(violations)} violation(s)"]
         lines += [f"  {v}" for v in violations]
+        if payload.get("span_log"):
+            lines.append(f"span log: {payload['span_log']} "
+                         f"(next to the repro)")
+        if args.trace_out:
+            lines.append(_replay_trace(args, payload, replay_systems))
         return "\n".join(lines)
     report = fuzz_batch(
         args.executor, systems, args.schedules, seed=args.seed,
@@ -218,6 +235,79 @@ def _fuzz(args) -> str:
     return "\n".join(lines)
 
 
+def _replay_trace(args, payload, replay_systems) -> str:
+    """Re-run a repro with span telemetry and emit its Chrome trace."""
+    from repro.common.errors import SimulationError
+    from repro.obs import SpanRecorder, chrome_trace, write_chrome_trace
+    from repro.oracle.fuzz import run_schedule
+    runs = []
+    name = payload["schedule"].get("name", "repro")
+    for system in replay_systems:
+        recorder = SpanRecorder()
+        try:
+            run_schedule(payload["schedule"], system,
+                         seed=payload.get("seed", args.seed),
+                         broken=payload.get("broken") or args.broken,
+                         tracer=recorder)
+        except SimulationError:
+            pass  # livelocked runs still leave their partial spans
+        runs.append((f"{name} [{system}]", recorder.spans))
+    target = write_chrome_trace(args.trace_out, chrome_trace(runs))
+    return f"Chrome trace written: {target}"
+
+
+def _trace_results(args):
+    """Run the telemetry specs for --experiment and return (specs, results)."""
+    system = args.backend if args.backend != "all" else "SI-TM"
+    specs = experiments.trace_specs(
+        args.experiment, system=system, threads=args.threads,
+        seed=args.seed or 1, profile=args.profile,
+        workloads=args.workloads)
+    return specs, args.executor.run(specs)
+
+
+def _trace(args) -> str:
+    from repro.obs import Span, chrome_trace, write_chrome_trace
+    specs, results = _trace_results(args)
+    runs = [(str(spec),
+             [Span.from_dict(row) for row in results[spec].spans or []])
+            for spec in specs]
+    trace = chrome_trace(runs)
+    target = write_chrome_trace(args.out or "trace.json", trace)
+    # --out names the trace file itself, not a text report copy
+    args.out = None
+    slices = sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+    lines = [f"Chrome trace written: {target}",
+             f"  runs (processes): {len(runs)}",
+             f"  transaction slices: {slices}",
+             "  open in https://ui.perfetto.dev or chrome://tracing"]
+    for name, spans in runs:
+        commits = sum(1 for s in spans if s.outcome == "commit")
+        aborts = sum(1 for s in spans if s.outcome == "abort")
+        lines.append(f"  {name}: {len(spans)} spans "
+                     f"({commits} commit / {aborts} abort)")
+    return "\n".join(lines)
+
+
+def _metrics(args) -> str:
+    from repro.obs import (Span, abort_attribution, metrics_table,
+                           version_occupancy)
+    specs, results = _trace_results(args)
+    sections = []
+    for spec in specs:
+        result = results[spec]
+        spans = [Span.from_dict(row) for row in result.spans or []]
+        sections.append("\n".join([
+            f"=== {spec} ===",
+            abort_attribution(spans),
+            "",
+            version_occupancy(result.metrics or {}),
+            "",
+            metrics_table(result.metrics or {}),
+        ]))
+    return "\n\n".join(sections)
+
+
 def _cache(args) -> str:
     cache = ResultCache(args.cache_dir)
     if args.clear:
@@ -232,6 +322,25 @@ def _cache(args) -> str:
          ["current code", stats["current_code"]],
          ["stale (old code)", stats["stale"]]],
         title="Experiment result cache")
+
+
+#: case-insensitive backend spellings -> canonical system names, so the
+#: CLI accepts `--backend sitm` as well as the registry's `SI-TM`
+_BACKEND_ALIASES = {
+    "2pl": "2PL", "sontm": "SONTM", "sitm": "SI-TM", "si-tm": "SI-TM",
+    "ssi": "SSI-TM", "ssitm": "SSI-TM", "ssi-tm": "SSI-TM",
+    "logtm": "LogTM", "all": "all",
+}
+
+
+def _backend(name: str) -> str:
+    """argparse type hook normalising backend aliases (sitm -> SI-TM)."""
+    canon = _BACKEND_ALIASES.get(name.lower().replace("_", "-"))
+    if canon is None:
+        raise argparse.ArgumentTypeError(
+            f"unknown backend {name!r}; known: "
+            + " ".join(sorted(set(_BACKEND_ALIASES.values()))))
+    return canon
 
 
 _COMMANDS = {
@@ -253,11 +362,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="sitm-harness",
         description="Regenerate the SI-TM paper's figures and tables.")
     parser.add_argument("command",
-                        choices=list(_COMMANDS) + ["cache", "fuzz", "all"])
+                        choices=list(_COMMANDS) + ["trace", "metrics",
+                                                   "cache", "fuzz", "all"])
     parser.add_argument("--profile", default="quick",
                         choices=("test", "quick", "full"))
     parser.add_argument("--threads", type=int, default=16,
-                        help="thread count for fig1")
+                        help="thread count for fig1/trace/metrics")
     parser.add_argument("--seeds", type=int, default=DEFAULT_SEEDS,
                         help="independent seeds per cell (default "
                              f"{DEFAULT_SEEDS} for quick runs; the paper "
@@ -290,10 +400,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cache: delete every entry")
     parser.add_argument("--stats", action="store_true",
                         help="cache: print entry counts (the default)")
-    parser.add_argument("--backend", default="all",
+    parser.add_argument("--backend", default="all", type=_backend,
                         choices=("2PL", "SONTM", "SI-TM", "SSI-TM",
                                  "LogTM", "all"),
-                        help="fuzz: backend(s) to cross-check")
+                        help="trace/metrics: system to telemeter "
+                             "(default SI-TM); fuzz: backend(s) to "
+                             "cross-check; case-insensitive aliases "
+                             "like 'sitm' accepted")
+    parser.add_argument("--experiment", default="figure7",
+                        help="trace/metrics: figure1/figure7/figure8 "
+                             "(that figure's workload set) or one "
+                             "workload name")
     parser.add_argument("--schedules", type=int, default=50,
                         help="fuzz: number of randomized schedules")
     parser.add_argument("--seed", type=int, default=0,
@@ -316,6 +433,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--replay", default=None,
                         help="fuzz: re-check a persisted repro or "
                              "schedule JSON instead of generating")
+    parser.add_argument("--trace-out", default=None,
+                        help="fuzz --replay: also re-run the repro with "
+                             "span telemetry and write a Chrome trace "
+                             "to this file")
     return parser
 
 
@@ -336,6 +457,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = _cache(args)
     elif args.command == "fuzz":
         report = _fuzz(args)
+    elif args.command == "trace":
+        report = _trace(args)
+    elif args.command == "metrics":
+        report = _metrics(args)
     else:
         report = _COMMANDS[args.command](args)
     counters = args.executor.counters()

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import MVMConfig, SimConfig, VersionCapPolicy
-from repro.common.errors import AbortCause, TransactionAborted
+from repro.common.errors import AbortCause, ConfigError, TransactionAborted
 from repro.common.rng import SplitRandom
 from repro.mvm.overhead import report as overhead_report
 from repro.sim.machine import Machine
@@ -239,6 +239,10 @@ class Figure7Cell:
     relative: Dict[str, Optional[float]]  # system -> aborts / 2PL aborts
     #: system -> relative stddev of per-seed throughput (paper: <5%)
     rel_stddev: Dict[str, float] = field(default_factory=dict)
+    #: system -> mean cycles burned in post-abort backoff
+    backoff: Dict[str, float] = field(default_factory=dict)
+    #: system -> mean cycles queued on the commit token
+    commit_wait: Dict[str, float] = field(default_factory=dict)
 
 
 def figure7(profile: str = "quick",
@@ -264,15 +268,19 @@ def figure7(profile: str = "quick",
         for threads in thread_counts:
             aborts: Dict[str, float] = {}
             stddev: Dict[str, float] = {}
+            backoff: Dict[str, float] = {}
+            commit_wait: Dict[str, float] = {}
             for system in systems:
                 agg = aggregates[(name, system, threads)]
                 aborts[system] = agg.aborts
                 stddev[system] = agg.throughput_rel_stddev
+                backoff[system] = agg.backoff_cycles
+                commit_wait[system] = agg.commit_wait_cycles
             base = aborts["2PL"]
             relative = {system: (value / base if base else None)
                         for system, value in aborts.items()}
             cells.append(Figure7Cell(name, threads, aborts, relative,
-                                     stddev))
+                                     stddev, backoff, commit_wait))
     return cells
 
 
@@ -290,6 +298,10 @@ class Figure8Series:
     speedup: List[float]
     #: per-point relative stddev of throughput across seeds (paper: <5%)
     rel_stddev: List[float] = field(default_factory=list)
+    #: per-point mean cycles burned in post-abort backoff
+    backoff: List[float] = field(default_factory=list)
+    #: per-point mean cycles queued on the commit token
+    commit_wait: List[float] = field(default_factory=list)
 
 
 def figure8(profile: str = "quick",
@@ -316,6 +328,8 @@ def figure8(profile: str = "quick",
         for system in systems:
             speedups: List[float] = []
             stddevs: List[float] = []
+            backoff: List[float] = []
+            commit_wait: List[float] = []
             base: Optional[float] = None
             for threads in thread_counts:
                 agg = aggregates[(name, system, threads)]
@@ -323,10 +337,45 @@ def figure8(profile: str = "quick",
                     base = agg.throughput or 1e-12
                 speedups.append(agg.throughput / base)
                 stddevs.append(agg.throughput_rel_stddev)
+                backoff.append(agg.backoff_cycles)
+                commit_wait.append(agg.commit_wait_cycles)
             series.append(Figure8Series(name, system,
                                         list(thread_counts), speedups,
-                                        stddevs))
+                                        stddevs, backoff, commit_wait))
     return series
+
+
+# ----------------------------------------------------------------------
+# Telemetry traces — one run per workload, spans + metrics captured
+
+
+def trace_specs(experiment: str, system: str = "SI-TM", threads: int = 8,
+                seed: int = 1, profile: str = "quick",
+                workloads: Optional[Sequence[str]] = None,
+                ) -> List[ExperimentSpec]:
+    """Specs for ``sitm-harness trace``: telemetry runs for one figure.
+
+    ``experiment`` is a figure name (``figure1``, ``figure7``,
+    ``figure8`` — its workload set under one backend) or a single
+    workload name.  Each spec runs with ``telemetry=True`` and becomes
+    one process track in the exported Chrome trace.
+    """
+    from repro.workloads import REGISTRY
+    if workloads:
+        names = list(workloads)
+    elif experiment == "figure1":
+        names = list(FIGURE1_BENCHMARKS)
+    elif experiment in ("figure7", "figure8"):
+        names = list(PAPER_ORDER)
+    elif experiment in REGISTRY:
+        names = [experiment]
+    else:
+        raise ConfigError(
+            f"unknown experiment {experiment!r}; expected figure1/"
+            f"figure7/figure8 or a workload ({sorted(REGISTRY.names())})")
+    return [ExperimentSpec(name, system, threads, seed, profile,
+                           telemetry=True)
+            for name in names]
 
 
 # ----------------------------------------------------------------------

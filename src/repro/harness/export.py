@@ -47,6 +47,9 @@ def figure7_rows(cells: Sequence[Figure7Cell]) -> List[dict]:
                                     if relative is not None else ""),
                 "throughput_rel_stddev": (round(rel_stddev, 6)
                                           if rel_stddev is not None else ""),
+                "backoff_cycles": round(cell.backoff.get(system, 0.0), 2),
+                "commit_wait_cycles": round(
+                    cell.commit_wait.get(system, 0.0), 2),
             })
     return out
 
@@ -56,15 +59,19 @@ def figure8_rows(series: Sequence[Figure8Series]) -> List[dict]:
     out = []
     for entry in series:
         stddevs = entry.rel_stddev or [None] * len(entry.threads)
-        for threads, speedup, stddev in zip(entry.threads, entry.speedup,
-                                            stddevs):
+        backoffs = entry.backoff or [0.0] * len(entry.threads)
+        waits = entry.commit_wait or [0.0] * len(entry.threads)
+        for threads, speedup, stddev, backoff, wait in zip(
+                entry.threads, entry.speedup, stddevs, backoffs, waits):
             out.append({"workload": entry.workload,
                         "system": entry.system,
                         "threads": threads,
                         "speedup": round(speedup, 4),
                         "throughput_rel_stddev": (round(stddev, 6)
                                                   if stddev is not None
-                                                  else "")})
+                                                  else ""),
+                        "backoff_cycles": round(backoff, 2),
+                        "commit_wait_cycles": round(wait, 2)})
     return out
 
 

@@ -53,6 +53,16 @@ class RunResult:
     mvm_stats: Dict[str, int] = field(default_factory=dict)
     census_rows: Optional[List[dict]] = None
     abort_causes: Dict[str, int] = field(default_factory=dict)
+    #: cycles spent in post-abort exponential backoff (summed over threads)
+    backoff_cycles: int = 0
+    #: cycles spent queued on the commit token (summed over threads)
+    commit_wait_cycles: int = 0
+    #: telemetry-only payloads (None when the spec ran without telemetry):
+    #: the canonical metrics snapshot and the per-attempt span dicts —
+    #: both JSON-safe so they survive the executor's cache/process
+    #: boundary byte-identically
+    metrics: Optional[dict] = None
+    spans: Optional[List[dict]] = None
 
     @property
     def throughput(self) -> float:
@@ -120,6 +130,16 @@ class Aggregate:
         return self.throughput_stddev / mean if mean else 0.0
 
     @property
+    def backoff_cycles(self) -> float:
+        """Mean cycles burned in post-abort backoff across seeds."""
+        return sum(r.backoff_cycles for r in self.runs) / len(self.runs)
+
+    @property
+    def commit_wait_cycles(self) -> float:
+        """Mean cycles spent queued on the commit token across seeds."""
+        return sum(r.commit_wait_cycles for r in self.runs) / len(self.runs)
+
+    @property
     def read_write_fraction(self) -> Optional[float]:
         """Fraction of conflict aborts that are read-write (Figure 1)."""
         rw = sum(r.read_write_aborts for r in self.runs)
@@ -134,8 +154,18 @@ class Aggregate:
 
 def run_once(workload: str, system: str, threads: int, seed: int,
              profile: str = "quick",
-             config: Optional[SimConfig] = None) -> RunResult:
-    """Run one simulation and collect its statistics."""
+             config: Optional[SimConfig] = None,
+             telemetry: bool = False) -> RunResult:
+    """Run one simulation and collect its statistics.
+
+    With ``telemetry=True`` the run carries a :class:`~repro.obs.metrics.
+    MetricsRegistry` (wired into the machine, MVM, and TM hot paths) and a
+    :class:`~repro.obs.spans.SpanRecorder` in the engine's tracer slot; the
+    result then includes the canonical metrics snapshot and per-attempt
+    span dicts.  Telemetry does not perturb the simulation — schedules and
+    statistics are identical either way — so cached results from
+    non-telemetry runs stay valid.
+    """
     if system not in SYSTEMS:
         raise ConfigError(f"unknown system {system!r}; known: {sorted(SYSTEMS)}")
     config = config or SimConfig()
@@ -143,15 +173,27 @@ def run_once(workload: str, system: str, threads: int, seed: int,
         config = config.replace(
             machine=dataclasses.replace(config.machine, cores=threads))
     machine = Machine(config)
+    registry = recorder = None
+    if telemetry:
+        from repro.obs import MetricsRegistry, SpanRecorder
+        registry = MetricsRegistry()
+        recorder = SpanRecorder(metrics=registry)
+        machine.enable_telemetry(registry)
     rng = SplitRandom(derive_seed(seed, workload, system, threads))
     bench = REGISTRY.create(workload, profile=profile)
     instance = bench.setup(machine, threads, rng.split("workload"))
     tm = SYSTEMS[system](machine, rng.split("tm"))
-    engine = Engine(tm, instance.programs)
+    engine = Engine(tm, instance.programs, tracer=recorder)
     stats: RunStats = engine.run()
     verified = instance.verify() if instance.verify is not None else None
     census_rows = (machine.mvm.census.rows()
                    if machine.mvm.census is not None else None)
+    metrics_snapshot = spans = None
+    if telemetry:
+        from repro.obs import collect_run_metrics
+        collect_run_metrics(registry, machine, tm, stats)
+        metrics_snapshot = registry.snapshot()
+        spans = [s.to_dict() for s in recorder.spans]
     return RunResult(
         workload=workload, system=system, threads=threads, seed=seed,
         commits=stats.total_commits, aborts=stats.total_aborts,
@@ -165,6 +207,10 @@ def run_once(workload: str, system: str, threads: int, seed: int,
         mvm_stats=machine.mvm.stats(),
         census_rows=census_rows,
         abort_causes={c.value: n for c, n in stats.abort_causes.items()},
+        backoff_cycles=sum(t.backoff_cycles for t in stats.threads),
+        commit_wait_cycles=sum(t.commit_wait_cycles for t in stats.threads),
+        metrics=metrics_snapshot,
+        spans=spans,
     )
 
 

@@ -42,6 +42,12 @@ class ExperimentSpec:
     seed: int
     profile: str = "quick"
     config: Optional[SimConfig] = None
+    #: carry a metrics registry + span recorder through the run; the
+    #: result then includes the metrics snapshot and span dicts.  Part
+    #: of the cache key (a telemetry result holds strictly more data),
+    #: but omitted from the canonical dict when False so every
+    #: pre-existing spec hash is unchanged.
+    telemetry: bool = False
 
     #: spec-kind discriminator for the executor's worker payloads; the
     #: canonical dict deliberately omits it so existing cache keys and
@@ -55,7 +61,7 @@ class ExperimentSpec:
 
     def to_dict(self) -> dict:
         """Canonical JSON-safe form (stable key set, nested config)."""
-        return {
+        data = {
             "workload": self.workload,
             "system": self.system,
             "threads": self.threads,
@@ -63,6 +69,9 @@ class ExperimentSpec:
             "profile": self.profile,
             "config": self.config.to_dict() if self.config else None,
         }
+        if self.telemetry:
+            data["telemetry"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentSpec":
@@ -74,7 +83,8 @@ class ExperimentSpec:
             threads=data["threads"],
             seed=data["seed"],
             profile=data.get("profile", "quick"),
-            config=SimConfig.from_dict(config) if config else None)
+            config=SimConfig.from_dict(config) if config else None,
+            telemetry=data.get("telemetry", False))
 
     def canonical_json(self) -> str:
         """Canonical JSON (sorted keys, no whitespace) for hashing."""
@@ -89,11 +99,13 @@ class ExperimentSpec:
     def run(self) -> RunResult:
         """Execute this spec in the current process."""
         return run_once(self.workload, self.system, self.threads,
-                        self.seed, self.profile, self.config)
+                        self.seed, self.profile, self.config,
+                        telemetry=self.telemetry)
 
     def __str__(self) -> str:
-        return (f"{self.workload}/{self.system}/t{self.threads}"
+        base = (f"{self.workload}/{self.system}/t{self.threads}"
                 f"/s{self.seed}/{self.profile}")
+        return base + "/telemetry" if self.telemetry else base
 
 
 def seed_specs(workload: str, system: str, threads: int,

@@ -65,6 +65,10 @@ class MVMController:
         #: bundles (groups of ``bundle_lines`` lines) already materialised
         #: by a first copy-on-write (section 3.2 bundling)
         self._materialised_bundles: set = set()
+        #: telemetry registry or None (the default); when attached, every
+        #: install feeds the version-list occupancy histogram — the
+        #: distribution behind the section 4.4 coalescing discussion
+        self.metrics = None
         # counters
         self.bundle_copies = 0
         self.versions_installed = 0
@@ -178,6 +182,10 @@ class MVMController:
         if coalesced:
             self.versions_coalesced += 1
         self.versions_collected += dropped
+        if self.metrics is not None:
+            # occupancy *after* this install (and its GC/coalescing):
+            # what the hardware would actually have to store
+            self.metrics.observe("mvm_version_list_length", len(vlist))
 
     def bundle_copy_lines(self, line: int) -> int:
         """Extra lines copied when ``line``'s bundle first materialises.

@@ -1,0 +1,36 @@
+"""``repro.obs`` — the run-telemetry subsystem.
+
+Low-overhead observability wired through every layer of the
+reproduction:
+
+* :mod:`repro.obs.metrics` — labeled counter/gauge/histogram registry
+  the engine, TM systems and MVM controller emit into;
+* :mod:`repro.obs.spans` — per-transaction lifecycle spans
+  (:class:`SpanRecorder`) and tracer fan-out (:class:`MultiTracer`);
+* :mod:`repro.obs.export` — JSONL span logs and Perfetto-loadable
+  Chrome traces;
+* :mod:`repro.obs.report` — abort-attribution and version-occupancy
+  text reports.
+
+Telemetry is disabled by default; enable it per run with
+``ExperimentSpec(telemetry=True)``, ``run_once(..., telemetry=True)``
+or the CLI's ``sitm-harness trace`` / ``sitm-harness metrics``
+commands.  See ``docs/observability.md`` for the metrics catalogue and
+span schema.
+"""
+
+from repro.obs.metrics import MetricsRegistry, collect_run_metrics
+from repro.obs.spans import MultiTracer, Span, SpanRecorder
+from repro.obs.export import (chrome_trace, chrome_trace_events,
+                              load_spans_jsonl, spans_to_jsonl,
+                              write_chrome_trace)
+from repro.obs.report import (abort_attribution, metrics_table,
+                              version_occupancy)
+
+__all__ = [
+    "MetricsRegistry", "collect_run_metrics",
+    "MultiTracer", "Span", "SpanRecorder",
+    "chrome_trace", "chrome_trace_events", "load_spans_jsonl",
+    "spans_to_jsonl", "write_chrome_trace",
+    "abort_attribution", "metrics_table", "version_occupancy",
+]

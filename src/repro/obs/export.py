@@ -1,0 +1,125 @@
+"""Telemetry exporters: JSONL span logs and Chrome trace events.
+
+Two formats, two audiences:
+
+* **JSONL** — one span per line, trivially greppable/streamable, the
+  format persisted next to fuzzer repros so a shrunk failure's
+  execution can be re-read without re-running anything;
+* **Chrome trace events** — the ``traceEvents`` JSON consumed by
+  Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``: each
+  run is a *process*, each simulated thread a *track*, each
+  transaction attempt a duration slice (``ph: "X"``) colored by
+  outcome, with cause/retry/footprint details in ``args``.
+
+Time unit: one simulated cycle is exported as one microsecond
+(Perfetto's native slice unit), so a 20k-cycle transaction renders as
+a 20ms slice — absolute numbers read directly off the ruler.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.spans import Span
+
+__all__ = ["spans_to_jsonl", "load_spans_jsonl", "chrome_trace",
+           "chrome_trace_events", "write_chrome_trace"]
+
+#: Chrome trace color names by span outcome (rendered by the trace UIs)
+_OUTCOME_COLORS = {
+    "commit": "good",
+    "abort": "terrible",
+    "open": "grey",
+}
+
+
+def spans_to_jsonl(spans: Sequence[Span],
+                   extra: Optional[Dict[str, object]] = None) -> str:
+    """Serialise spans as JSON Lines (one span dict per line).
+
+    ``extra`` keys are merged into every line — the fuzzer uses this to
+    stamp each span with the backend it ran under.
+    """
+    lines = []
+    for span in spans:
+        row = span.to_dict()
+        if extra:
+            row.update(extra)
+        lines.append(json.dumps(row, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def load_spans_jsonl(text: str) -> List[Span]:
+    """Inverse of :func:`spans_to_jsonl` (extra keys are ignored)."""
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def chrome_trace_events(spans: Sequence[Span], pid: int = 0,
+                        process_name: Optional[str] = None) -> List[dict]:
+    """Trace events for one run: thread tracks + one slice per span."""
+    events: List[dict] = []
+    if process_name is not None:
+        events.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": process_name}})
+    for tid in sorted({span.thread_id for span in spans}):
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": f"thread {tid}"}})
+    for span in spans:
+        name = span.label
+        if span.outcome == "abort":
+            name = f"{span.label} ✗{span.cause or ''}"
+        events.append({
+            "name": name,
+            "cat": span.outcome,
+            "ph": "X",
+            "ts": span.begin_cycle,
+            "dur": max(0, span.duration),
+            "pid": pid,
+            "tid": span.thread_id,
+            "cname": _OUTCOME_COLORS.get(span.outcome, "grey"),
+            "args": {
+                "outcome": span.outcome,
+                "cause": span.cause,
+                "retries": span.retries,
+                "reads": span.reads,
+                "writes": span.writes,
+                "start_ts": span.start_ts,
+                "commit_ts": span.commit_ts,
+            },
+        })
+    return events
+
+
+def chrome_trace(runs: Sequence[Tuple[str, Sequence[Span]]]) -> dict:
+    """A complete Chrome trace document: one process per run.
+
+    ``runs`` is a sequence of ``(name, spans)`` pairs; the name becomes
+    the Perfetto process label (e.g. the experiment spec string).
+    """
+    events: List[dict] = []
+    for pid, (name, spans) in enumerate(runs):
+        events.extend(chrome_trace_events(spans, pid=pid,
+                                          process_name=name))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "1 simulated cycle = 1us",
+                      "producer": "repro.obs"},
+    }
+
+
+def write_chrome_trace(path, trace: dict) -> pathlib.Path:
+    """Write a trace document as deterministic (sorted-key) JSON."""
+    target = pathlib.Path(path)
+    if target.parent != pathlib.Path(""):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(trace, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target

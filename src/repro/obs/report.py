@@ -1,0 +1,105 @@
+"""Text reports over telemetry: abort attribution and version occupancy.
+
+The paper's analysis questions, answerable from one telemetered run:
+
+* *why* did attempts abort (Figures 1/6/7's cause breakdown), per
+  transaction label, with the cycles each cause burned —
+  :func:`abort_attribution`;
+* *how deep* did version lists grow under coalescing/GC (section 4.4,
+  Table 2's occupancy concern) — :func:`version_occupancy`;
+* everything else the registry collected — :func:`metrics_table`.
+
+All three render with :func:`repro.harness.report.format_table` so the
+output diffs cleanly alongside the figure tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.harness.report import format_table
+from repro.obs.spans import Span
+
+__all__ = ["abort_attribution", "version_occupancy", "metrics_table"]
+
+
+def abort_attribution(spans: Sequence[Span]) -> str:
+    """Per-label breakdown of attempts, aborts by cause, and cycles lost.
+
+    ``wasted kcycles`` is the summed duration of aborted attempts — the
+    re-execution cost that makes high abort rates expensive (the
+    quantity Figure 8's makespans pay for).
+    """
+    labels = sorted({span.label for span in spans})
+    rows: List[List[object]] = []
+    for label in labels:
+        mine = [s for s in spans if s.label == label]
+        aborted = [s for s in mine if s.outcome == "abort"]
+        causes = Counter(s.cause for s in aborted)
+        wasted = sum(s.duration for s in aborted)
+        rows.append([
+            label,
+            len(mine),
+            sum(1 for s in mine if s.outcome == "commit"),
+            len(aborted),
+            max((s.retries for s in mine), default=0),
+            f"{wasted / 1000.0:.1f}",
+            " ".join(f"{cause}:{n}"
+                     for cause, n in sorted(causes.items())) or "-",
+        ])
+    return format_table(
+        ["label", "attempts", "commits", "aborts", "max retry",
+         "wasted kcycles", "causes"],
+        rows, title="Abort attribution")
+
+
+def version_occupancy(snapshot: dict) -> str:
+    """Version-list occupancy distribution from a metrics snapshot.
+
+    Reads the ``mvm_version_list_length`` histogram the controller
+    feeds at every install: how long lists actually get is the
+    empirical check on the paper's claim that 4 versions suffice
+    (Table 2 / section 4.4).
+    """
+    hist = snapshot.get("histograms", {}).get("mvm_version_list_length")
+    if not hist or not hist.get("count"):
+        return "Version occupancy: no installs observed"
+    rows = [[f"<= {bound}", count,
+             f"{100.0 * count / hist['count']:.1f}"]
+            for bound, count in sorted(hist["buckets"].items(),
+                                       key=lambda kv: int(kv[0]))]
+    counters = snapshot.get("counters", {})
+    table = format_table(
+        ["list length", "installs", "% of installs"], rows,
+        title="Version-list occupancy at install")
+    summary = (f"installs={hist['count']} max={hist['max']} "
+               f"coalesced={counters.get('mvm_versions_coalesced', 0)} "
+               f"collected={counters.get('mvm_versions_collected', 0)}")
+    return table + "\n" + summary
+
+
+def metrics_table(snapshot: dict,
+                  prefix: Optional[str] = None) -> str:
+    """Flat table of every counter and gauge in a snapshot.
+
+    Histograms are summarised as ``count/sum/max``; pass ``prefix`` to
+    restrict to one metric family (e.g. ``"mvm_"``).
+    """
+    rows: List[List[object]] = []
+    for key, value in snapshot.get("counters", {}).items():
+        if prefix is None or key.startswith(prefix):
+            rows.append([key, "counter", value])
+    for key, value in snapshot.get("gauges", {}).items():
+        if prefix is None or key.startswith(prefix):
+            rows.append([key, "gauge",
+                         f"{value:.3f}" if isinstance(value, float)
+                         else value])
+    for key, hist in snapshot.get("histograms", {}).items():
+        if prefix is None or key.startswith(prefix):
+            rows.append([key, "histogram",
+                         f"count={hist['count']} sum={hist['sum']} "
+                         f"max={hist['max']}"])
+    rows.sort(key=lambda row: str(row[0]))
+    return format_table(["metric", "kind", "value"], rows,
+                        title="Run metrics")

@@ -1,0 +1,202 @@
+"""Per-transaction lifecycle spans and tracer composition.
+
+A **span** is one transaction *attempt* from begin to commit or abort,
+stamped with the owning thread's simulated clock at both ends — the
+unit the Chrome-trace exporter (:mod:`repro.obs.export`) draws as a
+duration slice and the abort-attribution report aggregates.
+
+:class:`SpanRecorder` is an engine :class:`~repro.sim.engine.Tracer`.
+It reads clocks straight from the engine's thread states (the engine
+hands itself to any tracer exposing ``attach_engine``), so the tracer
+hook signatures stay unchanged and every existing tracer keeps working.
+
+The engine has a single tracer slot; :class:`MultiTracer` fans one
+slot out to several tracers in a fixed order, which is how telemetry
+composes with the isolation oracle's
+:class:`~repro.oracle.history.HistoryRecorder` — attaching a span
+recorder must never change the history the checker sees
+(``tests/obs/test_spans.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import AbortCause
+from repro.sim.engine import Tracer
+from repro.tm.api import Txn
+
+__all__ = ["Span", "SpanRecorder", "MultiTracer"]
+
+#: span outcomes
+COMMIT, ABORT, OPEN = "commit", "abort", "open"
+
+
+@dataclass
+class Span:
+    """One transaction attempt's lifecycle record."""
+
+    uid: int
+    thread_id: int
+    label: str
+    begin_cycle: int
+    end_cycle: Optional[int] = None
+    outcome: str = OPEN
+    cause: Optional[str] = None
+    #: prior aborted attempts of the same logical transaction
+    retries: int = 0
+    reads: int = 0
+    writes: int = 0
+    start_ts: Optional[int] = None
+    commit_ts: Optional[int] = None
+
+    @property
+    def duration(self) -> int:
+        """Cycles from begin to end (0 while still open)."""
+        if self.end_cycle is None:
+            return 0
+        return self.end_cycle - self.begin_cycle
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (stable key set)."""
+        return {"uid": self.uid, "thread": self.thread_id,
+                "label": self.label, "begin_cycle": self.begin_cycle,
+                "end_cycle": self.end_cycle, "outcome": self.outcome,
+                "cause": self.cause, "retries": self.retries,
+                "reads": self.reads, "writes": self.writes,
+                "start_ts": self.start_ts, "commit_ts": self.commit_ts}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        return cls(uid=data["uid"], thread_id=data["thread"],
+                   label=data["label"], begin_cycle=data["begin_cycle"],
+                   end_cycle=data.get("end_cycle"),
+                   outcome=data.get("outcome", OPEN),
+                   cause=data.get("cause"),
+                   retries=data.get("retries", 0),
+                   reads=data.get("reads", 0),
+                   writes=data.get("writes", 0),
+                   start_ts=data.get("start_ts"),
+                   commit_ts=data.get("commit_ts"))
+
+
+class SpanRecorder(Tracer):
+    """Engine tracer recording one :class:`Span` per transaction attempt.
+
+    Clock convention (set by the engine's call sites): ``begin_cycle``
+    is the thread clock *after* the begin cost was charged;
+    ``end_cycle`` is the clock after the commit cost, or after the
+    abort cleanup including backoff/restart jitter — an abort span's
+    tail is exactly the wasted work plus the penalty paid for it.
+
+    With a ``metrics`` registry attached, every closed span feeds the
+    ``txn_cycles``/``txn_reads``/``txn_writes`` histograms labeled by
+    outcome, so distributions survive even when spans themselves are
+    discarded.
+    """
+
+    def __init__(self, metrics=None):
+        self.spans: List[Span] = []
+        self.metrics = metrics
+        self._engine = None
+        self._open: Dict[int, Span] = {}  # thread_id -> open span
+
+    def attach_engine(self, engine) -> None:
+        """Called by the engine so spans can read thread clocks."""
+        self._engine = engine
+
+    def _clock(self, thread_id: int) -> int:
+        if self._engine is None:
+            return 0
+        return self._engine.threads[thread_id].clock
+
+    # -- tracer hooks ----------------------------------------------------
+
+    def on_begin(self, txn: Txn) -> None:
+        span = Span(uid=len(self.spans), thread_id=txn.thread_id,
+                    label=txn.label, begin_cycle=self._clock(txn.thread_id),
+                    retries=txn.attempt, start_ts=txn.start_ts)
+        self.spans.append(span)
+        self._open[txn.thread_id] = span
+
+    def on_read(self, txn: Txn, addr: int, site: str,
+                value: object = None) -> None:
+        span = self._open.get(txn.thread_id)
+        if span is not None:
+            span.reads += 1
+
+    def on_write(self, txn: Txn, addr: int, site: str,
+                 value: object = None) -> None:
+        span = self._open.get(txn.thread_id)
+        if span is not None:
+            span.writes += 1
+
+    def on_commit(self, txn: Txn) -> None:
+        self._close(txn, COMMIT, None)
+
+    def on_abort(self, txn: Txn, cause: AbortCause) -> None:
+        self._close(txn, ABORT, cause.value)
+
+    def _close(self, txn: Txn, outcome: str, cause: Optional[str]) -> None:
+        span = self._open.pop(txn.thread_id, None)
+        if span is None:
+            return
+        span.end_cycle = self._clock(txn.thread_id)
+        span.outcome = outcome
+        span.cause = cause
+        span.commit_ts = txn.commit_ts
+        if self.metrics is not None:
+            self.metrics.observe("txn_cycles", span.duration,
+                                 outcome=outcome)
+            self.metrics.observe("txn_reads", span.reads, outcome=outcome)
+            self.metrics.observe("txn_writes", span.writes, outcome=outcome)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class MultiTracer(Tracer):
+    """Fans the engine's single tracer slot out to several tracers.
+
+    Hooks are forwarded to every child in construction order, so a
+    deterministic engine drives every child identically whether it is
+    alone in the slot or composed — the property that lets telemetry
+    ride alongside the oracle's history recording.
+    """
+
+    def __init__(self, *tracers: Tracer):
+        self.tracers = [t for t in tracers if t is not None]
+
+    def attach_engine(self, engine) -> None:
+        """Forward the engine reference to children that want it."""
+        for tracer in self.tracers:
+            attach = getattr(tracer, "attach_engine", None)
+            if attach is not None:
+                attach(engine)
+
+    def on_begin(self, txn: Txn) -> None:
+        for tracer in self.tracers:
+            tracer.on_begin(txn)
+
+    def on_read(self, txn: Txn, addr: int, site: str,
+                value: object = None) -> None:
+        for tracer in self.tracers:
+            tracer.on_read(txn, addr, site, value)
+
+    def on_write(self, txn: Txn, addr: int, site: str,
+                 value: object = None) -> None:
+        for tracer in self.tracers:
+            tracer.on_write(txn, addr, site, value)
+
+    def on_commit(self, txn: Txn) -> None:
+        for tracer in self.tracers:
+            tracer.on_commit(txn)
+
+    def on_abort(self, txn: Txn, cause: AbortCause) -> None:
+        for tracer in self.tracers:
+            tracer.on_abort(txn, cause)
+
+    def __len__(self) -> int:
+        return len(self.tracers)

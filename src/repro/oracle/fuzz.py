@@ -187,7 +187,7 @@ def _make_body(ops: Sequence[list], base: int, stride: int, label: str):
 
 
 def run_schedule(schedule: dict, system: str, seed: int = 0,
-                 broken: Optional[str] = None,
+                 broken: Optional[str] = None, tracer=None,
                  ) -> Tuple[History, List[int]]:
     """Run one schedule under one backend; return (history, final state).
 
@@ -195,6 +195,11 @@ def run_schedule(schedule: dict, system: str, seed: int = 0,
     validation (the oracle test hook), deliberately producing lost
     updates the checker must catch; it is a no-op for backends that do
     not consult the hook.
+
+    ``tracer`` rides alongside the history recorder in the engine's
+    single tracer slot (composed via :class:`~repro.obs.spans.
+    MultiTracer`), so a replay can capture telemetry spans without
+    changing the recorded history.
     """
     config = _patched_config(schedule.get("config"))
     machine = Machine(config)
@@ -218,7 +223,11 @@ def run_schedule(schedule: dict, system: str, seed: int = 0,
         for thread in schedule["threads"]]
     total_ops = sum(len(txn["ops"]) + 2
                     for thread in schedule["threads"] for txn in thread)
-    engine = Engine(tm, programs, tracer=recorder)
+    engine_tracer = recorder
+    if tracer is not None:
+        from repro.obs import MultiTracer
+        engine_tracer = MultiTracer(recorder, tracer)
+    engine = Engine(tm, programs, tracer=engine_tracer)
     engine.run(max_steps=1000 * max(1, total_ops) + 20_000)
     final = [machine.plain_load(base + cell * stride)
              for cell in range(len(initial))]
@@ -499,5 +508,38 @@ def _persist_first_violation(report: FuzzReport, systems: Sequence[str],
         minimal = copy.deepcopy(schedule)
     final_violations = schedule_violations(minimal, systems, seed, broken)
     target = out_dir or os.environ.get(FUZZ_DIR_ENV) or DEFAULT_FUZZ_DIR
+    span_log = _persist_span_log(target, minimal, systems, seed, broken)
     return persist(target, minimal, list(systems), seed,
-                   [v.to_dict() for v in final_violations], broken)
+                   [v.to_dict() for v in final_violations], broken,
+                   span_log=span_log)
+
+
+def _persist_span_log(out_dir, schedule: dict, systems: Sequence[str],
+                      seed: int, broken: Optional[str]) -> Optional[str]:
+    """Replay the minimal schedule with span telemetry; persist the log.
+
+    One JSONL file holds every system's spans (each line stamped with
+    its backend), written next to the repro so ``fuzz --replay`` can
+    re-emit a Chrome trace without re-running anything by hand.
+    Telemetry rides outside the recorded history, so the replayed
+    violations are the ones the repro documents.
+    """
+    import pathlib
+
+    from repro.obs import SpanRecorder, spans_to_jsonl
+    from repro.oracle.shrink import schedule_digest
+
+    chunks = []
+    for system in systems:
+        recorder = SpanRecorder()
+        try:
+            run_schedule(schedule, system, seed, broken, tracer=recorder)
+        except SimulationError:
+            pass  # livelocked runs still leave their partial spans
+        chunks.append(spans_to_jsonl(recorder.spans,
+                                     extra={"system": system}))
+    name = f"repro-{schedule_digest(schedule)}.spans.jsonl"
+    root = pathlib.Path(out_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    (root / name).write_text("".join(chunks), encoding="utf-8")
+    return name

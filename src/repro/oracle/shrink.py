@@ -94,8 +94,15 @@ def schedule_digest(schedule: dict) -> str:
 
 def persist_repro(out_dir, schedule: dict, systems: List[str], seed: int,
                   violations: List[dict],
-                  broken: Optional[str] = None) -> pathlib.Path:
-    """Write a minimal failing schedule as a replayable JSON repro."""
+                  broken: Optional[str] = None,
+                  span_log: Optional[str] = None) -> pathlib.Path:
+    """Write a minimal failing schedule as a replayable JSON repro.
+
+    ``span_log`` names a sibling JSONL span file (see
+    :func:`repro.oracle.fuzz._persist_span_log`); the pointer is
+    embedded so ``fuzz --replay`` can find the telemetry without
+    guessing filenames.
+    """
     root = pathlib.Path(out_dir)
     root.mkdir(parents=True, exist_ok=True)
     payload = {
@@ -105,6 +112,8 @@ def persist_repro(out_dir, schedule: dict, systems: List[str], seed: int,
         "broken": broken,
         "violations": violations,
     }
+    if span_log is not None:
+        payload["span_log"] = span_log
     path = root / f"repro-{schedule_digest(schedule)}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
                     encoding="utf-8")

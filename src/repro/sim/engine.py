@@ -123,9 +123,17 @@ class Engine:
                  promote_sites: Optional[set] = None):
         self.tm = tm
         self.machine = tm.machine
+        #: telemetry registry (None when telemetry is off — the default)
+        self.metrics = getattr(tm.machine, "metrics", None)
         # explicit None test: a tracer with __len__ (e.g. TraceRecorder)
         # is falsy while empty and must not be discarded
         self.tracer = tracer if tracer is not None else Tracer()
+        # tracers that need cycle timestamps (SpanRecorder) read thread
+        # clocks straight off the engine rather than widening the hook
+        # signatures every existing tracer implements
+        attach = getattr(self.tracer, "attach_engine", None)
+        if attach is not None:
+            attach(self)
         #: source sites whose reads are force-promoted — the write-skew
         #: tool's automatic read-promotion fix (section 5.1)
         self.promote_sites = promote_sites or set()
@@ -153,7 +161,9 @@ class Engine:
         heapq.heapify(heap)
         while heap:
             if max_steps is not None and self._steps >= max_steps:
-                raise SimulationError(f"exceeded {max_steps} engine steps")
+                raise SimulationError(
+                    f"exceeded {max_steps} engine steps\n"
+                    + self.diagnostics())
             self._steps += 1
             clock, tid = heapq.heappop(heap)
             thread = self.threads[tid]
@@ -247,6 +257,10 @@ class Engine:
         thread.clock += cycles
         if txn is None:
             thread.clock += self.STALL_CYCLES
+            if self.metrics is not None:
+                self.metrics.inc("engine_begin_stalls")
+                self.metrics.inc("engine_begin_stall_cycles",
+                                 self.STALL_CYCLES)
             return
         thread.txn = txn
         thread.gen = thread.spec.body_factory()
@@ -284,4 +298,42 @@ class Engine:
         limit = self.machine.config.tm.max_retries
         if limit and thread.retries > limit:
             raise SimulationError(
-                f"transaction {thread.spec.label!r} exceeded {limit} retries")
+                f"transaction {thread.spec.label!r} exceeded {limit} "
+                f"retries\n" + self.diagnostics())
+
+    # ------------------------------------------------------------------
+
+    def diagnostics(self) -> str:
+        """Execution-state dump for no-progress failures.
+
+        Attached to the :class:`SimulationError` raised on ``max_steps``
+        exhaustion or retry-limit overrun, so a stuck run (a livelocked
+        broken backend, a pathological schedule) is diagnosable from the
+        exception alone: per-thread position, the retry distribution,
+        and which abort causes dominated.
+        """
+        lines = [f"engine diagnostics after {self._steps} steps:"]
+        for thread in self.threads:
+            if thread.done:
+                state = "done"
+            elif thread.txn is None:
+                state = "between transactions"
+            else:
+                state = f"in txn (doomed={thread.txn.doomed})"
+            label = thread.spec.label if thread.spec is not None else "-"
+            tstats = self.stats.threads[thread.thread_id]
+            lines.append(
+                f"  thread {thread.thread_id}: clock={thread.clock} "
+                f"spec={label!r} retries={thread.retries} {state} "
+                f"commits={tstats.commits} aborts={tstats.aborts}")
+        if self.stats.retry_histogram:
+            retries = " ".join(
+                f"{k}:{v}"
+                for k, v in sorted(self.stats.retry_histogram.items()))
+            lines.append(f"  retries-to-commit histogram: {retries}")
+        if self.stats.abort_causes:
+            top = sorted(self.stats.abort_causes.items(),
+                         key=lambda item: (-item[1], item[0].value))[:5]
+            causes = " ".join(f"{cause.value}:{n}" for cause, n in top)
+            lines.append(f"  top abort causes: {causes}")
+        return "\n".join(lines)

@@ -31,6 +31,10 @@ class Machine:
 
     def __init__(self, config: Optional[SimConfig] = None):
         self.config = config or SimConfig()
+        #: telemetry registry (:class:`repro.obs.metrics.MetricsRegistry`)
+        #: or None — the default — when telemetry is off.  Set via
+        #: :meth:`enable_telemetry`; TM systems and the engine read it.
+        self.metrics = None
         self.address_map = AddressMap(self.config.machine.words_per_line)
         self.backing = BackingStore()
         self.heap = Heap(self.address_map)
@@ -40,6 +44,16 @@ class Machine:
         self.clock = GlobalClock(delta=self.config.mvm.commit_delta,
                                  max_timestamp=self.config.mvm.max_timestamp)
         self.mvm = MVMController(self.config.mvm, self.address_map, self.clock)
+
+    def enable_telemetry(self, registry) -> None:
+        """Attach a metrics registry to every emitting layer.
+
+        Telemetry stays off (``metrics is None`` everywhere, one pointer
+        test per potential emission) unless this is called; the runner's
+        ``telemetry=True`` path is the only caller in normal operation.
+        """
+        self.metrics = registry
+        self.mvm.metrics = registry
 
     # ------------------------------------------------------------------
     # non-transactional (plain) accesses — functional only, no timing.

@@ -248,7 +248,25 @@ class TMSystem:
         delay = self.backoff.delay(txn.attempt + 1)
         if self.stats is not None:
             self.stats.threads[txn.thread_id].backoff_cycles += delay
+        metrics = self.machine.metrics
+        if metrics is not None and delay:
+            metrics.observe("tm_backoff_cycles", delay, system=self.name)
         return delay
+
+    def _commit_wait(self, txn: Txn, wait: int) -> None:
+        """Record cycles spent queued on the commit token.
+
+        Shared by every system that serialises commits (2PL, SONTM):
+        the wait goes to the per-thread stats and, when telemetry is
+        on, to the ``tm_commit_wait_cycles`` distribution — the
+        commit-serialisation bottleneck section 4.2 discusses.
+        """
+        if self.stats is not None:
+            self.stats.threads[txn.thread_id].commit_wait_cycles += wait
+        metrics = self.machine.metrics
+        if metrics is not None and wait:
+            metrics.observe("tm_commit_wait_cycles", wait,
+                            system=self.name)
 
     def _buffered_read(self, txn: Txn, addr: int) -> Optional[int]:
         """Value from the transaction's own write buffer, if written."""

@@ -78,6 +78,10 @@ class EagerLogTM(TMSystem):
         """Stall the requester; abort it after too many consecutive NACKs."""
         txn.consecutive_stalls += 1
         self.stalls_issued += 1
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.observe("tm_nack_stall_cycles", self.NACK_CYCLES,
+                            system=self.name)
         if txn.consecutive_stalls > self.MAX_STALLS:
             raise TransactionAborted(
                 AbortCause.READ_WRITE, "possible deadlock: requester aborts")

@@ -152,8 +152,7 @@ class SONTM(TMSystem):
                          + self.WRITEBACK_CYCLES
                          + self.config.machine.memory_latency_cycles // 4)
             wait = self.token.acquire(now, hold)
-            if self.stats is not None:
-                self.stats.threads[txn.thread_id].commit_wait_cycles += wait
+            self._commit_wait(txn, wait)
             cycles += wait + hold
             for addr, value in txn.write_buffer.items():
                 self.machine.plain_store(addr, value)

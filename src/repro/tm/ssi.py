@@ -165,4 +165,10 @@ class SerializableSITM(SnapshotIsolationTM):
         self._window.append(_CommittedRecord(
             start_ts, self.machine.clock.now, read_lines, write_lines,
             inbound, outbound))
+        metrics = self.machine.metrics
+        if metrics is not None:
+            # size of the committed-transaction window each dangerous-
+            # structure scan walks: SSI's bookkeeping cost driver
+            metrics.observe("tm_ssi_window_records", len(self._window),
+                            system=self.name)
         return cycles + detect_cycles

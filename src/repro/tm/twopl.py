@@ -98,8 +98,7 @@ class TwoPhaseLockingTM(TMSystem):
                 hold += (self.machine.caches.shared_access(line)
                          + self.WRITEBACK_CYCLES)
             wait = self.token.acquire(now, hold)
-            if self.stats is not None:
-                self.stats.threads[txn.thread_id].commit_wait_cycles += wait
+            self._commit_wait(txn, wait)
             cycles += wait + hold
             for addr, value in txn.write_buffer.items():
                 self.machine.plain_store(addr, value)

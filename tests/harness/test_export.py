@@ -45,7 +45,24 @@ class TestFlattening:
         rows = figure8_rows([series])
         assert rows[1] == {"workload": "list", "system": "SI-TM",
                            "threads": 8, "speedup": 5.3,
-                           "throughput_rel_stddev": ""}
+                           "throughput_rel_stddev": "",
+                           "backoff_cycles": 0.0,
+                           "commit_wait_cycles": 0.0}
+
+    def test_figure8_contention_columns(self):
+        series = Figure8Series("list", "2PL", [1, 8], [1.0, 3.0],
+                               [0.0, 0.01], [0.0, 1500.5], [0.0, 200.0])
+        rows = figure8_rows([series])
+        assert rows[1]["backoff_cycles"] == 1500.5
+        assert rows[1]["commit_wait_cycles"] == 200.0
+
+    def test_figure7_contention_columns(self):
+        cell = Figure7Cell("array", 8,
+                           {"2PL": 100.0}, {"2PL": 1.0}, {},
+                           {"2PL": 1200.0}, {"2PL": 300.0})
+        (row,) = figure7_rows([cell])
+        assert row["backoff_cycles"] == 1200.0
+        assert row["commit_wait_cycles"] == 300.0
 
     def test_figure8_stddev(self):
         series = Figure8Series("list", "SI-TM", [1, 8], [1.0, 5.3],

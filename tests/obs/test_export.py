@@ -1,0 +1,74 @@
+"""Exporter tests: JSONL span logs and Chrome trace documents."""
+
+import json
+
+from repro.obs import (Span, chrome_trace, chrome_trace_events,
+                       load_spans_jsonl, spans_to_jsonl, write_chrome_trace)
+
+
+def _spans():
+    return [
+        Span(uid=0, thread_id=0, label="insert", begin_cycle=10,
+             end_cycle=50, outcome="commit", reads=2, writes=1,
+             start_ts=1, commit_ts=4),
+        Span(uid=1, thread_id=1, label="insert", begin_cycle=12,
+             end_cycle=40, outcome="abort", cause="write-write",
+             retries=1, reads=1, writes=1, start_ts=2),
+    ]
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        spans = _spans()
+        assert load_spans_jsonl(spans_to_jsonl(spans)) == spans
+
+    def test_extra_stamped_on_every_line(self):
+        text = spans_to_jsonl(_spans(), extra={"system": "SI-TM"})
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert all(row["system"] == "SI-TM" for row in rows)
+
+    def test_extra_ignored_on_load(self):
+        text = spans_to_jsonl(_spans(), extra={"system": "SI-TM"})
+        assert load_spans_jsonl(text) == _spans()
+
+    def test_empty(self):
+        assert spans_to_jsonl([]) == ""
+        assert load_spans_jsonl("") == []
+
+
+class TestChromeTrace:
+    def test_events_have_required_fields(self):
+        for event in chrome_trace_events(_spans(), pid=3, process_name="x"):
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            assert event["pid"] == 3
+
+    def test_metadata_tracks(self):
+        events = chrome_trace_events(_spans(), process_name="run0")
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {"process_name", "thread_name"} <= {e["name"] for e in meta}
+        thread_tracks = [e for e in meta if e["name"] == "thread_name"]
+        assert {e["tid"] for e in thread_tracks} == {0, 1}
+
+    def test_slices_encode_outcome(self):
+        events = chrome_trace_events(_spans())
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 2
+        committed, aborted = slices
+        assert committed["cat"] == "commit"
+        assert committed["dur"] == 40
+        assert aborted["cat"] == "abort"
+        assert "write-write" in aborted["name"]
+        assert aborted["args"]["retries"] == 1
+
+    def test_document_one_pid_per_run(self):
+        doc = chrome_trace([("run0", _spans()), ("run1", _spans())])
+        pids = {e["pid"] for e in doc["traceEvents"]}
+        assert pids == {0, 1}
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_write_is_deterministic(self, tmp_path):
+        doc = chrome_trace([("run0", _spans())])
+        a = write_chrome_trace(tmp_path / "a.json", doc)
+        b = write_chrome_trace(tmp_path / "b" / "b.json", doc)
+        assert a.read_text() == b.read_text()
+        assert json.loads(a.read_text())["traceEvents"]

@@ -1,0 +1,61 @@
+"""Telemetry text report tests."""
+
+from repro.obs import (MetricsRegistry, Span, abort_attribution,
+                       metrics_table, version_occupancy)
+
+
+def _spans():
+    return [
+        Span(uid=0, thread_id=0, label="insert", begin_cycle=0,
+             end_cycle=1000, outcome="commit"),
+        Span(uid=1, thread_id=1, label="insert", begin_cycle=0,
+             end_cycle=2000, outcome="abort", cause="write-write",
+             retries=1),
+        Span(uid=2, thread_id=1, label="lookup", begin_cycle=0,
+             end_cycle=500, outcome="commit"),
+    ]
+
+
+class TestAbortAttribution:
+    def test_counts_and_causes(self):
+        text = abort_attribution(_spans())
+        assert "insert" in text and "lookup" in text
+        assert "write-write:1" in text
+
+    def test_wasted_cycles_only_from_aborts(self):
+        text = abort_attribution(_spans())
+        insert_row = next(line for line in text.splitlines()
+                          if line.startswith("insert"))
+        assert "2.0" in insert_row  # 2000 wasted cycles = 2.0 kcycles
+
+
+class TestVersionOccupancy:
+    def test_renders_histogram(self):
+        reg = MetricsRegistry()
+        for length in (1, 2, 2, 4):
+            reg.observe("mvm_version_list_length", length)
+        reg.inc("mvm_versions_coalesced", 3)
+        text = version_occupancy(reg.snapshot())
+        assert "<= 2" in text
+        assert "installs=4" in text
+        assert "coalesced=3" in text
+
+    def test_empty_snapshot(self):
+        assert "no installs" in version_occupancy({})
+
+
+class TestMetricsTable:
+    def test_lists_every_kind(self):
+        reg = MetricsRegistry()
+        reg.inc("commits", 5)
+        reg.set_gauge("clock", 1.5)
+        reg.observe("cycles", 100)
+        text = metrics_table(reg.snapshot())
+        assert "counter" in text and "gauge" in text and "histogram" in text
+
+    def test_prefix_filter(self):
+        reg = MetricsRegistry()
+        reg.inc("mvm_installs", 1)
+        reg.inc("txn_commits", 1)
+        text = metrics_table(reg.snapshot(), prefix="mvm_")
+        assert "mvm_installs" in text and "txn_commits" not in text

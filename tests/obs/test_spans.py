@@ -1,0 +1,138 @@
+"""Span recording and tracer composition tests.
+
+The load-bearing guarantee: composing a :class:`SpanRecorder` next to
+the oracle's :class:`HistoryRecorder` through :class:`MultiTracer`
+must not change the recorded history — telemetry observes, never
+perturbs.
+"""
+
+import json
+
+from repro.obs import MetricsRegistry, MultiTracer, Span, SpanRecorder
+from repro.oracle.fuzz import generate_schedule, run_schedule
+from repro.tm.ops import Compute, Read, Write
+
+from tests.conftest import run_program, spec
+
+
+def counter_body(addr):
+    def body():
+        value = yield Read(addr)
+        yield Compute(2)
+        yield Write(addr, value + 1)
+    return body
+
+
+class TestSpanRecorder:
+    def test_one_span_per_attempt(self, machine):
+        addr = machine.mvmalloc(1)
+        recorder = SpanRecorder()
+        programs = [[spec(counter_body(addr)) for _ in range(10)]
+                    for _ in range(3)]
+        stats = run_program(machine, "SI-TM", programs, tracer=recorder)
+        assert len(recorder.spans) == stats.total_commits + stats.total_aborts
+        commits = [s for s in recorder.spans if s.outcome == "commit"]
+        assert len(commits) == stats.total_commits
+
+    def test_spans_carry_clocks_and_footprints(self, machine):
+        addr = machine.mvmalloc(1)
+        recorder = SpanRecorder()
+        run_program(machine, "SI-TM", [[spec(counter_body(addr))]],
+                    tracer=recorder)
+        (span,) = recorder.spans
+        assert span.end_cycle > span.begin_cycle >= 0
+        assert span.reads == 1 and span.writes == 1
+        assert span.commit_ts is not None
+
+    def test_abort_spans_name_their_cause(self, machine):
+        addr = machine.mvmalloc(1)
+        recorder = SpanRecorder()
+        programs = [[spec(counter_body(addr)) for _ in range(20)]
+                    for _ in range(4)]
+        stats = run_program(machine, "2PL", programs, tracer=recorder)
+        aborted = [s for s in recorder.spans if s.outcome == "abort"]
+        assert len(aborted) == stats.total_aborts
+        assert all(s.cause for s in aborted)
+
+    def test_metrics_fed_per_outcome(self, machine):
+        addr = machine.mvmalloc(1)
+        registry = MetricsRegistry()
+        recorder = SpanRecorder(metrics=registry)
+        run_program(machine, "SI-TM",
+                    [[spec(counter_body(addr)) for _ in range(5)]],
+                    tracer=recorder)
+        hist = registry.histogram("txn_cycles", outcome="commit")
+        assert hist is not None and hist["count"] == 5
+
+    def test_dict_round_trip(self, machine):
+        addr = machine.mvmalloc(1)
+        recorder = SpanRecorder()
+        run_program(machine, "SI-TM", [[spec(counter_body(addr))]],
+                    tracer=recorder)
+        for span in recorder.spans:
+            clone = Span.from_dict(json.loads(json.dumps(span.to_dict())))
+            assert clone == span
+
+
+class _CallLog:
+    """Tracer stub appending (tag, hook) tuples to a shared list."""
+
+    def __init__(self, tag, calls):
+        self.tag, self.calls = tag, calls
+
+    def on_begin(self, txn):
+        self.calls.append((self.tag, "begin"))
+
+    def on_read(self, txn, addr, site, value=None):
+        self.calls.append((self.tag, "read"))
+
+    def on_write(self, txn, addr, site, value=None):
+        self.calls.append((self.tag, "write"))
+
+    def on_commit(self, txn):
+        self.calls.append((self.tag, "commit"))
+
+    def on_abort(self, txn, cause):
+        self.calls.append((self.tag, "abort"))
+
+
+class TestMultiTracer:
+    def test_forwards_in_construction_order(self):
+        calls = []
+        multi = MultiTracer(_CallLog("a", calls), _CallLog("b", calls))
+        txn = object()
+        multi.on_begin(txn)
+        multi.on_read(txn, 0, "s")
+        multi.on_write(txn, 0, "s")
+        multi.on_commit(txn)
+        assert calls == [("a", "begin"), ("b", "begin"),
+                         ("a", "read"), ("b", "read"),
+                         ("a", "write"), ("b", "write"),
+                         ("a", "commit"), ("b", "commit")]
+
+    def test_none_children_filtered(self):
+        calls = []
+        multi = MultiTracer(None, _CallLog("a", calls), None)
+        assert len(multi) == 1
+
+    def test_attach_engine_forwarded_to_willing_children(self):
+        recorder = SpanRecorder()
+        plain = _CallLog("p", [])
+        multi = MultiTracer(plain, recorder)
+        sentinel = object()
+        multi.attach_engine(sentinel)
+        assert recorder._engine is sentinel
+
+
+class TestHistoryUnperturbed:
+    def test_history_identical_with_and_without_telemetry(self):
+        """The oracle must see the same history when spans ride along."""
+        schedule = generate_schedule(seed=3, index=1)
+        for system in ("2PL", "SI-TM", "SSI-TM"):
+            bare, final_bare = run_schedule(schedule, system, seed=3)
+            recorder = SpanRecorder()
+            traced, final_traced = run_schedule(schedule, system, seed=3,
+                                                tracer=recorder)
+            assert final_bare == final_traced
+            assert bare.to_dict() == traced.to_dict()
+            assert recorder.spans  # telemetry actually captured something

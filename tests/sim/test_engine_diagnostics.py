@@ -1,0 +1,79 @@
+"""Engine diagnostic-dump tests: SimulationError must explain itself.
+
+A bare "exceeded N engine steps" forces a debugger session; the dump
+carries the per-thread state, retry histogram and top abort causes
+needed to tell a livelock from a runaway workload at a glance.
+"""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.rng import SplitRandom
+from repro.sim.engine import Engine, TransactionSpec
+from repro.sim.machine import Machine
+from repro.tm import SYSTEMS
+from repro.tm.ops import Compute, Read, Write
+
+
+def _engine(threads=2, txns=3):
+    machine = Machine()
+    addr = machine.mvmalloc(1)
+
+    def body():
+        value = yield Read(addr)
+        yield Compute(2)
+        yield Write(addr, value + 1)
+
+    programs = [[TransactionSpec(body, f"bump{t}") for _ in range(txns)]
+                for t in range(threads)]
+    tm = SYSTEMS["SI-TM"](machine, SplitRandom(7))
+    return Engine(tm, programs)
+
+
+class TestMaxStepsDiagnostics:
+    def test_message_names_the_limit_and_threads(self):
+        engine = _engine()
+        with pytest.raises(SimulationError) as excinfo:
+            engine.run(max_steps=3)
+        message = str(excinfo.value)
+        assert "exceeded 3 engine steps" in message
+        assert "thread 0:" in message and "thread 1:" in message
+
+    def test_dump_shows_progress_counters(self):
+        engine = _engine()
+        with pytest.raises(SimulationError) as excinfo:
+            engine.run(max_steps=3)
+        message = str(excinfo.value)
+        assert "commits=" in message and "aborts=" in message
+
+    def test_successful_run_unaffected(self):
+        stats = _engine().run()
+        assert stats.total_commits == 6
+
+
+class TestDiagnosticsMethod:
+    def test_reports_thread_states(self):
+        engine = _engine(threads=1, txns=1)
+        engine.run()
+        text = engine.diagnostics()
+        assert "thread 0:" in text
+        assert "done" in text
+        assert "retries-to-commit" in text
+
+    def test_reports_abort_causes_when_present(self):
+        machine = Machine()
+        addr = machine.mvmalloc(1)
+
+        def body():
+            value = yield Read(addr)
+            yield Compute(50)
+            yield Write(addr, value + 1)
+
+        programs = [[TransactionSpec(body, "bump") for _ in range(15)]
+                    for _ in range(4)]
+        tm = SYSTEMS["2PL"](machine, SplitRandom(7))
+        engine = Engine(tm, programs)
+        stats = engine.run()
+        text = engine.diagnostics()
+        if stats.total_aborts:
+            assert "abort causes:" in text
