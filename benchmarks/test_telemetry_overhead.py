@@ -62,8 +62,9 @@ def _min_seconds(fn, reps=REPS):
 
 
 def test_disabled_run_constructs_no_telemetry_objects(monkeypatch):
-    """telemetry=False must never touch repro.obs at all."""
+    """telemetry=False/profiling=False must never touch repro.obs at all."""
     import repro.obs.metrics as metrics_mod
+    import repro.obs.profile as profile_mod
     import repro.obs.spans as spans_mod
 
     def poison(*args, **kwargs):
@@ -71,8 +72,10 @@ def test_disabled_run_constructs_no_telemetry_objects(monkeypatch):
 
     monkeypatch.setattr(metrics_mod.MetricsRegistry, "__init__", poison)
     monkeypatch.setattr(spans_mod.SpanRecorder, "__init__", poison)
+    monkeypatch.setattr(profile_mod.CycleProfiler, "__init__", poison)
     result = run_once(WORKLOAD, SYSTEM, THREADS, seed=1, profile=PROFILE)
     assert result.metrics is None and result.spans is None
+    assert result.phases is None
 
 
 def test_telemetry_off_overhead_within_contract(once, benchmark):

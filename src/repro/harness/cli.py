@@ -15,6 +15,10 @@ Usage::
     sitm-harness trace   [--experiment figure7] [--backend sitm]
                          [--out trace.json]
     sitm-harness metrics [--experiment rbtree] [--backend sitm]
+    sitm-harness profile [--experiment rbtree] [--backend sitm]
+                         [--stacks stacks.txt]
+    sitm-harness bench [--suite quick] [--label current] [--jobs 4]
+    sitm-harness bench --compare BASE.json CURRENT.json
     sitm-harness all   [--profile test]
 
 ``--profile`` selects the workload scaling profile (see
@@ -38,6 +42,7 @@ import sys
 from typing import List, Optional
 
 from repro.common.config import table1_dict
+from repro.common.errors import ConfigError
 from repro.harness import experiments
 from repro.harness.claims import all_passed, check_claims
 from repro.harness import export
@@ -256,13 +261,13 @@ def _replay_trace(args, payload, replay_systems) -> str:
     return f"Chrome trace written: {target}"
 
 
-def _trace_results(args):
+def _trace_results(args, profiling: bool = False):
     """Run the telemetry specs for --experiment and return (specs, results)."""
     system = args.backend if args.backend != "all" else "SI-TM"
     specs = experiments.trace_specs(
         args.experiment, system=system, threads=args.threads,
         seed=args.seed or 1, profile=args.profile,
-        workloads=args.workloads)
+        workloads=args.workloads, profiling=profiling)
     return specs, args.executor.run(specs)
 
 
@@ -308,6 +313,70 @@ def _metrics(args) -> str:
     return "\n\n".join(sections)
 
 
+def _profile(args) -> str:
+    from repro.obs import (Span, collapsed_stacks, conflict_heatmap,
+                           phase_table)
+    specs, results = _trace_results(args, profiling=True)
+    sections = []
+    stacks = []
+    for spec in specs:
+        result = results[spec]
+        spans = [Span.from_dict(row) for row in result.spans or []]
+        snapshot = result.phases or {}
+        sections.append("\n".join([
+            f"=== {spec} ===",
+            phase_table(snapshot),
+            "",
+            conflict_heatmap(spans, snapshot),
+        ]))
+        if args.stacks:
+            stacks.append(collapsed_stacks(snapshot, root=str(spec)))
+    report = "\n\n".join(sections)
+    if args.stacks:
+        # each block already ends with a newline (one line per stack)
+        with open(args.stacks, "w", encoding="utf-8") as handle:
+            handle.write("".join(stacks))
+        report += (f"\n\ncollapsed stacks written: {args.stacks} "
+                   f"(render with flamegraph.pl or speedscope)")
+    return report
+
+
+def _bench(args) -> str:
+    from repro.perf import (SUITES, BenchSuite, compare_artifacts,
+                            load_artifact, run_bench, save_artifact)
+    if args.compare:
+        base = load_artifact(args.compare[0])
+        current = load_artifact(args.compare[1])
+        report = compare_artifacts(base, current)
+        args._bench_failed = not report.passed
+        return report.render()
+    suite = SUITES[args.suite]
+    if args.backend != "all":
+        cells = tuple(c for c in suite.cells if c[1] == args.backend)
+        if not cells:
+            raise ConfigError(f"suite {suite.name!r} has no "
+                              f"{args.backend} cells; systems: "
+                              f"{sorted({c[1] for c in suite.cells})}")
+        suite = BenchSuite(suite.name, cells, suite.seeds, suite.profile)
+    artifact = run_bench(suite, args.label, executor=args.executor)
+    path = save_artifact(artifact, args.bench_out)
+    lines = [f"bench artifact written: {path}",
+             f"  suite {suite.name}: {len(suite.cells)} cells x "
+             f"{suite.seeds} seeds, profile {suite.profile}"]
+    det = artifact["deterministic"]
+    for key in sorted(det):
+        cell = det[key]
+        lines.append(f"  {key}: {cell['throughput']:.1f} commits/Mcycle "
+                     f"(sd {100 * cell['throughput_rel_stddev']:.1f}%), "
+                     f"abort rate {cell['abort_rate']:.3f}")
+    advisory = artifact["advisory"]
+    lines.append(f"  advisory: wall clock {advisory['wall_clock_s']:.2f}s, "
+                 f"cache hit rate {100 * advisory['cache_hit_rate']:.0f}%")
+    lines.append(f"  compare against a baseline: sitm-harness bench "
+                 f"--compare <baseline.json> {path}")
+    return "\n".join(lines)
+
+
 def _cache(args) -> str:
     cache = ResultCache(args.cache_dir)
     if args.clear:
@@ -343,6 +412,16 @@ def _backend(name: str) -> str:
     return canon
 
 
+def _system(name: str) -> str:
+    """Like :func:`_backend` but for --systems lists: no 'all' wildcard."""
+    canon = _backend(name)
+    if canon == "all":
+        raise argparse.ArgumentTypeError(
+            "--systems takes explicit system names; "
+            "'all' is only meaningful for --backend")
+    return canon
+
+
 _COMMANDS = {
     "fig1": _fig1,
     "fig2": _fig2,
@@ -363,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the SI-TM paper's figures and tables.")
     parser.add_argument("command",
                         choices=list(_COMMANDS) + ["trace", "metrics",
+                                                   "profile", "bench",
                                                    "cache", "fuzz", "all"])
     parser.add_argument("--profile", default="quick",
                         choices=("test", "quick", "full"))
@@ -375,9 +455,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workloads", nargs="*", default=None,
                         help="restrict to these workloads")
     parser.add_argument("--systems", nargs="*", default=None,
-                        choices=("2PL", "SONTM", "SI-TM", "SSI-TM", "LogTM"),
+                        type=_system,
                         help="systems for fig7/fig8 (default: the paper's "
-                             "three; add SSI-TM to measure the extension)")
+                             "three; add SSI-TM to measure the extension; "
+                             "case-insensitive aliases like 'sitm' "
+                             "accepted)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for grid experiments "
                              "(1 = serial, 0 = one per CPU)")
@@ -403,10 +485,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", default="all", type=_backend,
                         choices=("2PL", "SONTM", "SI-TM", "SSI-TM",
                                  "LogTM", "all"),
-                        help="trace/metrics: system to telemeter "
+                        help="trace/metrics/profile: system to telemeter "
                              "(default SI-TM); fuzz: backend(s) to "
-                             "cross-check; case-insensitive aliases "
-                             "like 'sitm' accepted")
+                             "cross-check; bench: restrict the suite to "
+                             "one system's cells; case-insensitive "
+                             "aliases like 'sitm' accepted")
+    parser.add_argument("--stacks", default=None,
+                        help="profile: write collapsed flamegraph stacks "
+                             "to this file")
+    parser.add_argument("--suite", default="quick",
+                        choices=("smoke", "quick", "full"),
+                        help="bench: pinned suite to run")
+    parser.add_argument("--label", default="current",
+                        help="bench: artifact label; written as "
+                             "BENCH_<label>.json")
+    parser.add_argument("--bench-out", default=None,
+                        help="bench: artifact output directory (default "
+                             "results/bench, or $SITM_BENCH_DIR)")
+    parser.add_argument("--compare", nargs=2, default=None,
+                        metavar=("BASE", "CURRENT"),
+                        help="bench: diff two artifacts instead of "
+                             "running; exits non-zero on deterministic "
+                             "regressions")
     parser.add_argument("--experiment", default="figure7",
                         help="trace/metrics: figure1/figure7/figure8 "
                              "(that figure's workload set) or one "
@@ -451,18 +551,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     args.executor = Executor(jobs=args.jobs, cache=not args.no_cache,
                              refresh=args.refresh,
                              cache_dir=args.cache_dir)
-    if args.command == "all":
-        report = "\n\n".join(fn(args) for fn in _COMMANDS.values())
-    elif args.command == "cache":
-        report = _cache(args)
-    elif args.command == "fuzz":
-        report = _fuzz(args)
-    elif args.command == "trace":
-        report = _trace(args)
-    elif args.command == "metrics":
-        report = _metrics(args)
-    else:
-        report = _COMMANDS[args.command](args)
+    try:
+        if args.command == "all":
+            report = "\n\n".join(fn(args) for fn in _COMMANDS.values())
+        elif args.command == "cache":
+            report = _cache(args)
+        elif args.command == "fuzz":
+            report = _fuzz(args)
+        elif args.command == "trace":
+            report = _trace(args)
+        elif args.command == "metrics":
+            report = _metrics(args)
+        elif args.command == "profile":
+            report = _profile(args)
+        elif args.command == "bench":
+            report = _bench(args)
+        else:
+            report = _COMMANDS[args.command](args)
+    except ConfigError as exc:
+        # unknown experiment/backend/workload names and malformed bench
+        # artifacts are user errors: one line on stderr, no traceback
+        print(f"sitm-harness {args.command}: error: {exc}",
+              file=sys.stderr)
+        return 2
     counters = args.executor.counters()
     if counters["runs"]:
         # stdout only: archived --out reports must not embed run-specific
@@ -477,7 +588,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
-    return 1 if getattr(args, "_fuzz_failed", False) else 0
+    if getattr(args, "_fuzz_failed", False):
+        return 1
+    return 1 if getattr(args, "_bench_failed", False) else 0
 
 
 if __name__ == "__main__":

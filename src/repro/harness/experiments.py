@@ -352,17 +352,30 @@ def figure8(profile: str = "quick",
 def trace_specs(experiment: str, system: str = "SI-TM", threads: int = 8,
                 seed: int = 1, profile: str = "quick",
                 workloads: Optional[Sequence[str]] = None,
-                ) -> List[ExperimentSpec]:
+                profiling: bool = False) -> List[ExperimentSpec]:
     """Specs for ``sitm-harness trace``: telemetry runs for one figure.
 
     ``experiment`` is a figure name (``figure1``, ``figure7``,
     ``figure8`` — its workload set under one backend) or a single
     workload name.  Each spec runs with ``telemetry=True`` and becomes
-    one process track in the exported Chrome trace.
+    one process track in the exported Chrome trace; ``profiling=True``
+    (``sitm-harness profile``) additionally carries the cycle profiler.
+
+    Raises :class:`~repro.common.errors.ConfigError` on unknown
+    experiment, workload or system names so CLI callers can fail with a
+    one-line error instead of a traceback mid-run.
     """
     from repro.workloads import REGISTRY
+    if system not in SYSTEMS:
+        raise ConfigError(
+            f"unknown backend {system!r}; known: {sorted(SYSTEMS)}")
     if workloads:
         names = list(workloads)
+        unknown = [name for name in names if name not in REGISTRY]
+        if unknown:
+            raise ConfigError(
+                f"unknown workload(s) {unknown}; "
+                f"known: {sorted(REGISTRY.names())}")
     elif experiment == "figure1":
         names = list(FIGURE1_BENCHMARKS)
     elif experiment in ("figure7", "figure8"):
@@ -374,7 +387,7 @@ def trace_specs(experiment: str, system: str = "SI-TM", threads: int = 8,
             f"unknown experiment {experiment!r}; expected figure1/"
             f"figure7/figure8 or a workload ({sorted(REGISTRY.names())})")
     return [ExperimentSpec(name, system, threads, seed, profile,
-                           telemetry=True)
+                           telemetry=True, profiling=profiling)
             for name in names]
 
 

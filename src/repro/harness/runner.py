@@ -63,6 +63,10 @@ class RunResult:
     #: boundary byte-identically
     metrics: Optional[dict] = None
     spans: Optional[List[dict]] = None
+    #: profiling-only payload (None when the spec ran without
+    #: profiling): the conservation-checked cycle-attribution snapshot
+    #: (:meth:`repro.obs.profile.CycleProfiler.snapshot`)
+    phases: Optional[dict] = None
 
     @property
     def throughput(self) -> float:
@@ -155,16 +159,20 @@ class Aggregate:
 def run_once(workload: str, system: str, threads: int, seed: int,
              profile: str = "quick",
              config: Optional[SimConfig] = None,
-             telemetry: bool = False) -> RunResult:
+             telemetry: bool = False,
+             profiling: bool = False) -> RunResult:
     """Run one simulation and collect its statistics.
 
     With ``telemetry=True`` the run carries a :class:`~repro.obs.metrics.
     MetricsRegistry` (wired into the machine, MVM, and TM hot paths) and a
     :class:`~repro.obs.spans.SpanRecorder` in the engine's tracer slot; the
     result then includes the canonical metrics snapshot and per-attempt
-    span dicts.  Telemetry does not perturb the simulation — schedules and
-    statistics are identical either way — so cached results from
-    non-telemetry runs stay valid.
+    span dicts.  With ``profiling=True`` a
+    :class:`~repro.obs.profile.CycleProfiler` rides in the same tracer
+    slot (composed via ``MultiTracer`` when both are on) and the result
+    carries the conservation-checked phase snapshot.  Neither perturbs
+    the simulation — schedules and statistics are identical either way —
+    so cached results from plain runs stay valid.
     """
     if system not in SYSTEMS:
         raise ConfigError(f"unknown system {system!r}; known: {sorted(SYSTEMS)}")
@@ -173,27 +181,38 @@ def run_once(workload: str, system: str, threads: int, seed: int,
         config = config.replace(
             machine=dataclasses.replace(config.machine, cores=threads))
     machine = Machine(config)
-    registry = recorder = None
+    registry = recorder = profiler = None
     if telemetry:
         from repro.obs import MetricsRegistry, SpanRecorder
         registry = MetricsRegistry()
         recorder = SpanRecorder(metrics=registry)
         machine.enable_telemetry(registry)
+    if profiling:
+        from repro.obs import CycleProfiler
+        profiler = CycleProfiler()
+    if recorder is not None and profiler is not None:
+        from repro.obs import MultiTracer
+        tracer = MultiTracer(recorder, profiler)
+    else:
+        tracer = recorder if recorder is not None else profiler
     rng = SplitRandom(derive_seed(seed, workload, system, threads))
     bench = REGISTRY.create(workload, profile=profile)
     instance = bench.setup(machine, threads, rng.split("workload"))
     tm = SYSTEMS[system](machine, rng.split("tm"))
-    engine = Engine(tm, instance.programs, tracer=recorder)
+    engine = Engine(tm, instance.programs, tracer=tracer)
     stats: RunStats = engine.run()
     verified = instance.verify() if instance.verify is not None else None
     census_rows = (machine.mvm.census.rows()
                    if machine.mvm.census is not None else None)
-    metrics_snapshot = spans = None
+    metrics_snapshot = spans = phases = None
     if telemetry:
         from repro.obs import collect_run_metrics
         collect_run_metrics(registry, machine, tm, stats)
         metrics_snapshot = registry.snapshot()
         spans = [s.to_dict() for s in recorder.spans]
+    if profiling:
+        profiler.check_conservation([t.cycles for t in stats.threads])
+        phases = profiler.snapshot()
     return RunResult(
         workload=workload, system=system, threads=threads, seed=seed,
         commits=stats.total_commits, aborts=stats.total_aborts,
@@ -211,6 +230,7 @@ def run_once(workload: str, system: str, threads: int, seed: int,
         commit_wait_cycles=sum(t.commit_wait_cycles for t in stats.threads),
         metrics=metrics_snapshot,
         spans=spans,
+        phases=phases,
     )
 
 

@@ -48,6 +48,10 @@ class ExperimentSpec:
     #: but omitted from the canonical dict when False so every
     #: pre-existing spec hash is unchanged.
     telemetry: bool = False
+    #: carry a cycle profiler through the run; the result then includes
+    #: the conservation-checked phase snapshot.  Same cache-key rule as
+    #: ``telemetry``: omitted from the canonical dict when False.
+    profiling: bool = False
 
     #: spec-kind discriminator for the executor's worker payloads; the
     #: canonical dict deliberately omits it so existing cache keys and
@@ -71,6 +75,8 @@ class ExperimentSpec:
         }
         if self.telemetry:
             data["telemetry"] = True
+        if self.profiling:
+            data["profiling"] = True
         return data
 
     @classmethod
@@ -84,7 +90,8 @@ class ExperimentSpec:
             seed=data["seed"],
             profile=data.get("profile", "quick"),
             config=SimConfig.from_dict(config) if config else None,
-            telemetry=data.get("telemetry", False))
+            telemetry=data.get("telemetry", False),
+            profiling=data.get("profiling", False))
 
     def canonical_json(self) -> str:
         """Canonical JSON (sorted keys, no whitespace) for hashing."""
@@ -100,12 +107,17 @@ class ExperimentSpec:
         """Execute this spec in the current process."""
         return run_once(self.workload, self.system, self.threads,
                         self.seed, self.profile, self.config,
-                        telemetry=self.telemetry)
+                        telemetry=self.telemetry,
+                        profiling=self.profiling)
 
     def __str__(self) -> str:
         base = (f"{self.workload}/{self.system}/t{self.threads}"
                 f"/s{self.seed}/{self.profile}")
-        return base + "/telemetry" if self.telemetry else base
+        if self.telemetry:
+            base += "/telemetry"
+        if self.profiling:
+            base += "/profiling"
+        return base
 
 
 def seed_specs(workload: str, system: str, threads: int,

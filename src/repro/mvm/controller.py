@@ -69,6 +69,10 @@ class MVMController:
         #: install feeds the version-list occupancy histogram — the
         #: distribution behind the section 4.4 coalescing discussion
         self.metrics = None
+        #: cycle profiler or None (the default); when attached, every
+        #: install/coalesce/GC is recorded per line for the conflict
+        #: heatmap (is coalescing absorbing the hot lines?)
+        self.profiler = None
         # counters
         self.bundle_copies = 0
         self.versions_installed = 0
@@ -182,6 +186,12 @@ class MVMController:
         if coalesced:
             self.versions_coalesced += 1
         self.versions_collected += dropped
+        if self.profiler is not None:
+            self.profiler.mvm_event("install", line)
+            if coalesced:
+                self.profiler.mvm_event("coalesce", line)
+            if dropped:
+                self.profiler.mvm_event("gc", line, dropped)
         if self.metrics is not None:
             # occupancy *after* this install (and its GC/coalescing):
             # what the hardware would actually have to store

@@ -9,14 +9,18 @@ reproduction:
   (:class:`SpanRecorder`) and tracer fan-out (:class:`MultiTracer`);
 * :mod:`repro.obs.export` — JSONL span logs and Perfetto-loadable
   Chrome traces;
-* :mod:`repro.obs.report` — abort-attribution and version-occupancy
-  text reports.
+* :mod:`repro.obs.profile` — deterministic cycle-attribution profiler
+  (:class:`CycleProfiler`), conservation-checked phase accounting with
+  collapsed-stack (flamegraph) export;
+* :mod:`repro.obs.report` — abort-attribution, conflict-heatmap,
+  cycle-attribution and version-occupancy text reports.
 
 Telemetry is disabled by default; enable it per run with
 ``ExperimentSpec(telemetry=True)``, ``run_once(..., telemetry=True)``
 or the CLI's ``sitm-harness trace`` / ``sitm-harness metrics``
-commands.  See ``docs/observability.md`` for the metrics catalogue and
-span schema.
+commands; profiling likewise via ``profiling=True`` or ``sitm-harness
+profile``.  See ``docs/observability.md`` for the metrics catalogue,
+span schema and profiler phases.
 """
 
 from repro.obs.metrics import MetricsRegistry, collect_run_metrics
@@ -24,7 +28,10 @@ from repro.obs.spans import MultiTracer, Span, SpanRecorder
 from repro.obs.export import (chrome_trace, chrome_trace_events,
                               load_spans_jsonl, spans_to_jsonl,
                               write_chrome_trace)
-from repro.obs.report import (abort_attribution, metrics_table,
+from repro.obs.profile import (CycleProfiler, collapsed_stacks,
+                               phase_shares)
+from repro.obs.report import (abort_attribution, conflict_heatmap,
+                              metrics_table, phase_table,
                               version_occupancy)
 
 __all__ = [
@@ -32,5 +39,7 @@ __all__ = [
     "MultiTracer", "Span", "SpanRecorder",
     "chrome_trace", "chrome_trace_events", "load_spans_jsonl",
     "spans_to_jsonl", "write_chrome_trace",
-    "abort_attribution", "metrics_table", "version_occupancy",
+    "CycleProfiler", "collapsed_stacks", "phase_shares",
+    "abort_attribution", "conflict_heatmap", "metrics_table",
+    "phase_table", "version_occupancy",
 ]

@@ -50,6 +50,9 @@ class Span:
     writes: int = 0
     start_ts: Optional[int] = None
     commit_ts: Optional[int] = None
+    #: memory line on which the fatal conflict was detected (aborts
+    #: whose cause pinpoints one; feeds the conflict heatmap)
+    conflict_line: Optional[int] = None
 
     @property
     def duration(self) -> int:
@@ -65,7 +68,8 @@ class Span:
                 "end_cycle": self.end_cycle, "outcome": self.outcome,
                 "cause": self.cause, "retries": self.retries,
                 "reads": self.reads, "writes": self.writes,
-                "start_ts": self.start_ts, "commit_ts": self.commit_ts}
+                "start_ts": self.start_ts, "commit_ts": self.commit_ts,
+                "conflict_line": self.conflict_line}
 
     @classmethod
     def from_dict(cls, data: dict) -> "Span":
@@ -79,7 +83,8 @@ class Span:
                    reads=data.get("reads", 0),
                    writes=data.get("writes", 0),
                    start_ts=data.get("start_ts"),
-                   commit_ts=data.get("commit_ts"))
+                   commit_ts=data.get("commit_ts"),
+                   conflict_line=data.get("conflict_line"))
 
 
 class SpanRecorder(Tracer):
@@ -147,6 +152,7 @@ class SpanRecorder(Tracer):
         span.outcome = outcome
         span.cause = cause
         span.commit_ts = txn.commit_ts
+        span.conflict_line = getattr(txn, "conflict_line", None)
         if self.metrics is not None:
             self.metrics.observe("txn_cycles", span.duration,
                                  outcome=outcome)

@@ -1,0 +1,168 @@
+"""Noise-aware comparison of two BENCH artifacts.
+
+The comparator answers one question per deterministic metric: *did it
+move more than seed noise explains?*  Tolerances derive from the seed
+relative standard deviation recorded in the artifacts themselves —
+``tolerance = max(floor, multiplier x max(base, current) stddev)`` —
+so a workload whose seeds naturally scatter 3% is not flagged for a 4%
+wobble, while a tight workload is flagged for the same 4%.
+
+Verdict semantics:
+
+* **regressions** (exit non-zero): throughput drop or abort-rate rise
+  beyond tolerance, a phase's cycle share shifting beyond its absolute
+  tolerance, a cell present in the baseline but missing now, or
+  artifacts from different suites (not comparable at all);
+* **warnings** (advisory, never fatal): wall-clock slowdown, cells new
+  in the current artifact, identical code fingerprints (the comparison
+  is then vacuous) and improvements worth noting in the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["CompareReport", "compare_artifacts",
+           "THROUGHPUT_FLOOR", "ABORT_RATE_FLOOR", "PHASE_SHARE_TOL",
+           "STDDEV_MULTIPLIER", "WALL_CLOCK_WARN_RATIO"]
+
+#: minimum relative throughput change considered meaningful
+THROUGHPUT_FLOOR = 0.05
+#: minimum absolute abort-rate change considered meaningful
+ABORT_RATE_FLOOR = 0.02
+#: absolute tolerance on a phase's share of total cycles
+PHASE_SHARE_TOL = 0.05
+#: how many seed stddevs a deterministic metric may legitimately move
+STDDEV_MULTIPLIER = 3.0
+#: advisory wall-clock ratio above which a warning is emitted
+WALL_CLOCK_WARN_RATIO = 1.5
+
+
+@dataclass
+class CompareReport:
+    """Outcome of one artifact comparison."""
+
+    base_label: str
+    current_label: str
+    regressions: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    improvements: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no deterministic metric regressed."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """Human-readable comparison summary."""
+        lines = [f"Bench compare: {self.base_label} -> "
+                 f"{self.current_label}"]
+        for regression in self.regressions:
+            lines.append(f"  REGRESSION: {regression}")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
+        for improvement in self.improvements:
+            lines.append(f"  improved: {improvement}")
+        if self.passed:
+            lines.append("  PASS: no deterministic regressions")
+        else:
+            lines.append(f"  FAIL: {len(self.regressions)} deterministic "
+                         f"regression(s)")
+        return "\n".join(lines)
+
+
+def compare_artifacts(base: dict, current: dict,
+                      throughput_floor: float = THROUGHPUT_FLOOR,
+                      abort_rate_floor: float = ABORT_RATE_FLOOR,
+                      phase_share_tol: float = PHASE_SHARE_TOL,
+                      stddev_multiplier: float = STDDEV_MULTIPLIER,
+                      ) -> CompareReport:
+    """Diff two validated BENCH artifacts; see the module docstring.
+
+    ``base`` is the reference (the committed baseline), ``current`` the
+    candidate.  Both must come from :func:`repro.perf.bench.
+    load_artifact` or :func:`~repro.perf.bench.run_bench` — validation
+    is the caller's job.
+    """
+    report = CompareReport(base.get("label", "?"),
+                           current.get("label", "?"))
+    if base.get("suite") != current.get("suite") \
+            or base.get("profile") != current.get("profile") \
+            or base.get("seeds") != current.get("seeds"):
+        report.regressions.append(
+            f"artifacts are not comparable: suite/profile/seeds differ "
+            f"({base.get('suite')}/{base.get('profile')}/"
+            f"{base.get('seeds')} vs {current.get('suite')}/"
+            f"{current.get('profile')}/{current.get('seeds')})")
+        return report
+    if base.get("code_fingerprint") == current.get("code_fingerprint"):
+        report.warnings.append(
+            "identical code fingerprints: comparing a code version "
+            "against itself")
+
+    base_cells = base["deterministic"]
+    current_cells = current["deterministic"]
+    for key in sorted(base_cells):
+        if key not in current_cells:
+            report.regressions.append(
+                f"{key}: cell present in baseline but missing now")
+            continue
+        b, c = base_cells[key], current_cells[key]
+
+        # throughput: relative drop vs noise-aware tolerance
+        tol = max(throughput_floor,
+                  stddev_multiplier * max(b["throughput_rel_stddev"],
+                                          c["throughput_rel_stddev"]))
+        if b["throughput"] > 0:
+            delta = (c["throughput"] - b["throughput"]) / b["throughput"]
+            if delta < -tol:
+                report.regressions.append(
+                    f"{key}: throughput {b['throughput']:.2f} -> "
+                    f"{c['throughput']:.2f} commits/Mcycle "
+                    f"({100 * delta:+.1f}%, tolerance "
+                    f"{100 * tol:.1f}%)")
+            elif delta > tol:
+                report.improvements.append(
+                    f"{key}: throughput {100 * delta:+.1f}%")
+
+        # abort rate: absolute rise vs noise-aware tolerance
+        tol_abs = max(abort_rate_floor,
+                      stddev_multiplier * max(b["abort_rate_stddev"],
+                                              c["abort_rate_stddev"]))
+        rise = c["abort_rate"] - b["abort_rate"]
+        if rise > tol_abs:
+            report.regressions.append(
+                f"{key}: abort rate {b['abort_rate']:.3f} -> "
+                f"{c['abort_rate']:.3f} (+{rise:.3f}, tolerance "
+                f"{tol_abs:.3f})")
+        elif rise < -tol_abs:
+            report.improvements.append(
+                f"{key}: abort rate {rise:+.3f}")
+
+        # phase shares: absolute shift per phase (conserved totals, so
+        # shares are comparable even when absolute cycles legitimately
+        # move); a phase appearing/vanishing counts as a full shift
+        phases = set(b.get("phase_shares", {})) \
+            | set(c.get("phase_shares", {}))
+        for phase in sorted(phases):
+            b_share = b.get("phase_shares", {}).get(phase, 0.0)
+            c_share = c.get("phase_shares", {}).get(phase, 0.0)
+            if abs(c_share - b_share) > phase_share_tol:
+                report.regressions.append(
+                    f"{key}: phase {phase!r} share "
+                    f"{100 * b_share:.1f}% -> {100 * c_share:.1f}% "
+                    f"(tolerance {100 * phase_share_tol:.0f} points)")
+
+    for key in sorted(set(current_cells) - set(base_cells)):
+        report.warnings.append(f"{key}: new cell, no baseline to compare")
+
+    # advisory: host-dependent, never fatal
+    base_wall = base.get("advisory", {}).get("wall_clock_s", 0)
+    cur_wall = current.get("advisory", {}).get("wall_clock_s", 0)
+    if base_wall and cur_wall / base_wall > WALL_CLOCK_WARN_RATIO:
+        report.warnings.append(
+            f"wall clock {base_wall:.2f}s -> {cur_wall:.2f}s "
+            f"({cur_wall / base_wall:.2f}x, advisory — host/cache "
+            f"dependent)")
+    return report

@@ -125,6 +125,10 @@ class Engine:
         self.machine = tm.machine
         #: telemetry registry (None when telemetry is off — the default)
         self.metrics = getattr(tm.machine, "metrics", None)
+        #: cycle profiler (None when profiling is off — the default);
+        #: a CycleProfiler in the tracer slot overrides this via
+        #: attach_engine below
+        self.profiler = getattr(tm.machine, "profiler", None)
         # explicit None test: a tracer with __len__ (e.g. TraceRecorder)
         # is falsy while empty and must not be discarded
         self.tracer = tracer if tracer is not None else Tracer()
@@ -203,6 +207,9 @@ class Engine:
                 self._dispatch(thread, txn, op)
             except StallRequested as stall:
                 thread.clock += stall.cycles
+                if self.profiler is not None:
+                    self.profiler.account(thread.thread_id, "stall",
+                                          stall.cycles)
                 thread.redo_op = op
             except TransactionAborted as aborted:
                 self._abort(thread, aborted.cause)
@@ -223,6 +230,9 @@ class Engine:
             self._dispatch(thread, txn, op)
         except StallRequested as stall:
             thread.clock += stall.cycles
+            if self.profiler is not None:
+                self.profiler.account(thread.thread_id, "stall",
+                                      stall.cycles)
             thread.redo_op = op
         except TransactionAborted as aborted:
             self._abort(thread, aborted.cause)
@@ -237,15 +247,22 @@ class Engine:
             value, cycles = self.tm.read(txn, op.addr, promote=promote)
             thread.pending = value
             thread.clock += cycles
+            if self.profiler is not None:
+                self.profiler.account(thread.thread_id, "read", cycles)
             tstats.reads += 1
             self.tracer.on_read(txn, op.addr, op.site, value)
         elif type(op) is Write:
             cycles = self.tm.write(txn, op.addr, op.value)
             thread.clock += cycles
+            if self.profiler is not None:
+                self.profiler.account(thread.thread_id, "write", cycles)
             tstats.writes += 1
             self.tracer.on_write(txn, op.addr, op.site, op.value)
         elif type(op) is Compute:
-            thread.clock += op.cycles * self.machine.config.compute_cycles
+            cycles = op.cycles * self.machine.config.compute_cycles
+            thread.clock += cycles
+            if self.profiler is not None:
+                self.profiler.account(thread.thread_id, "compute", cycles)
         elif type(op) is Abort:
             raise TransactionAborted(AbortCause.EXPLICIT)
         else:
@@ -255,8 +272,13 @@ class Engine:
         txn, cycles = self.tm.begin(
             thread.thread_id, thread.spec.label, thread.retries)
         thread.clock += cycles
+        if self.profiler is not None:
+            self.profiler.account(thread.thread_id, "begin", cycles)
         if txn is None:
             thread.clock += self.STALL_CYCLES
+            if self.profiler is not None:
+                self.profiler.account(thread.thread_id, "begin_stall",
+                                      self.STALL_CYCLES)
             if self.metrics is not None:
                 self.metrics.inc("engine_begin_stalls")
                 self.metrics.inc("engine_begin_stall_cycles",
@@ -275,6 +297,8 @@ class Engine:
             return
         cycles = self.tm.commit(txn, thread.clock)
         thread.clock += cycles
+        if self.profiler is not None:
+            self.profiler.account(thread.thread_id, "commit", cycles)
         self.stats.record_commit(thread.thread_id, thread.spec.label,
                                  thread.retries)
         self.tracer.on_commit(txn)
@@ -286,7 +310,13 @@ class Engine:
         txn = thread.txn
         assert txn is not None
         cycles = self.tm.abort(txn, cause)
-        thread.clock += cycles + self._restart_jitter.randrange(16)
+        jitter = self._restart_jitter.randrange(16)
+        thread.clock += cycles + jitter
+        if self.profiler is not None:
+            self.profiler.account(thread.thread_id, "abort",
+                                  cycles + jitter)
+            self.profiler.sub_account(thread.thread_id, "abort",
+                                      "restart_jitter", jitter)
         self.stats.record_abort(thread.thread_id, thread.spec.label, cause)
         self.tracer.on_abort(txn, cause)
         if thread.gen is not None:

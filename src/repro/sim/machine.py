@@ -35,6 +35,11 @@ class Machine:
         #: or None — the default — when telemetry is off.  Set via
         #: :meth:`enable_telemetry`; TM systems and the engine read it.
         self.metrics = None
+        #: cycle profiler (:class:`repro.obs.profile.CycleProfiler`) or
+        #: None — the default — when profiling is off.  Set via
+        #: :meth:`enable_profiling`; same zero-overhead contract as
+        #: ``metrics``.
+        self.profiler = None
         self.address_map = AddressMap(self.config.machine.words_per_line)
         self.backing = BackingStore()
         self.heap = Heap(self.address_map)
@@ -54,6 +59,17 @@ class Machine:
         """
         self.metrics = registry
         self.mvm.metrics = registry
+
+    def enable_profiling(self, profiler) -> None:
+        """Attach a cycle profiler to every accounting layer.
+
+        Profiling stays off (``profiler is None`` everywhere, one
+        pointer test per instrumented site) unless this is called —
+        either directly or by ``CycleProfiler.attach_engine`` when the
+        profiler sits in the engine's tracer slot.
+        """
+        self.profiler = profiler
+        self.mvm.profiler = profiler
 
     # ------------------------------------------------------------------
     # non-transactional (plain) accesses — functional only, no timing.

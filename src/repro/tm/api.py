@@ -78,7 +78,7 @@ class Txn:
                  "write_buffer", "doomed", "active", "start_removed",
                  "son_lo", "son_hi", "after", "before",
                  "inbound_rw", "outbound_rw", "consecutive_stalls",
-                 "undo_log")
+                 "undo_log", "conflict_line")
 
     def __init__(self, thread_id: int, label: str, attempt: int):
         self.thread_id = thread_id
@@ -110,11 +110,20 @@ class Txn:
         # LogTM-style state: NACK/stall bookkeeping + in-place undo log
         self.consecutive_stalls = 0
         self.undo_log: list = []
+        #: the memory line on which the conflict that killed this attempt
+        #: was detected (None while alive, or when the cause has no single
+        #: line — e.g. an empty SON range).  Feeds the conflict heatmap.
+        self.conflict_line: Optional[int] = None
 
-    def doom(self, cause: AbortCause) -> None:
-        """Mark this transaction for abort (requester-wins victim)."""
+    def doom(self, cause: AbortCause, line: Optional[int] = None) -> None:
+        """Mark this transaction for abort (requester-wins victim).
+
+        ``line`` is the conflicting memory line when the detecting system
+        knows it; recorded for conflict-heatmap attribution.
+        """
         if self.doomed is None:
             self.doomed = cause
+            self.conflict_line = line
 
     @property
     def is_read_only(self) -> bool:
@@ -251,6 +260,9 @@ class TMSystem:
         metrics = self.machine.metrics
         if metrics is not None and delay:
             metrics.observe("tm_backoff_cycles", delay, system=self.name)
+        profiler = self.machine.profiler
+        if profiler is not None:
+            profiler.sub_account(txn.thread_id, "abort", "backoff", delay)
         return delay
 
     def _commit_wait(self, txn: Txn, wait: int) -> None:
@@ -267,6 +279,10 @@ class TMSystem:
         if metrics is not None and wait:
             metrics.observe("tm_commit_wait_cycles", wait,
                             system=self.name)
+        profiler = self.machine.profiler
+        if profiler is not None:
+            profiler.sub_account(txn.thread_id, "commit", "token_wait",
+                                 wait)
 
     def _buffered_read(self, txn: Txn, addr: int) -> Optional[int]:
         """Value from the transaction's own write buffer, if written."""

@@ -74,7 +74,7 @@ class EagerLogTM(TMSystem):
                 return other
         return None
 
-    def _nack(self, txn: Txn) -> None:
+    def _nack(self, txn: Txn, line: int) -> None:
         """Stall the requester; abort it after too many consecutive NACKs."""
         txn.consecutive_stalls += 1
         self.stalls_issued += 1
@@ -83,6 +83,7 @@ class EagerLogTM(TMSystem):
             metrics.observe("tm_nack_stall_cycles", self.NACK_CYCLES,
                             system=self.name)
         if txn.consecutive_stalls > self.MAX_STALLS:
+            txn.conflict_line = line
             raise TransactionAborted(
                 AbortCause.READ_WRITE, "possible deadlock: requester aborts")
         raise StallRequested(self.NACK_CYCLES)
@@ -93,7 +94,7 @@ class EagerLogTM(TMSystem):
         if line not in txn.read_lines and line not in txn.write_lines:
             owner = self._conflicting_owner(txn, line, for_write=False)
             if owner is not None:
-                self._nack(txn)
+                self._nack(txn, line)
         txn.consecutive_stalls = 0
         cycles = self.machine.caches.access(txn.thread_id, line)
         if line not in txn.read_lines:
@@ -107,7 +108,7 @@ class EagerLogTM(TMSystem):
         if line not in txn.write_lines:
             owner = self._conflicting_owner(txn, line, for_write=True)
             if owner is not None:
-                self._nack(txn)
+                self._nack(txn, line)
         txn.consecutive_stalls = 0
         cycles = self.machine.caches.access(txn.thread_id, line)
         if line not in txn.write_lines:
@@ -132,10 +133,16 @@ class EagerLogTM(TMSystem):
     def abort(self, txn: Txn, cause: AbortCause) -> int:
         # software rollback: restore the undo log in reverse order
         cycles = self.config.txn_overhead_cycles
+        undo_cycles = 0
         for addr, old_value in reversed(txn.undo_log):
             self.machine.plain_store(addr, old_value)
-            cycles += self.UNDO_CYCLES
+            undo_cycles += self.UNDO_CYCLES
             self.undo_entries_restored += 1
+        cycles += undo_cycles
+        profiler = self.machine.profiler
+        if profiler is not None:
+            profiler.sub_account(txn.thread_id, "abort", "undo",
+                                 undo_cycles)
         txn.undo_log.clear()
         self._deregister(txn)
         return cycles + self._backoff_cycles(txn)

@@ -140,6 +140,7 @@ class SnapshotIsolationTM(TMSystem):
         try:
             data = self.mvm.snapshot_read(line, txn.start_ts)
         except SnapshotTooOld:
+            txn.conflict_line = line
             raise TransactionAborted(
                 AbortCause.SNAPSHOT_TOO_OLD,
                 f"line {line:#x} has no version <= {txn.start_ts}")
@@ -194,6 +195,7 @@ class SnapshotIsolationTM(TMSystem):
                 if len(written) <= words_per_line and not \
                         self.mvm.words_conflict(line, txn.start_ts, written):
                     continue
+            txn.conflict_line = line
             raise TransactionAborted(
                 AbortCause.WRITE_WRITE, f"line {line:#x}")
 
@@ -238,6 +240,7 @@ class SnapshotIsolationTM(TMSystem):
         # only *other* transactions' start timestamps.
         self._remove_start(txn)
         installed = []
+        install_cycles = 0
         # the write path rejects conventional addresses, so every written
         # line is multiversioned
         mvm_lines = sorted(txn.write_lines)
@@ -246,22 +249,24 @@ class SnapshotIsolationTM(TMSystem):
                 data = self._build_line(txn, line)
                 self.mvm.install_line(line, end_ts, data)
                 installed.append(line)
-                cycles += (self.machine.caches.shared_access(line)
-                           + self.WRITEBACK_CYCLES
-                           + self.MVM_CONTROL_CYCLES)
+                install_cycles += (self.machine.caches.shared_access(line)
+                                   + self.WRITEBACK_CYCLES
+                                   + self.MVM_CONTROL_CYCLES)
                 # bundled configurations copy the whole bundle on its
                 # first write (section 3.2's capacity/write trade-off)
-                cycles += (self.mvm.bundle_copy_lines(line)
-                           * self.WRITEBACK_CYCLES)
+                install_cycles += (self.mvm.bundle_copy_lines(line)
+                                   * self.WRITEBACK_CYCLES)
                 self.machine.caches.invalidate_everywhere(
                     line, except_core=txn.thread_id)
         except CapExceeded:
             # Optimistic commit is itself transactional: undo our versions.
-            for line in installed:
-                self.mvm.rollback_line(line, end_ts)
+            for rollback in installed:
+                self.mvm.rollback_line(rollback, end_ts)
             self.machine.clock.abandon_commit(end_ts)
             self._release(txn)
+            txn.conflict_line = line
             raise TransactionAborted(AbortCause.VERSION_OVERFLOW)
+        cycles += install_cycles
         self.machine.clock.finish_commit(end_ts)
         txn.commit_ts = end_ts
         metrics = self.machine.metrics
@@ -270,6 +275,10 @@ class SnapshotIsolationTM(TMSystem):
             # burst each commit puts on the MVM controller
             metrics.observe("tm_commit_install_lines", len(mvm_lines),
                             system=self.name)
+        profiler = self.machine.profiler
+        if profiler is not None:
+            profiler.sub_account(txn.thread_id, "commit", "install",
+                                 install_cycles)
         self._release(txn)
         return cycles
 

@@ -126,6 +126,7 @@ class SerializableSITM(SnapshotIsolationTM):
                         rec.inbound = True
                         if rec.dangerous:
                             # our edge would complete a committed pivot
+                            txn.conflict_line = line
                             raise TransactionAborted(
                                 AbortCause.DANGEROUS_STRUCTURE,
                                 f"committed pivot via read line {line:#x}")
@@ -140,6 +141,7 @@ class SerializableSITM(SnapshotIsolationTM):
                     txn.inbound_rw = True
                     rec.outbound = True
                     if rec.dangerous:
+                        txn.conflict_line = min(overlap)
                         raise TransactionAborted(
                             AbortCause.DANGEROUS_STRUCTURE,
                             "committed pivot via reader record")
@@ -171,4 +173,8 @@ class SerializableSITM(SnapshotIsolationTM):
             # structure scan walks: SSI's bookkeeping cost driver
             metrics.observe("tm_ssi_window_records", len(self._window),
                             system=self.name)
+        profiler = self.machine.profiler
+        if profiler is not None:
+            profiler.sub_account(txn.thread_id, "commit", "validate",
+                                 detect_cycles)
         return cycles + detect_cycles

@@ -64,7 +64,7 @@ class TwoPhaseLockingTM(TMSystem):
             cycles += self.machine.interconnect.broadcast_cost()
             for other in self.others(txn):
                 if line in other.write_lines:
-                    other.doom(AbortCause.READ_WRITE)
+                    other.doom(AbortCause.READ_WRITE, line)
             txn.read_lines.add(line)
         return self.machine.plain_load(addr), cycles
 
@@ -76,9 +76,9 @@ class TwoPhaseLockingTM(TMSystem):
             cycles += self.machine.interconnect.broadcast_cost()
             for other in self.others(txn):
                 if line in other.write_lines:
-                    other.doom(AbortCause.WRITE_WRITE)
+                    other.doom(AbortCause.WRITE_WRITE, line)
                 elif line in other.read_lines:
-                    other.doom(AbortCause.READ_WRITE)
+                    other.doom(AbortCause.READ_WRITE, line)
             self.machine.caches.invalidate_everywhere(
                 line, except_core=txn.thread_id)
             txn.write_lines.add(line)

@@ -16,12 +16,13 @@ from repro.tm.ops import Read, Write
 def _isolated_result_cache(tmp_path, monkeypatch):
     """Point result cache and fuzz output at throwaway directories.
 
-    Tests exercising the CLI, executor or fuzzer with default settings
-    must not write into the repository's ``results/.cache`` or
-    ``results/fuzz``.
+    Tests exercising the CLI, executor, fuzzer or bench runner with
+    default settings must not write into the repository's
+    ``results/.cache``, ``results/fuzz`` or ``results/bench``.
     """
     monkeypatch.setenv("SITM_CACHE_DIR", str(tmp_path / "result-cache"))
     monkeypatch.setenv("SITM_FUZZ_DIR", str(tmp_path / "fuzz"))
+    monkeypatch.setenv("SITM_BENCH_DIR", str(tmp_path / "bench"))
 
 
 @pytest.fixture

@@ -1,0 +1,111 @@
+"""Bench suites, BENCH artifact schema, and artifact persistence."""
+
+import copy
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.perf import (SUITES, BenchSuite, artifact_path, load_artifact,
+                        run_bench, save_artifact, validate_artifact)
+from repro.perf.bench import SCHEMA, SCHEMA_VERSION
+
+SMOKE = SUITES["smoke"]
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    """One smoke-suite artifact, shared read-only across this module."""
+    return run_bench(SMOKE, "t-base")
+
+
+class TestSuites:
+    def test_specs_are_profiling_grid(self):
+        specs = SMOKE.specs()
+        assert len(specs) == len(SMOKE.cells) * SMOKE.seeds
+        assert all(s.profiling and s.telemetry is False for s in specs)
+        assert [s.seed for s in specs[:SMOKE.seeds]] == list(
+            range(1, SMOKE.seeds + 1))
+
+    def test_pinned_suites_named_consistently(self):
+        for name, suite in SUITES.items():
+            assert suite.name == name
+            assert suite.cells and suite.seeds >= 1
+
+
+class TestRunBench:
+    def test_artifact_validates_and_carries_both_sections(self, artifact):
+        assert validate_artifact(artifact) == []
+        assert artifact["schema"] == SCHEMA
+        assert artifact["schema_version"] == SCHEMA_VERSION
+        cell = artifact["deterministic"]["rbtree/SI-TM/t4"]
+        assert cell["throughput"] > 0
+        assert abs(sum(cell["phase_shares"].values()) - 1.0) < 1e-6
+        assert "wall_clock_s" in artifact["advisory"]
+
+    def test_deterministic_section_reproducible(self, artifact):
+        again = run_bench(SMOKE, "t-again")
+        assert again["deterministic"] == artifact["deterministic"]
+
+
+class TestValidation:
+    def test_rejects_foreign_schema(self, artifact):
+        bad = dict(artifact, schema="other")
+        assert any("schema" in e for e in validate_artifact(bad))
+
+    def test_rejects_newer_version(self, artifact):
+        bad = dict(artifact, schema_version=SCHEMA_VERSION + 1)
+        assert any("newer" in e for e in validate_artifact(bad))
+
+    def test_rejects_missing_cell_field(self, artifact):
+        bad = copy.deepcopy(artifact)
+        del bad["deterministic"]["rbtree/SI-TM/t4"]["throughput"]
+        assert any("throughput" in e for e in validate_artifact(bad))
+
+    def test_rejects_non_conserved_phase_shares(self, artifact):
+        bad = copy.deepcopy(artifact)
+        shares = bad["deterministic"]["rbtree/SI-TM/t4"]["phase_shares"]
+        shares["read"] += 0.5
+        assert any("conservation" in e for e in validate_artifact(bad))
+
+    def test_rejects_non_object(self):
+        assert validate_artifact([]) == ["artifact is not a JSON object"]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, artifact, tmp_path):
+        path = save_artifact(artifact, tmp_path)
+        assert path == artifact_path("t-base", tmp_path)
+        assert load_artifact(path) == artifact
+        # on-disk form is canonical: sorted keys, trailing newline
+        text = path.read_text()
+        assert text == json.dumps(artifact, sort_keys=True, indent=2) + "\n"
+
+    def test_save_refuses_invalid(self, artifact, tmp_path):
+        bad = dict(artifact, schema="other")
+        with pytest.raises(ConfigError, match="refusing to save"):
+            save_artifact(bad, tmp_path)
+
+    def test_load_rejects_missing_and_corrupt(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_artifact(tmp_path / "absent.json")
+        broken = tmp_path / "broken.json"
+        broken.write_text("{nope")
+        with pytest.raises(ConfigError, match="not JSON"):
+            load_artifact(broken)
+
+    def test_bench_dir_env_isolation(self, artifact, tmp_path,
+                                     monkeypatch):
+        monkeypatch.setenv("SITM_BENCH_DIR", str(tmp_path / "bdir"))
+        path = save_artifact(artifact)
+        assert path.parent == tmp_path / "bdir"
+
+
+class TestBackendFilteredSuite:
+    def test_filtered_suite_runs(self):
+        quick = SUITES["quick"]
+        cells = tuple(c for c in quick.cells if c[1] == "SI-TM")
+        sub = BenchSuite(quick.name, cells, quick.seeds, quick.profile)
+        artifact = run_bench(sub, "t-filtered")
+        assert set(artifact["deterministic"]) == {
+            f"{w}/{s}/t{t}" for w, s, t in cells}

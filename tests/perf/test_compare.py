@@ -1,0 +1,96 @@
+"""Noise-aware artifact comparison: what gates, what only warns."""
+
+import copy
+
+import pytest
+
+from repro.perf import SUITES, compare_artifacts, run_bench
+from repro.perf.compare import (ABORT_RATE_FLOOR, PHASE_SHARE_TOL,
+                                THROUGHPUT_FLOOR)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return run_bench(SUITES["smoke"], "t-base")
+
+
+@pytest.fixture
+def current(base):
+    """A mutable deep copy standing in for a later code version."""
+    artifact = copy.deepcopy(base)
+    artifact["label"] = "t-current"
+    artifact["code_fingerprint"] = "different"
+    return artifact
+
+
+CELL = "rbtree/SI-TM/t4"
+
+
+class TestVerdicts:
+    def test_identical_artifacts_pass(self, base, current):
+        report = compare_artifacts(base, current)
+        assert report.passed and not report.regressions
+        assert "PASS" in report.render()
+
+    def test_same_fingerprint_warns_but_passes(self, base):
+        report = compare_artifacts(base, copy.deepcopy(base))
+        assert report.passed
+        assert any("fingerprint" in w for w in report.warnings)
+
+    def test_throughput_regression_detected(self, base, current):
+        cell = current["deterministic"][CELL]
+        cell["throughput"] *= 1.0 - 2 * THROUGHPUT_FLOOR
+        report = compare_artifacts(base, current)
+        assert not report.passed
+        assert any(CELL in r and "throughput" in r
+                   for r in report.regressions)
+        assert "FAIL" in report.render()
+
+    def test_throughput_improvement_noted_not_fatal(self, base, current):
+        current["deterministic"][CELL]["throughput"] *= 1.5
+        report = compare_artifacts(base, current)
+        assert report.passed
+        assert any(CELL in line for line in report.improvements)
+
+    def test_noise_widens_the_tolerance(self, base, current):
+        """A drop inside 3x seed stddev is noise, not a regression."""
+        cell = current["deterministic"][CELL]
+        cell["throughput"] *= 1.0 - 2 * THROUGHPUT_FLOOR
+        cell["throughput_rel_stddev"] = 0.10  # 3x0.10 > 2xfloor
+        assert compare_artifacts(base, current).passed
+
+    def test_abort_rate_rise_detected(self, base, current):
+        current["deterministic"][CELL]["abort_rate"] += \
+            2 * ABORT_RATE_FLOOR
+        report = compare_artifacts(base, current)
+        assert any("abort rate" in r for r in report.regressions)
+
+    def test_phase_share_shift_detected(self, base, current):
+        shares = current["deterministic"][CELL]["phase_shares"]
+        donor = max(shares, key=shares.get)
+        shares[donor] -= 2 * PHASE_SHARE_TOL
+        shares["abort"] = shares.get("abort", 0.0) + 2 * PHASE_SHARE_TOL
+        report = compare_artifacts(base, current)
+        assert any("share" in r for r in report.regressions)
+
+    def test_missing_cell_is_regression_new_cell_warns(self, base,
+                                                       current):
+        moved = current["deterministic"].pop(CELL)
+        current["deterministic"]["rbtree/SI-TM/t32"] = moved
+        report = compare_artifacts(base, current)
+        assert any("missing" in r for r in report.regressions)
+        assert any("new cell" in w for w in report.warnings)
+
+    def test_suite_mismatch_not_comparable(self, base, current):
+        current["suite"] = "quick"
+        report = compare_artifacts(base, current)
+        assert not report.passed
+        assert any("not comparable" in r for r in report.regressions)
+
+    def test_wall_clock_slowdown_only_warns(self, base, current):
+        slow_base = copy.deepcopy(base)
+        slow_base["advisory"]["wall_clock_s"] = 1.0
+        current["advisory"]["wall_clock_s"] = 10.0
+        report = compare_artifacts(slow_base, current)
+        assert report.passed
+        assert any("wall clock" in w for w in report.warnings)
