@@ -32,7 +32,8 @@ from repro.common import (
     TransactionAborted,
     VersionCapPolicy,
 )
-from repro.sim import Engine, Machine, RunStats, TransactionSpec
+from repro.faults import FaultPlan
+from repro.sim import Engine, Machine, RetryPolicy, RunStats, TransactionSpec
 from repro.tm import (
     SYSTEMS,
     Abort,
@@ -52,10 +53,12 @@ __all__ = [
     "AbortCause",
     "Compute",
     "Engine",
+    "FaultPlan",
     "Machine",
     "MachineConfig",
     "MVMConfig",
     "Read",
+    "RetryPolicy",
     "RunStats",
     "SONTM",
     "SYSTEMS",

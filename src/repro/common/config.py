@@ -15,8 +15,13 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.faults import FaultPlan
+    from repro.sim.retry import RetryPolicy
 
 
 class VersionCapPolicy(enum.Enum):
@@ -214,6 +219,15 @@ class SimConfig:
     compute_cycles: int = 1
     #: Cycles charged for begin/commit bookkeeping (timestamp fetch etc.).
     txn_overhead_cycles: int = 20
+    #: Fault-injection plan (:class:`repro.faults.FaultPlan`); ``None``
+    #: (the default) injects nothing and is omitted from the canonical
+    #: dict so every pre-existing config fingerprint is unchanged.
+    faults: "Optional[FaultPlan]" = None
+    #: Engine retry/escalation policy
+    #: (:class:`repro.sim.retry.RetryPolicy`); ``None`` (the default)
+    #: keeps the legacy behaviour — backend backoff only, unbounded
+    #: retries — and is omitted from the canonical dict.
+    retry: "Optional[RetryPolicy]" = None
 
     def replace(self, **kwargs) -> "SimConfig":
         """Return a copy with top-level fields replaced."""
@@ -226,12 +240,23 @@ class SimConfig:
     @classmethod
     def from_dict(cls, data: dict) -> "SimConfig":
         """Inverse of :meth:`to_dict`; validates via each ``__post_init__``."""
+        faults = data.get("faults")
+        retry = data.get("retry")
+        if faults is not None:
+            # imported lazily: repro.faults itself imports this module
+            from repro.faults import FaultPlan
+            faults = FaultPlan.from_dict(faults)
+        if retry is not None:
+            from repro.sim.retry import RetryPolicy
+            retry = RetryPolicy.from_dict(retry)
         return cls(
             machine=_machine_from_dict(data["machine"]),
             mvm=_mvm_from_dict(data["mvm"]),
             tm=_tm_from_dict(data["tm"]),
             compute_cycles=data["compute_cycles"],
-            txn_overhead_cycles=data["txn_overhead_cycles"])
+            txn_overhead_cycles=data["txn_overhead_cycles"],
+            faults=faults,
+            retry=retry)
 
     def canonical_json(self) -> str:
         """Canonical JSON form (sorted keys, no whitespace) for hashing."""
@@ -255,7 +280,12 @@ def _config_to_dict(config) -> dict:
     out = {}
     for f in dataclasses.fields(config):
         value = getattr(config, f.name)
-        if dataclasses.is_dataclass(value):
+        if f.name in ("faults", "retry"):
+            # omitted-when-None so pre-existing fingerprints survive;
+            # these carry their own canonical to_dict (tuple -> list)
+            if value is not None:
+                out[f.name] = value.to_dict()
+        elif dataclasses.is_dataclass(value):
             out[f.name] = _config_to_dict(value)
         elif isinstance(value, enum.Enum):
             out[f.name] = value.value

@@ -1,0 +1,382 @@
+"""Deterministic, seeded fault injection for the simulator.
+
+The paper's contributions are exactly its rare paths: version-cap
+overflow handled by coalescing (section 4.4), timestamp-counter
+overflow handled by a software drain (section 4.1), and contention
+behaviour under adversarial interleavings.  A reproduction that never
+*provokes* those paths is only testing the happy case.  This module
+defines a :class:`FaultPlan` — a frozen, JSON-round-trippable recipe of
+faults to inject — and a :class:`FaultInjector` that the machine wires
+into the engine, MVM controller and global clock when a plan is present
+on :class:`~repro.common.config.SimConfig`.
+
+Injection sites (see :data:`FAULT_SITES` for the machine-readable
+registry):
+
+* **version-cap squeeze** — :meth:`FaultInjector.squeeze` shrinks
+  ``mvm.max_versions`` for a window of install calls, forcing the
+  coalesce/overflow machinery under workloads that would never hit the
+  configured cap;
+* **forced timestamp overflow** — :meth:`FaultInjector.forced_overflow`
+  makes :meth:`GlobalClock.begin_commit` raise
+  :class:`~repro.common.errors.TimestampOverflowError` at chosen
+  commit-reservation indices, exercising the drain protocol on demand;
+* **GC pause** — every coalesce/collect event during an install adds
+  ``gc_pause_cycles`` to the committing transaction, modelling a slow
+  reclamation walk;
+* **begin-stall storm** — :meth:`FaultInjector.begin_stall` makes the
+  engine treat ``begin`` as stalled (rate + burst), modelling a
+  saturated timestamp-issue port;
+* **spurious aborts** — :meth:`FaultInjector.spurious_abort` dooms a
+  transaction at commit with the backend's declared
+  ``SPURIOUS_ABORT_CAUSE`` (rate + burst), modelling conflict-detection
+  false positives;
+* **worker crash / hang** — process-level faults
+  (``crash_at_begin``/``hang_at_begin``) used by the executor's
+  recovery tests: the worker SIGKILLs itself or sleeps mid-run.
+
+Determinism: every probabilistic site draws from its own
+:class:`~repro.common.rng.SplitRandom` stream keyed off
+``FaultPlan.seed``, independent of the workload and engine streams, so
+a fault campaign replays bit-identically and adding a new site never
+perturbs existing ones.
+
+Termination: faults may slow or abort transactions but must never make
+a run hang forever.  The engine's retry-policy layer
+(:mod:`repro.sim.retry`) guarantees this by escalating starving
+transactions to a serial "golden token" mode during which the injector
+is **suppressed** (:attr:`FaultInjector.suppressed`) — the token holder
+runs fault-free and therefore commits.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.common.config import MVMConfig
+from repro.common.errors import ConfigError
+from repro.common.rng import SplitRandom, derive_seed
+
+__all__ = ["FaultPlan", "FaultInjector", "FAULT_SITES"]
+
+
+#: machine-readable registry of injection sites, rendered by
+#: ``sitm-harness faults --list``
+FAULT_SITES = [
+    {"site": "version-cap-squeeze",
+     "layer": "mvm/controller.py:install_line",
+     "fields": "squeeze_max_versions, squeeze_start, squeeze_span",
+     "effect": "shrinks mvm.max_versions for a window of installs, "
+               "forcing coalesce/version-overflow paths"},
+    {"site": "timestamp-overflow",
+     "layer": "mvm/timestamps.py:begin_commit",
+     "fields": "overflow_at_commits",
+     "effect": "raises TimestampOverflowError at the listed "
+               "commit-reservation indices (0-based)"},
+    {"site": "gc-pause",
+     "layer": "tm/sitm.py:commit (install loop)",
+     "fields": "gc_pause_cycles",
+     "effect": "charges extra cycles per coalesce/collect event during "
+               "a commit's installs"},
+    {"site": "begin-stall",
+     "layer": "sim/engine.py:_begin",
+     "fields": "begin_stall_rate, begin_stall_burst",
+     "effect": "treats begin as stalled (probabilistic bursts), "
+               "modelling a saturated timestamp-issue port"},
+    {"site": "spurious-abort",
+     "layer": "sim/engine.py:_commit",
+     "fields": "abort_rate, abort_burst",
+     "effect": "aborts at commit with the backend's declared "
+               "SPURIOUS_ABORT_CAUSE (conflict false positives)"},
+    {"site": "worker-crash",
+     "layer": "sim/engine.py:_begin (process-level)",
+     "fields": "crash_at_begin",
+     "effect": "SIGKILLs the worker process at the Nth begin "
+               "(executor recovery tests)"},
+    {"site": "worker-hang",
+     "layer": "sim/engine.py:_begin (process-level)",
+     "fields": "hang_at_begin, hang_seconds",
+     "effect": "sleeps hang_seconds at the Nth begin "
+               "(executor timeout tests)"},
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic recipe of faults to inject into one run.
+
+    All sites default to *off*; a default-constructed plan is inert
+    (``active()`` is False).  The plan is frozen and hashable so it can
+    ride on frozen harness specs, and its canonical dict has a stable
+    key set so spec hashes are reproducible.
+    """
+
+    #: root seed for the injector's random streams (independent of the
+    #: workload seed, so the same plan replays across seeds)
+    seed: int = 0
+
+    # -- version-cap squeeze (MVM install site) -------------------------
+    #: cap to squeeze ``mvm.max_versions`` down to (0 = site disabled)
+    squeeze_max_versions: int = 0
+    #: first install-call index (0-based) the squeeze applies to
+    squeeze_start: int = 0
+    #: number of install calls squeezed (0 = until the end of the run)
+    squeeze_span: int = 0
+
+    # -- forced timestamp overflow (global-clock site) ------------------
+    #: commit-reservation indices (0-based) that raise overflow
+    overflow_at_commits: Tuple[int, ...] = ()
+
+    # -- GC/coalesce pause (SI-TM commit site) --------------------------
+    #: extra cycles charged per coalesce/collect event during installs
+    gc_pause_cycles: int = 0
+
+    # -- begin-stall storm (engine begin site) --------------------------
+    #: probability that a begin attempt starts a stall burst
+    begin_stall_rate: float = 0.0
+    #: consecutive begin attempts stalled once a burst starts
+    begin_stall_burst: int = 1
+
+    # -- spurious aborts (engine commit site) ---------------------------
+    #: probability that a commit attempt starts an abort burst
+    abort_rate: float = 0.0
+    #: consecutive commit attempts aborted once a burst starts
+    abort_burst: int = 1
+
+    # -- process-level faults (executor recovery tests) -----------------
+    #: SIGKILL the worker at the Nth begin call (1-based, 0 = off)
+    crash_at_begin: int = 0
+    #: sleep at the Nth begin call (1-based, 0 = off)
+    hang_at_begin: int = 0
+    #: how long the hang sleeps, in wall-clock seconds
+    hang_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.squeeze_max_versions < 0:
+            raise ConfigError("squeeze_max_versions must be >= 0")
+        if self.squeeze_start < 0 or self.squeeze_span < 0:
+            raise ConfigError("squeeze window must be non-negative")
+        if not 0.0 <= self.begin_stall_rate <= 1.0:
+            raise ConfigError("begin_stall_rate must be in [0, 1]")
+        if not 0.0 <= self.abort_rate <= 1.0:
+            raise ConfigError("abort_rate must be in [0, 1]")
+        if self.begin_stall_burst < 1 or self.abort_burst < 1:
+            raise ConfigError("burst lengths must be >= 1")
+        if any(i < 0 for i in self.overflow_at_commits):
+            raise ConfigError("overflow_at_commits indices must be >= 0")
+        if self.gc_pause_cycles < 0:
+            raise ConfigError("gc_pause_cycles must be >= 0")
+        if self.crash_at_begin < 0 or self.hang_at_begin < 0:
+            raise ConfigError("crash/hang begin indices must be >= 0")
+        if self.hang_seconds < 0:
+            raise ConfigError("hang_seconds must be >= 0")
+        # tuples survive from_dict round trips as lists otherwise
+        if not isinstance(self.overflow_at_commits, tuple):
+            object.__setattr__(self, "overflow_at_commits",
+                               tuple(self.overflow_at_commits))
+
+    def active(self) -> bool:
+        """True when at least one site is enabled."""
+        return bool(self.squeeze_max_versions
+                    or self.overflow_at_commits
+                    or self.gc_pause_cycles
+                    or self.begin_stall_rate
+                    or self.abort_rate
+                    or self.crash_at_begin
+                    or self.hang_at_begin)
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe form (stable key set, tuple -> list)."""
+        return {
+            "seed": self.seed,
+            "squeeze_max_versions": self.squeeze_max_versions,
+            "squeeze_start": self.squeeze_start,
+            "squeeze_span": self.squeeze_span,
+            "overflow_at_commits": list(self.overflow_at_commits),
+            "gc_pause_cycles": self.gc_pause_cycles,
+            "begin_stall_rate": self.begin_stall_rate,
+            "begin_stall_burst": self.begin_stall_burst,
+            "abort_rate": self.abort_rate,
+            "abort_burst": self.abort_burst,
+            "crash_at_begin": self.crash_at_begin,
+            "hang_at_begin": self.hang_at_begin,
+            "hang_seconds": self.hang_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (tolerates missing keys)."""
+        known = {f for f in cls.__dataclass_fields__}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "overflow_at_commits" in kwargs:
+            kwargs["overflow_at_commits"] = tuple(
+                kwargs["overflow_at_commits"])
+        return cls(**kwargs)
+
+
+class FaultInjector:
+    """Run-scoped state for one :class:`FaultPlan`.
+
+    Created by :class:`~repro.sim.machine.Machine` when the config
+    carries an active plan, and shared (one instance) by the engine,
+    the MVM controller and the global clock.  All methods are cheap on
+    the paths where the plan leaves a site disabled, and every consumer
+    guards the whole thing with ``machine.faults is not None``, so the
+    no-plan overhead is a single attribute test.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        root = SplitRandom(derive_seed(plan.seed, "fault-injector"))
+        self._stall_rng = root.split("begin-stall")
+        self._abort_rng = root.split("spurious-abort")
+        #: golden-token mode: the engine sets this while a serial
+        #: escalated transaction runs, guaranteeing it commits
+        self.suppressed = False
+        #: per-site counts of faults actually injected
+        self.injected: Dict[str, int] = {}
+        self._begins = 0
+        self._reservations = 0
+        self._installs = 0
+        self._stall_burst_left = 0
+        self._abort_burst_left = 0
+        self._gc_pause_pending = 0
+        self._hang_done = False
+
+    def _record(self, site: str, amount: int = 1) -> None:
+        self.injected[site] = self.injected.get(site, 0) + amount
+
+    # -- engine begin site ----------------------------------------------
+
+    def begin_stall(self) -> bool:
+        """True when this begin attempt must stall (engine site).
+
+        Also hosts the process-level crash/hang faults: they key off
+        the begin-call count and stay live even while the injector is
+        suppressed, because they model *worker* failure, not protocol
+        pressure.
+        """
+        self._begins += 1
+        plan = self.plan
+        if plan.crash_at_begin and self._begins == plan.crash_at_begin:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if (plan.hang_at_begin and not self._hang_done
+                and self._begins >= plan.hang_at_begin):
+            self._hang_done = True
+            time.sleep(plan.hang_seconds)
+        if self.suppressed:
+            return False
+        if self._stall_burst_left > 0:
+            self._stall_burst_left -= 1
+            self._record("begin-stall")
+            return True
+        if (plan.begin_stall_rate
+                and self._stall_rng.random() < plan.begin_stall_rate):
+            self._stall_burst_left = plan.begin_stall_burst - 1
+            self._record("begin-stall")
+            return True
+        return False
+
+    # -- engine commit site ---------------------------------------------
+
+    def spurious_abort(self) -> bool:
+        """True when this commit attempt must abort instead."""
+        if self.suppressed:
+            return False
+        plan = self.plan
+        if self._abort_burst_left > 0:
+            self._abort_burst_left -= 1
+            self._record("spurious-abort")
+            return True
+        if plan.abort_rate and self._abort_rng.random() < plan.abort_rate:
+            self._abort_burst_left = plan.abort_burst - 1
+            self._record("spurious-abort")
+            return True
+        return False
+
+    # -- MVM install site -----------------------------------------------
+
+    def squeeze(self, config: MVMConfig) -> MVMConfig:
+        """The (possibly squeezed) MVM config for this install call."""
+        index = self._installs
+        self._installs += 1
+        plan = self.plan
+        if self.suppressed or not plan.squeeze_max_versions:
+            return config
+        if index < plan.squeeze_start:
+            return config
+        if plan.squeeze_span and index >= plan.squeeze_start + plan.squeeze_span:
+            return config
+        cap = min(plan.squeeze_max_versions, config.max_versions)
+        if cap == config.max_versions:
+            return config
+        self._record("version-cap-squeeze")
+        return replace(config, max_versions=cap)
+
+    def note_gc_event(self, coalesced: int, dropped: int) -> None:
+        """Accrue a GC pause for reclaim work during an install."""
+        if self.suppressed or not self.plan.gc_pause_cycles:
+            return
+        events = coalesced + dropped
+        if events:
+            pause = self.plan.gc_pause_cycles * events
+            self._gc_pause_pending += pause
+            self._record("gc-pause", events)
+
+    def drain_gc_pause(self) -> int:
+        """Cycles of accrued GC pause, charged once by the committer."""
+        pause = self._gc_pause_pending
+        self._gc_pause_pending = 0
+        return pause
+
+    # -- global-clock site ----------------------------------------------
+
+    def forced_overflow(self) -> bool:
+        """True when this commit reservation must raise overflow."""
+        index = self._reservations
+        self._reservations += 1
+        if self.suppressed:
+            return False
+        if index in self.plan.overflow_at_commits:
+            self._record("timestamp-overflow")
+            return True
+        return False
+
+    # -- reporting --------------------------------------------------------
+
+    def stats(self) -> dict:
+        """JSON-safe summary of what was actually injected."""
+        return {
+            "injected": {k: self.injected[k] for k in sorted(self.injected)},
+            "begins_seen": self._begins,
+            "commit_reservations_seen": self._reservations,
+            "installs_seen": self._installs,
+        }
+
+
+def adversarial_plan(seed: int = 0) -> FaultPlan:
+    """The pinned adversarial campaign plan (CI's ``fault-smoke``).
+
+    Combines the three pressure sites the paper's rare paths care
+    about: a hard version-cap squeeze, forced timestamp overflows early
+    in the run, and heavy spurious-abort bursts.  Under an escalating
+    retry policy every backend terminates well inside the step budget.
+    The abort rate stays below 1.0 so commits still reach the
+    squeeze/overflow sites; the escalation-disabled livelock
+    demonstration (:func:`repro.oracle.fuzz.fault_campaign`) hardens it
+    to 1.0 so non-termination is deterministic.
+    """
+    return FaultPlan(
+        seed=seed,
+        squeeze_max_versions=1,
+        overflow_at_commits=(1, 3, 5),
+        gc_pause_cycles=50,
+        begin_stall_rate=0.25,
+        begin_stall_burst=6,
+        abort_rate=0.9,
+        abort_burst=4,
+    )

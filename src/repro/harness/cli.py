@@ -12,6 +12,8 @@ Usage::
     sitm-harness overheads
     sitm-harness cache [--stats | --clear]
     sitm-harness fuzz  [--backend all] [--schedules N] [--seed S] [--jobs 4]
+                       [--faults]
+    sitm-harness faults [--list | --no-escalation] [--seeds 3] [--jobs 4]
     sitm-harness trace   [--experiment figure7] [--backend sitm]
                          [--out trace.json]
     sitm-harness metrics [--experiment rbtree] [--backend sitm]
@@ -107,7 +109,8 @@ def _fig7(args) -> str:
     rows = []
     for c in cells:
         row = [c.workload, c.threads]
-        row += [f"{c.aborts[s]:.0f}" for s in systems]
+        row += ["FAILED" if c.failed.get(s) else f"{c.aborts[s]:.0f}"
+                for s in systems]
         row += [format_relative(c.relative[s]) for s in systems
                 if s != "2PL"]
         row.append(format_rel_stddev(
@@ -213,11 +216,20 @@ def _fuzz(args) -> str:
         if args.trace_out:
             lines.append(_replay_trace(args, payload, replay_systems))
         return "\n".join(lines)
+    config_patch = None
+    if args.faults:
+        from repro.faults import adversarial_plan
+        from repro.sim.retry import RetryPolicy
+        config_patch = {
+            "faults": adversarial_plan(args.seed).to_dict(),
+            "retry": RetryPolicy(attempt_budget=4, stall_budget=16,
+                                 starvation_age_cycles=50_000).to_dict(),
+        }
     report = fuzz_batch(
         args.executor, systems, args.schedules, seed=args.seed,
         threads=args.fuzz_threads, txns=args.fuzz_txns,
         cells=args.fuzz_cells, ops=args.fuzz_ops, broken=args.broken,
-        out_dir=args.fuzz_out)
+        out_dir=args.fuzz_out, config_patch=config_patch)
     args._fuzz_failed = not report.clean
     table = format_table(
         ["system", "schedules", "committed", "aborted", "violations"],
@@ -226,9 +238,52 @@ def _fuzz(args) -> str:
          for system, row in report.per_system.items()],
         title=f"Isolation fuzz: {args.schedules} schedules, seed "
               f"{args.seed}" + (f", broken={args.broken}"
-                                if args.broken else ""))
+                                if args.broken else "")
+              + (", adversarial faults" if args.faults else ""))
     if report.clean:
         return table + "\nNO ISOLATION VIOLATIONS"
+    lines = [table, f"{len(report.violations)} VIOLATION(S):"]
+    for system, index, violation in report.violations[:20]:
+        lines.append(f"  schedule {index} [{system}] "
+                     f"{violation['rule']}: {violation['detail']}")
+    if len(report.violations) > 20:
+        lines.append(f"  ... and {len(report.violations) - 20} more")
+    if report.repro_path:
+        lines.append(f"minimal repro persisted: {report.repro_path}")
+    return "\n".join(lines)
+
+
+def _faults(args) -> str:
+    """``sitm-harness faults``: list injectable sites or run the pinned
+    adversarial campaign through the isolation oracle."""
+    from repro.faults import FAULT_SITES
+    from repro.oracle.fuzz import fault_campaign
+    from repro.tm import SYSTEMS
+    if args.list:
+        return format_table(
+            ["site", "layer", "plan fields", "effect"],
+            [[site["site"], site["layer"], site["fields"], site["effect"]]
+             for site in FAULT_SITES],
+            title="Injectable fault sites (FaultPlan)")
+    systems = (list(SYSTEMS) if args.backend == "all" else [args.backend])
+    seeds = list(range(args.seeds))
+    report = fault_campaign(args.executor, systems, seeds=seeds,
+                            escalation=not args.no_escalation,
+                            out_dir=args.fuzz_out)
+    args._fuzz_failed = not report.clean
+    mode = ("escalation DISABLED (expect no-progress)"
+            if args.no_escalation else "escalation enabled")
+    table = format_table(
+        ["system", "schedules", "committed", "aborted", "violations"],
+        [[system, row["schedules"], row["committed"], row["aborted"],
+          row["violations"]]
+         for system, row in report.per_system.items()],
+        title=f"Adversarial fault campaign: {len(seeds)} seed(s) x "
+              f"{len(systems)} backend(s), {mode}")
+    if report.clean:
+        return (table + "\nALL RUNS TERMINATED, NO ISOLATION VIOLATIONS"
+                "\n(version-cap squeeze + timestamp overflow + stall "
+                "storms + abort bursts + gc pauses)")
     lines = [table, f"{len(report.violations)} VIOLATION(S):"]
     for system, index, violation in report.violations[:20]:
         lines.append(f"  schedule {index} [{system}] "
@@ -443,7 +498,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("command",
                         choices=list(_COMMANDS) + ["trace", "metrics",
                                                    "profile", "bench",
-                                                   "cache", "fuzz", "all"])
+                                                   "cache", "fuzz",
+                                                   "faults", "all"])
     parser.add_argument("--profile", default="quick",
                         choices=("test", "quick", "full"))
     parser.add_argument("--threads", type=int, default=16,
@@ -463,6 +519,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for grid experiments "
                              "(1 = serial, 0 = one per CPU)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECS",
+                        help="per-spec wall-clock budget in pool mode "
+                             "(--jobs > 1): a spec exceeding it has its "
+                             "worker killed and is retried in isolation, "
+                             "then quarantined as a FAILED cell "
+                             "(default: no timeout)")
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the result cache")
     parser.add_argument("--refresh", action="store_true",
@@ -480,6 +543,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fig1/fig7/fig8: write rows to this JSON file")
     parser.add_argument("--clear", action="store_true",
                         help="cache: delete every entry")
+    parser.add_argument("--list", action="store_true",
+                        help="faults: enumerate injectable fault sites "
+                             "instead of running the campaign")
+    parser.add_argument("--no-escalation", action="store_true",
+                        help="faults: run the campaign with golden-token "
+                             "escalation disabled (demonstrates the "
+                             "livelock the retry policy exists to break; "
+                             "exits non-zero)")
+    parser.add_argument("--faults", action="store_true",
+                        help="fuzz: apply the pinned adversarial fault "
+                             "plan + retry policy to every generated "
+                             "schedule")
     parser.add_argument("--stats", action="store_true",
                         help="cache: print entry counts (the default)")
     parser.add_argument("--backend", default="all", type=_backend,
@@ -548,9 +623,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--seeds must be >= 1")
     if args.jobs < 0:
         parser.error("--jobs must be >= 0 (0 = one per CPU)")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
     args.executor = Executor(jobs=args.jobs, cache=not args.no_cache,
                              refresh=args.refresh,
-                             cache_dir=args.cache_dir)
+                             cache_dir=args.cache_dir,
+                             timeout=args.timeout)
     try:
         if args.command == "all":
             report = "\n\n".join(fn(args) for fn in _COMMANDS.values())
@@ -558,6 +636,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = _cache(args)
         elif args.command == "fuzz":
             report = _fuzz(args)
+        elif args.command == "faults":
+            report = _faults(args)
         elif args.command == "trace":
             report = _trace(args)
         elif args.command == "metrics":
@@ -588,6 +668,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(report + "\n")
+    failures = args.executor.failures
+    if failures:
+        # quarantined specs: the grid completed around them, but the
+        # invocation must not pretend everything ran
+        print(f"\n[failures] {len(failures)} spec(s) quarantined:")
+        for failure in failures:
+            print(f"  {failure.spec} [{failure.kind}] after "
+                  f"{failure.attempts} attempt(s): {failure.message}")
+        return 1
     if getattr(args, "_fuzz_failed", False):
         return 1
     return 1 if getattr(args, "_bench_failed", False) else 0

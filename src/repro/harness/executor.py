@@ -21,18 +21,35 @@ grids; this module executes them:
 
 The executor keeps hit/miss/executed counters so callers can verify a
 re-run was actually served from cache.
+
+**Crash tolerance** — a grid must never die of one bad cell.  Worker
+death (:class:`~concurrent.futures.process.BrokenProcessPool`), hung
+specs (``timeout=SECS``, default off), and in-run exceptions are
+caught per spec, retried up to :data:`Executor.MAX_ATTEMPTS` times,
+and then quarantined as structured :class:`RunFailure` records in the
+result map — callers render explicit FAILED cells and exit non-zero
+instead of surfacing a mid-grid traceback.  After a pool death the
+executor switches to *isolate mode* (one spec per fresh single-worker
+pool) so the next crash is attributed to exactly the spec that caused
+it.  :class:`~repro.common.errors.ConfigError` still propagates: a
+misconfigured spec is the caller's bug, not a fault to survive.
+Failures are never cached.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import hashlib
 import json
 import os
 import pathlib
-from typing import Dict, List, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
 
 import repro
+from repro.common.errors import ConfigError
 from repro.harness.runner import RunResult
 from repro.harness.spec import ExperimentSpec
 
@@ -162,38 +179,88 @@ class ResultCache:
         }
 
 
+@dataclass
+class RunFailure:
+    """Structured record of a spec the executor could not complete.
+
+    Takes the place of a :class:`~repro.harness.runner.RunResult` in
+    the result map, so grid drivers see every cell accounted for —
+    succeeded or failed — and render explicit FAILED markers instead
+    of crashing mid-report.  ``kind`` is ``"crash"`` (worker process
+    died), ``"timeout"`` (no result within the per-spec budget), or
+    ``"error"`` (the run raised).
+    """
+
+    spec: str
+    spec_hash: str
+    kind: str
+    message: str
+    attempts: int
+
+    #: discriminator mirrored by callers via ``getattr(r, "failed",
+    #: False)`` so plain RunResults need no counterpart attribute
+    failed = True
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunFailure":
+        return cls(**data)
+
+
+#: result-map value type: a completed run or its quarantine record
+SpecOutcome = Union[RunResult, RunFailure]
+
+
 class Executor:
-    """Runs spec grids with parallelism and memoization.
+    """Runs spec grids with parallelism, memoization, and quarantine.
 
     ``jobs=1`` executes inline; ``jobs=N`` fans out over a process
     pool; ``jobs=0`` means one job per CPU.  Counters (``hits``,
     ``misses``, ``executed``) accumulate across :meth:`run` calls so a
     CLI invocation can report its overall cache behaviour.
+
+    ``timeout`` (seconds, pool mode only) bounds how long the executor
+    waits for each spec's result; a spec that exceeds it has its pool
+    killed and is retried in isolation.  Specs failing
+    :data:`MAX_ATTEMPTS` times are quarantined as :class:`RunFailure`
+    records, collected in ``self.failures``.
     """
+
+    #: attempts per spec before quarantine (1 initial + 1 retry)
+    MAX_ATTEMPTS = 2
 
     def __init__(self, jobs: int = 1, cache: bool = True,
                  refresh: bool = False,
-                 cache_dir: Optional[os.PathLike] = None):
+                 cache_dir: Optional[os.PathLike] = None,
+                 timeout: Optional[float] = None):
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = one per CPU)")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         self.jobs = jobs or (os.cpu_count() or 1)
         self.use_cache = cache
         self.refresh = refresh
         self.cache = ResultCache(cache_dir)
+        self.timeout = timeout
         self.hits = 0
         self.misses = 0
         self.executed = 0
+        self.failures: List[RunFailure] = []
 
     def run(self, specs: Sequence[ExperimentSpec]
-            ) -> Dict[ExperimentSpec, RunResult]:
+            ) -> Dict[ExperimentSpec, SpecOutcome]:
         """Execute ``specs``; returns a result map in input order.
 
         Duplicate specs are computed once.  Cache hits are served
         without touching the pool; misses are executed (in parallel
         when ``jobs > 1``) and stored back unless caching is off.
+        Quarantined specs map to :class:`RunFailure` values (never
+        cached — a failure is not a result).
         """
         ordered = list(dict.fromkeys(specs))
-        results: Dict[ExperimentSpec, RunResult] = {}
+        results: Dict[ExperimentSpec, SpecOutcome] = {}
         pending: List[ExperimentSpec] = []
         for spec in ordered:
             cached = None
@@ -207,23 +274,126 @@ class Executor:
                 pending.append(spec)
         for spec, result in zip(pending, self._execute(pending)):
             self.executed += 1
-            if self.use_cache:
+            if isinstance(result, RunFailure):
+                self.failures.append(result)
+            elif self.use_cache:
                 self.cache.store(spec, result)
             results[spec] = result
         return {spec: results[spec] for spec in ordered}
 
     def _execute(self, pending: Sequence[ExperimentSpec]
-                 ) -> List[RunResult]:
+                 ) -> List[SpecOutcome]:
         if not pending:
             return []
         if self.jobs == 1 or len(pending) == 1:
-            return [spec.run() for spec in pending]
-        workers = min(self.jobs, len(pending))
-        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-            futures = [pool.submit(_run_spec_payload, spec.to_dict())
-                       for spec in pending]
-            return [spec.result_from_dict(f.result())
-                    for spec, f in zip(pending, futures)]
+            return [self._run_inline(spec) for spec in pending]
+        return self._run_pool(pending)
+
+    def _run_inline(self, spec: ExperimentSpec) -> SpecOutcome:
+        """Guarded in-process execution with bounded retry.
+
+        Inline mode cannot preempt a hung or crashing run (there is no
+        worker to kill), so ``timeout`` and crash faults only apply in
+        pool mode; in-run exceptions are still quarantined here.
+        """
+        last: Optional[BaseException] = None
+        for _ in range(self.MAX_ATTEMPTS):
+            try:
+                return spec.run()
+            except ConfigError:
+                raise  # a misconfigured spec is the caller's bug
+            except Exception as exc:  # noqa: BLE001 - quarantine layer
+                last = exc
+        return RunFailure(
+            spec=str(spec), spec_hash=spec.spec_hash(), kind="error",
+            message=f"{type(last).__name__}: {last}",
+            attempts=self.MAX_ATTEMPTS)
+
+    def _run_pool(self, pending: Sequence[ExperimentSpec]
+                  ) -> List[SpecOutcome]:
+        """Pool execution with crash/timeout recovery.
+
+        Healthy path: one pool, all specs submitted, results collected
+        in submission order (byte-identical to inline).  When a worker
+        dies or a result times out, the spec whose future surfaced the
+        fault is charged an attempt, every uncollected spec is
+        requeued uncharged, and the executor drops to *isolate mode* —
+        one spec per fresh single-worker pool — so subsequent faults
+        are attributed to exactly the spec that caused them.  Each
+        loop iteration charges at least one attempt, and attempts are
+        capped per spec, so the loop always terminates.
+        """
+        outcomes: Dict[ExperimentSpec, SpecOutcome] = {}
+        attempts: Dict[ExperimentSpec, int] = {s: 0 for s in pending}
+        queue: List[ExperimentSpec] = list(pending)
+        isolate = False
+        while queue:
+            if isolate:
+                batch, queue = [queue[0]], queue[1:]
+            else:
+                batch, queue = queue, []
+            workers = 1 if isolate else min(self.jobs, len(batch))
+            pool = concurrent.futures.ProcessPoolExecutor(workers)
+            requeue: List[ExperimentSpec] = []
+            dead = False
+            try:
+                futures = [(s, pool.submit(_run_spec_payload, s.to_dict()))
+                           for s in batch]
+                for spec, future in futures:
+                    if dead:
+                        requeue.append(spec)
+                        continue
+                    try:
+                        payload = future.result(timeout=self.timeout)
+                    except concurrent.futures.TimeoutError:
+                        self._kill_workers(pool)
+                        dead = isolate = True
+                        attempts[spec] += 1
+                        self._settle(spec, attempts[spec], "timeout",
+                                     f"no result within {self.timeout}s",
+                                     outcomes, requeue)
+                    except BrokenProcessPool:
+                        dead = isolate = True
+                        attempts[spec] += 1
+                        self._settle(spec, attempts[spec], "crash",
+                                     "worker process died mid-run",
+                                     outcomes, requeue)
+                    except ConfigError:
+                        raise  # a misconfigured spec is the caller's bug
+                    except Exception as exc:  # noqa: BLE001
+                        attempts[spec] += 1
+                        self._settle(spec, attempts[spec], "error",
+                                     f"{type(exc).__name__}: {exc}",
+                                     outcomes, requeue)
+                    else:
+                        outcomes[spec] = spec.result_from_dict(payload)
+            finally:
+                pool.shutdown(wait=not dead, cancel_futures=True)
+            queue = requeue + queue
+        return [outcomes[spec] for spec in pending]
+
+    def _settle(self, spec: ExperimentSpec, attempts: int, kind: str,
+                message: str, outcomes: Dict[ExperimentSpec, SpecOutcome],
+                requeue: List[ExperimentSpec]) -> None:
+        """Requeue a failed spec, or quarantine it at the attempt cap."""
+        if attempts >= self.MAX_ATTEMPTS:
+            outcomes[spec] = RunFailure(
+                spec=str(spec), spec_hash=spec.spec_hash(), kind=kind,
+                message=message, attempts=attempts)
+        else:
+            requeue.append(spec)
+
+    @staticmethod
+    def _kill_workers(pool: concurrent.futures.ProcessPoolExecutor
+                      ) -> None:
+        """Forcibly terminate a pool's workers (a hung worker would
+        otherwise keep ``shutdown`` — and the grid — waiting forever)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001 - already-dead worker
+                pass
 
     def counters(self) -> dict:
         """Snapshot of the executor's bookkeeping for reports."""
@@ -234,6 +404,7 @@ class Executor:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "executed": self.executed,
+            "failures": len(self.failures),
             "hit_rate": self.hits / total if total else 0.0,
         }
 

@@ -58,11 +58,16 @@ def _run_cells(cells: Sequence[Cell], profile: str, seeds: int,
     results = executor.run(specs)
     aggregates: Dict[Cell, Aggregate] = {}
     for workload, system, threads in cells:
-        runs = [results[spec]
-                for spec in seed_specs(workload, system, threads, profile,
-                                       seeds, seed0, config)]
+        outcomes = [results[spec]
+                    for spec in seed_specs(workload, system, threads,
+                                           profile, seeds, seed0, config)]
+        # quarantined seeds (RunFailure records) are excluded from the
+        # aggregate's runs and counted so figure renderers can mark the
+        # cell partial/FAILED instead of averaging over garbage
+        runs = [r for r in outcomes if not getattr(r, "failed", False)]
         aggregates[(workload, system, threads)] = Aggregate(
-            workload, system, threads, runs)
+            workload, system, threads, runs,
+            failures=len(outcomes) - len(runs))
     return aggregates
 
 
@@ -243,6 +248,9 @@ class Figure7Cell:
     backoff: Dict[str, float] = field(default_factory=dict)
     #: system -> mean cycles queued on the commit token
     commit_wait: Dict[str, float] = field(default_factory=dict)
+    #: system -> True when every seed of that cell was quarantined by
+    #: the executor (rendered as an explicit FAILED cell)
+    failed: Dict[str, bool] = field(default_factory=dict)
 
 
 def figure7(profile: str = "quick",
@@ -270,17 +278,19 @@ def figure7(profile: str = "quick",
             stddev: Dict[str, float] = {}
             backoff: Dict[str, float] = {}
             commit_wait: Dict[str, float] = {}
+            failed: Dict[str, bool] = {}
             for system in systems:
                 agg = aggregates[(name, system, threads)]
                 aborts[system] = agg.aborts
                 stddev[system] = agg.throughput_rel_stddev
                 backoff[system] = agg.backoff_cycles
                 commit_wait[system] = agg.commit_wait_cycles
+                failed[system] = agg.failed
             base = aborts["2PL"]
             relative = {system: (value / base if base else None)
                         for system, value in aborts.items()}
             cells.append(Figure7Cell(name, threads, aborts, relative,
-                                     stddev, backoff, commit_wait))
+                                     stddev, backoff, commit_wait, failed))
     return cells
 
 
@@ -415,7 +425,11 @@ def table2(profile: str = "quick", threads: int = 32,
     run_results = executor.run(specs)
     results: Dict[str, List[dict]] = {}
     for name, spec in zip(names, specs):
-        results[name] = run_results[spec].census_rows or []
+        outcome = run_results[spec]
+        if getattr(outcome, "failed", False):
+            results[name] = []
+            continue
+        results[name] = outcome.census_rows or []
     return results
 
 

@@ -67,6 +67,15 @@ class RunResult:
     #: profiling): the conservation-checked cycle-attribution snapshot
     #: (:meth:`repro.obs.profile.CycleProfiler.snapshot`)
     phases: Optional[dict] = None
+    #: starving transactions escalated to serial golden-token mode by
+    #: the engine's retry policy (0 when no policy was configured)
+    escalations: int = 0
+    #: highest attempt count any single transaction needed (the
+    #: starvation watermark; 1 = everything committed first try)
+    max_attempts_seen: int = 0
+    #: fault-injector summary (None when the config carried no active
+    #: :class:`~repro.faults.FaultPlan`): per-site injection counts
+    fault_stats: Optional[dict] = None
 
     @property
     def throughput(self) -> float:
@@ -87,31 +96,55 @@ class RunResult:
 
 @dataclass
 class Aggregate:
-    """Seed-averaged metrics for one (workload, system, threads) cell."""
+    """Seed-averaged metrics for one (workload, system, threads) cell.
+
+    Under the crash-tolerant executor a cell may complete with fewer
+    seeds than requested: quarantined specs surface as
+    :class:`~repro.harness.executor.RunFailure` records, counted in
+    ``failures`` and excluded from ``runs``.  Every mean guards against
+    the all-seeds-failed case (``runs`` empty) so partial grids still
+    render — with FAILED cells — instead of dividing by zero.
+    """
 
     workload: str
     system: str
     threads: int
     runs: List[RunResult]
+    #: seeds whose runs were quarantined by the executor (crash,
+    #: timeout, or in-run error); > 0 marks this cell as partial
+    failures: int = 0
+
+    @property
+    def failed(self) -> bool:
+        """True when no seed of this cell produced a result."""
+        return not self.runs
 
     @property
     def abort_rate(self) -> float:
         """Mean abort rate across seeds."""
+        if not self.runs:
+            return 0.0
         return sum(r.abort_rate for r in self.runs) / len(self.runs)
 
     @property
     def aborts(self) -> float:
         """Mean absolute abort count across seeds."""
+        if not self.runs:
+            return 0.0
         return sum(r.aborts for r in self.runs) / len(self.runs)
 
     @property
     def throughput(self) -> float:
         """Mean commits-per-megacycle across seeds."""
+        if not self.runs:
+            return 0.0
         return sum(r.throughput for r in self.runs) / len(self.runs)
 
     @property
     def makespan(self) -> float:
         """Mean makespan cycles across seeds."""
+        if not self.runs:
+            return 0.0
         return sum(r.makespan_cycles for r in self.runs) / len(self.runs)
 
     @property
@@ -122,6 +155,8 @@ class Aggregate:
         averages; this (with :attr:`throughput_rel_stddev`) makes that
         protocol claim checkable on our reproduction.
         """
+        if not self.runs:
+            return 0.0
         mean = self.throughput
         variance = sum((r.throughput - mean) ** 2
                        for r in self.runs) / len(self.runs)
@@ -136,11 +171,15 @@ class Aggregate:
     @property
     def backoff_cycles(self) -> float:
         """Mean cycles burned in post-abort backoff across seeds."""
+        if not self.runs:
+            return 0.0
         return sum(r.backoff_cycles for r in self.runs) / len(self.runs)
 
     @property
     def commit_wait_cycles(self) -> float:
         """Mean cycles spent queued on the commit token across seeds."""
+        if not self.runs:
+            return 0.0
         return sum(r.commit_wait_cycles for r in self.runs) / len(self.runs)
 
     @property
@@ -231,6 +270,10 @@ def run_once(workload: str, system: str, threads: int, seed: int,
         metrics=metrics_snapshot,
         spans=spans,
         phases=phases,
+        escalations=stats.escalations,
+        max_attempts_seen=stats.max_attempts_seen,
+        fault_stats=(machine.faults.stats()
+                     if machine.faults is not None else None),
     )
 
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 from repro.common.config import SimConfig
+from repro.faults import FaultPlan
 from repro.harness.runner import RunResult, run_once
 
 
@@ -52,6 +53,12 @@ class ExperimentSpec:
     #: the conservation-checked phase snapshot.  Same cache-key rule as
     #: ``telemetry``: omitted from the canonical dict when False.
     profiling: bool = False
+    #: fault-injection plan applied on top of the config
+    #: (:class:`repro.faults.FaultPlan`); part of the cache key, but
+    #: omitted from the canonical dict when ``None`` — matching the
+    #: ``telemetry``/``profiling`` convention — so every pre-existing
+    #: spec hash and ``BENCH_baseline.json`` comparison survives.
+    faults: Optional[FaultPlan] = None
 
     #: spec-kind discriminator for the executor's worker payloads; the
     #: canonical dict deliberately omits it so existing cache keys and
@@ -77,6 +84,8 @@ class ExperimentSpec:
             data["telemetry"] = True
         if self.profiling:
             data["profiling"] = True
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     @classmethod
@@ -91,7 +100,9 @@ class ExperimentSpec:
             profile=data.get("profile", "quick"),
             config=SimConfig.from_dict(config) if config else None,
             telemetry=data.get("telemetry", False),
-            profiling=data.get("profiling", False))
+            profiling=data.get("profiling", False),
+            faults=(FaultPlan.from_dict(data["faults"])
+                    if data.get("faults") else None))
 
     def canonical_json(self) -> str:
         """Canonical JSON (sorted keys, no whitespace) for hashing."""
@@ -105,8 +116,11 @@ class ExperimentSpec:
 
     def run(self) -> RunResult:
         """Execute this spec in the current process."""
+        config = self.config
+        if self.faults is not None:
+            config = (config or SimConfig()).replace(faults=self.faults)
         return run_once(self.workload, self.system, self.threads,
-                        self.seed, self.profile, self.config,
+                        self.seed, self.profile, config,
                         telemetry=self.telemetry,
                         profiling=self.profiling)
 
@@ -117,6 +131,8 @@ class ExperimentSpec:
             base += "/telemetry"
         if self.profiling:
             base += "/profiling"
+        if self.faults is not None:
+            base += "/faults"
         return base
 
 

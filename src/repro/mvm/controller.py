@@ -73,6 +73,10 @@ class MVMController:
         #: install/coalesce/GC is recorded per line for the conflict
         #: heatmap (is coalescing absorbing the hot lines?)
         self.profiler = None
+        #: fault injector or None (the default); when attached, installs
+        #: consult it for a version-cap squeeze and report GC/coalesce
+        #: events so it can accrue GC pauses
+        self.faults = None
         # counters
         self.bundle_copies = 0
         self.versions_installed = 0
@@ -177,9 +181,14 @@ class MVMController:
         caller (TM COMMIT) turns that into a VERSION_OVERFLOW abort and
         rolls back any versions it already installed.
         """
+        config = self.config
+        if self.faults is not None:
+            config = self.faults.squeeze(config)
         vlist = self._list_of(line)
         coalesced, dropped = vlist.install(
-            end_ts, data, self.config, self.active)
+            end_ts, data, config, self.active)
+        if self.faults is not None:
+            self.faults.note_gc_event(int(coalesced), dropped)
         if self.dedup is not None:
             self.dedup.add(data)
         self.versions_installed += 1

@@ -38,6 +38,14 @@ class GlobalClock:
         #: end timestamps of commits currently in flight
         self._pending_commits: List[int] = []
         self.start_stalls = 0
+        #: timestamp epoch: bumped by every overflow reset, so observers
+        #: (e.g. the isolation oracle) can order timestamps across the
+        #: counter restarting from zero — no transaction spans epochs
+        #: because the software handler aborts all of them first
+        self.epoch = 0
+        #: fault injector (:class:`repro.faults.FaultInjector`) or None;
+        #: set by the machine when the config carries an active plan
+        self.faults = None
 
     @property
     def now(self) -> int:
@@ -70,6 +78,9 @@ class GlobalClock:
 
     def begin_commit(self) -> int:
         """Reserve an end timestamp ``global + Δ`` for a starting commit."""
+        if self.faults is not None and self.faults.forced_overflow():
+            raise TimestampOverflowError(
+                "injected timestamp overflow (fault plan)")
         end_ts = self._now + self._delta
         if self._max is not None and end_ts > self._max:
             raise TimestampOverflowError(
@@ -99,6 +110,7 @@ class GlobalClock:
         """
         self._now = 0
         self._pending_commits.clear()
+        self.epoch += 1
 
 
 class ActiveTransactionTable:

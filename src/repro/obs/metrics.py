@@ -193,3 +193,15 @@ def collect_run_metrics(registry: MetricsRegistry, machine, tm,
     overflows = getattr(tm, "timestamp_overflows", 0)
     if overflows:
         registry.inc("clock_timestamp_overflows", overflows)
+    # retry-policy and fault-injection outcomes (zero-cost when neither
+    # a policy nor a fault plan was configured)
+    if stats.escalations:
+        registry.inc("txn_escalations_total", stats.escalations,
+                     system=system)
+    if stats.max_attempts_seen:
+        registry.set_gauge("txn_max_attempts_seen",
+                           stats.max_attempts_seen)
+    faults = getattr(machine, "faults", None)
+    if faults is not None:
+        for site, count in faults.stats()["injected"].items():
+            registry.inc("fault_injections_total", count, site=site)

@@ -133,26 +133,39 @@ def _check_timestamps(history: History) -> List[Violation]:
 # snapshot-family checks (timestamp-based version visibility)
 
 def _committed_versions(history: History
-                        ) -> Dict[int, List[Tuple[int, int, int]]]:
-    """Per-address committed versions as sorted (commit_ts, value, uid)."""
-    versions: Dict[int, List[Tuple[int, int, int]]] = defaultdict(list)
+                        ) -> Dict[int, List[Tuple[Tuple[int, int],
+                                                  int, int]]]:
+    """Per-address committed versions, sorted by (epoch, commit_ts).
+
+    Timestamps only compare within an epoch: an overflow reset (section
+    4.1) restarts the counter from zero after flushing all history to
+    base versions, so every commit of an earlier epoch is visible to
+    every snapshot of a later one.  Ordering by the (epoch, commit_ts)
+    pair models exactly that.
+    """
+    versions: Dict[int, List[Tuple[Tuple[int, int],
+                                   int, int]]] = defaultdict(list)
     for rec in history.committed():
         if rec.commit_ts is None:
             continue  # flagged by _check_timestamps if it also wrote
         for addr, value in rec.final_writes().items():
-            versions[addr].append((rec.commit_ts, value, rec.uid))
+            versions[addr].append(((rec.epoch, rec.commit_ts),
+                                   value, rec.uid))
     for entries in versions.values():
         entries.sort()
     return versions
 
 
 def _snapshot_value(history: History,
-                    versions: Dict[int, List[Tuple[int, int, int]]],
-                    addr: int, start_ts: int) -> Tuple[int, Optional[int]]:
-    """(value, writer uid) visible to a snapshot taken at ``start_ts``."""
+                    versions: Dict[int, List[Tuple[Tuple[int, int],
+                                                   int, int]]],
+                    addr: int, epoch: int,
+                    start_ts: int) -> Tuple[int, Optional[int]]:
+    """(value, writer uid) visible to a snapshot at (epoch, start_ts)."""
     entries = versions.get(addr, [])
-    # newest version with commit_ts <= start_ts
-    idx = bisect_right(entries, (start_ts, float("inf"), -1)) - 1
+    # newest version with (epoch, commit_ts) <= (epoch, start_ts)
+    idx = bisect_right(entries,
+                       ((epoch, start_ts), float("inf"), -1)) - 1
     if idx < 0:
         return history.initial.get(addr, 0), None
     _, value, uid = entries[idx]
@@ -175,7 +188,7 @@ def _check_snapshot_reads(history: History) -> List[Violation]:
                 expected, writer = own[addr], rec.uid
             else:
                 expected, writer = _snapshot_value(
-                    history, versions, addr, rec.start_ts)
+                    history, versions, addr, rec.epoch, rec.start_ts)
             if value != expected:
                 found.append(Violation(
                     "snapshot-read",
@@ -190,9 +203,11 @@ def _check_snapshot_reads(history: History) -> List[Violation]:
 def _check_first_committer_wins(history: History) -> List[Violation]:
     """Overlapping committed writers must not both modify an address.
 
-    Two committed transactions overlap iff each began before the other
-    committed (``a.start_ts < b.commit_ts`` both ways).  Writers of the
-    *same value* are tolerated: under the word-granularity commit filter
+    Two committed transactions overlap iff they ran in the same
+    timestamp epoch (an overflow reset aborts everything active, so
+    nothing spans epochs) and each began before the other committed
+    (``a.start_ts < b.commit_ts`` both ways).  Writers of the *same
+    value* are tolerated: under the word-granularity commit filter
     (section 4.2) a silent store legitimately commits past a concurrent
     writer, and the outcome is unobservable either way.
     """
@@ -208,7 +223,8 @@ def _check_first_committer_wins(history: History) -> List[Violation]:
                 b = records[uid_b]
                 if b.start_ts is None:
                     continue
-                if (a.start_ts < b.commit_ts
+                if (a.epoch == b.epoch
+                        and a.start_ts < b.commit_ts
                         and b.start_ts < a.commit_ts
                         and value_a != value_b):
                     found.append(Violation(

@@ -37,6 +37,7 @@ though final values of blindly written cells depend on commit order:
 from __future__ import annotations
 
 import copy
+import dataclasses
 import json
 import os
 from collections import Counter
@@ -442,10 +443,30 @@ class FuzzReport:
         return not self.violations
 
 
+def apply_config_patch(schedule: dict,
+                       config_patch: Optional[dict]) -> dict:
+    """Copy of ``schedule`` with ``config_patch`` merged over its config.
+
+    The patch is a partial nested :class:`SimConfig` dict — e.g.
+    ``{"faults": plan.to_dict(), "retry": policy.to_dict()}`` — merged
+    key-by-key over any config the schedule already carries, so fault
+    campaigns ride through :func:`run_schedule`'s existing
+    ``_patched_config`` path with no replay changes at all.
+    """
+    if not config_patch:
+        return schedule
+    patched = copy.deepcopy(schedule)
+    config = patched.setdefault("config", {})
+    config.update(copy.deepcopy(config_patch))
+    return patched
+
+
 def fuzz_batch(executor, systems: Sequence[str], schedules: int,
                seed: int = 0, threads: int = 3, txns: int = 2,
                cells: int = 4, ops: int = 3, broken: Optional[str] = None,
-               out_dir: Optional[str] = None) -> FuzzReport:
+               out_dir: Optional[str] = None,
+               config_patch: Optional[dict] = None,
+               persist: bool = True) -> FuzzReport:
     """Run ``schedules`` randomized schedules through every backend.
 
     Fan-out and memoization come from the harness ``executor``; the
@@ -453,12 +474,33 @@ def fuzz_batch(executor, systems: Sequence[str], schedules: int,
     and the first violating schedule is shrunk to a minimal repro and
     persisted under ``out_dir`` (default ``$SITM_FUZZ_DIR`` or
     ``results/fuzz``).
+
+    ``config_patch`` applies a partial config (typically a fault plan
+    plus retry policy — ``sitm-harness fuzz --faults``) to every
+    generated schedule; ``persist=False`` skips the shrink-and-persist
+    step, for campaigns whose violations are the *expected* outcome
+    (the escalation-disabled livelock demonstration).
     """
     from repro.oracle.shrink import persist_repro, shrink_schedule
-    specs = [FuzzSpec(system=system, seed=seed, index=index,
-                      threads=threads, txns=txns, cells=cells, ops=ops,
-                      broken=broken)
-             for index in range(schedules) for system in systems]
+
+    def make_schedule(index: int) -> dict:
+        return apply_config_patch(
+            generate_schedule(seed, index, threads, txns, cells, ops),
+            config_patch)
+
+    if config_patch:
+        # the patch must reach the worker processes, so patched
+        # schedules travel as explicit schedule_json payloads
+        specs = [FuzzSpec(system=system, seed=seed, index=index,
+                          broken=broken,
+                          schedule_json=json.dumps(make_schedule(index),
+                                                   sort_keys=True))
+                 for index in range(schedules) for system in systems]
+    else:
+        specs = [FuzzSpec(system=system, seed=seed, index=index,
+                          threads=threads, txns=txns, cells=cells, ops=ops,
+                          broken=broken)
+                 for index in range(schedules) for system in systems]
     results = executor.run(specs)
     report = FuzzReport(systems=list(systems), schedules=schedules,
                         seed=seed)
@@ -478,25 +520,79 @@ def fuzz_batch(executor, systems: Sequence[str], schedules: int,
         finals = {system: results[spec].final_state
                   for spec in specs if spec.index == index
                   for system in [spec.system]}
-        schedule = generate_schedule(seed, index, threads, txns, cells, ops)
-        for violation in differential_violations(schedule, finals):
+        for violation in differential_violations(make_schedule(index),
+                                                 finals):
             report.violations.append(("*", index, violation.to_dict()))
-    if report.violations:
+    if report.violations and persist:
         report.repro_path = str(_persist_first_violation(
             report, systems, seed, threads, txns, cells, ops, broken,
-            out_dir, shrink_schedule, persist_repro))
+            out_dir, shrink_schedule, persist_repro, config_patch))
     return report
+
+
+def fault_campaign(executor, systems: Optional[Sequence[str]] = None,
+                   seeds: Sequence[int] = (0, 1, 2), schedules: int = 3,
+                   escalation: bool = True,
+                   out_dir: Optional[str] = None) -> FuzzReport:
+    """The pinned adversarial fault campaign, oracle-checked end to end.
+
+    Every backend runs ``schedules`` fuzz schedules per seed under
+    :func:`repro.faults.adversarial_plan` (version-cap squeeze + forced
+    timestamp overflows + begin-stall storms + spurious-abort bursts +
+    GC pauses) with a tight retry policy, and every history goes
+    through the isolation oracle plus the cross-backend differential
+    check.  With ``escalation=True`` the golden-token path guarantees
+    termination and the report must come back clean; with
+    ``escalation=False`` the campaign hardens the spurious-abort site
+    into a total storm (``abort_rate=1.0``) so that no commit attempt
+    can ever succeed: every backend deterministically fails to make
+    progress (``no-progress`` violations) — the A/B evidence that the
+    escalation path is what buys termination.  The hardening is needed
+    because the pinned 0.9-rate plan still lets ~1 in 10 commits
+    through, which is enough for small fuzz schedules to terminate by
+    luck.
+    """
+    from repro.faults import adversarial_plan
+    from repro.sim.retry import RetryPolicy
+    systems = list(systems or SYSTEMS)
+    seeds = list(seeds)
+    policy = RetryPolicy(attempt_budget=4, stall_budget=16,
+                         starvation_age_cycles=50_000,
+                         escalation=escalation)
+    merged = FuzzReport(systems=systems, schedules=schedules * len(seeds),
+                        seed=seeds[0] if seeds else 0)
+    for seed in seeds:
+        plan = adversarial_plan(seed)
+        if not escalation:
+            plan = dataclasses.replace(plan, abort_rate=1.0, abort_burst=1)
+        patch = {"faults": plan.to_dict(),
+                 "retry": policy.to_dict()}
+        report = fuzz_batch(executor, systems, schedules, seed=seed,
+                            config_patch=patch, persist=escalation,
+                            out_dir=out_dir)
+        for system, row in report.per_system.items():
+            into = merged.per_system.setdefault(
+                system, {"schedules": 0, "committed": 0, "aborted": 0,
+                         "violations": 0})
+            for key in into:
+                into[key] += row[key]
+        merged.violations += report.violations
+        merged.repro_path = merged.repro_path or report.repro_path
+    return merged
 
 
 def _persist_first_violation(report: FuzzReport, systems: Sequence[str],
                              seed: int, threads: int, txns: int, cells: int,
                              ops: int, broken: Optional[str],
                              out_dir: Optional[str],
-                             shrink, persist) -> os.PathLike:
+                             shrink, persist,
+                             config_patch: Optional[dict] = None
+                             ) -> os.PathLike:
     """Shrink the first violating schedule and write its repro."""
     first_index = min(index for _, index, _ in report.violations)
-    schedule = generate_schedule(seed, first_index, threads, txns, cells,
-                                 ops)
+    schedule = apply_config_patch(
+        generate_schedule(seed, first_index, threads, txns, cells, ops),
+        config_patch)
 
     def failing(candidate: dict) -> bool:
         return bool(schedule_violations(candidate, systems, seed, broken))

@@ -86,6 +86,11 @@ class TxnRecord:
     abort_cause: Optional[str] = None
     reads: List[Tuple[int, int, int]] = field(default_factory=list)
     writes: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: timestamp epoch the attempt ran in (section 4.1: each overflow
+    #: reset restarts the counter, so timestamps of different epochs are
+    #: incomparable; no attempt spans epochs).  0 for untimestamped
+    #: systems and for all histories recorded before overflow support.
+    epoch: int = 0
 
     @property
     def committed(self) -> bool:
@@ -115,7 +120,8 @@ class TxnRecord:
                 "start_ts": self.start_ts, "commit_index": self.commit_index,
                 "commit_ts": self.commit_ts, "abort_cause": self.abort_cause,
                 "reads": [list(r) for r in self.reads],
-                "writes": [list(w) for w in self.writes]}
+                "writes": [list(w) for w in self.writes],
+                "epoch": self.epoch}
 
     @classmethod
     def from_dict(cls, data: dict) -> "TxnRecord":
@@ -125,7 +131,8 @@ class TxnRecord:
                    data.get("commit_index"), data.get("commit_ts"),
                    data.get("abort_cause"),
                    [tuple(r) for r in data.get("reads", [])],
-                   [tuple(w) for w in data.get("writes", [])])
+                   [tuple(w) for w in data.get("writes", [])],
+                   data.get("epoch", 0))
 
 
 @dataclass
@@ -252,7 +259,8 @@ class HistoryRecorder(Tracer):
         self._open[txn.thread_id] = uid
         self.history.transactions[uid] = TxnRecord(
             uid, txn.thread_id, txn.label,
-            begin_index=len(self.history.events), start_ts=txn.start_ts)
+            begin_index=len(self.history.events), start_ts=txn.start_ts,
+            epoch=getattr(txn, "epoch", 0))
         self.history.events.append(HistoryEvent(
             len(self.history.events), BEGIN, uid, txn.thread_id, txn.label))
 

@@ -2,6 +2,7 @@
 
 from repro.sim.engine import Engine, Tracer, TransactionSpec
 from repro.sim.machine import Machine
+from repro.sim.retry import RetryPolicy
 from repro.sim.stats import RunStats, ThreadStats
 from repro.sim.timeline import Interval, TimelineRecorder
 
@@ -10,6 +11,7 @@ __all__ = [
     "Interval",
     "TimelineRecorder",
     "Machine",
+    "RetryPolicy",
     "RunStats",
     "ThreadStats",
     "Tracer",

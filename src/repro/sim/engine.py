@@ -95,7 +95,8 @@ class _ThreadState:
     """Mutable execution state of one simulated thread."""
 
     __slots__ = ("thread_id", "specs", "spec", "txn", "gen", "pending",
-                 "retries", "clock", "done", "redo_op")
+                 "retries", "clock", "done", "redo_op",
+                 "first_attempt_clock", "consecutive_stalls", "queued")
 
     def __init__(self, thread_id: int, specs: Iterator[TransactionSpec]):
         self.thread_id = thread_id
@@ -109,6 +110,15 @@ class _ThreadState:
         self.done = False
         #: operation to re-issue after a NACK stall (LogTM-class systems)
         self.redo_op: object = None
+        #: clock at the current transaction's first successful begin —
+        #: the retry policy's starvation-age watermark
+        self.first_attempt_clock = 0
+        #: begin stalls since the last successful begin (stall-storm
+        #: starvation detection; stalls never abort, so attempt counting
+        #: alone cannot see them)
+        self.consecutive_stalls = 0
+        #: waiting in (or holding) the golden-token escalation queue
+        self.queued = False
 
 
 class Engine:
@@ -116,6 +126,13 @@ class Engine:
 
     #: cycles charged when a begin must stall (Δ-protocol, section 4.2)
     STALL_CYCLES = 20
+    #: consecutive no-progress steps (begin stalls, escalation parks)
+    #: before the watchdog raises: a permanent begin-stall — a backend
+    #: whose ``begin`` returns None forever, or an unsuppressible stall
+    #: storm — would otherwise spin silently to ``max_steps``.  Any
+    #: dispatch, successful begin, commit or abort resets the streak, so
+    #: a healthy Δ-protocol or overflow-drain stall can never trip it.
+    WATCHDOG_STALL_STEPS = 20_000
 
     def __init__(self, tm: TMSystem,
                  programs: Iterable[Iterable[TransactionSpec]],
@@ -156,6 +173,22 @@ class Engine:
         self.stats = RunStats(len(self.threads))
         tm.stats = self.stats
         self._steps = 0
+        #: fault injector shared with the machine/MVM (None — the
+        #: default — when the config carries no active plan)
+        self.faults = getattr(tm.machine, "faults", None)
+        #: engine-level retry policy (:mod:`repro.sim.retry`); None —
+        #: the default — keeps the legacy behaviour byte-identical
+        self.retry_policy = getattr(tm.machine.config, "retry", None)
+        self._retry_rng = (tm.rng.split("engine-retry-backoff")
+                           if self.retry_policy is not None else None)
+        #: thread ids starving for the golden token, FIFO; the head
+        #: runs serially (all other begins park) once in-flight
+        #: transactions drain
+        self._escalation_queue: List[int] = []
+        #: thread id currently holding the golden token, or None
+        self._golden: Optional[int] = None
+        #: consecutive no-progress steps (watchdog streak)
+        self._no_progress = 0
 
     # ------------------------------------------------------------------
 
@@ -238,6 +271,7 @@ class Engine:
             self._abort(thread, aborted.cause)
 
     def _dispatch(self, thread: _ThreadState, txn: Txn, op: Op) -> None:
+        self._no_progress = 0
         tstats = self.stats.threads[thread.thread_id]
         if type(op) is Read:
             promote = (op.promote
@@ -269,31 +303,107 @@ class Engine:
             raise SimulationError(f"unknown operation {op!r}")
 
     def _begin(self, thread: _ThreadState) -> None:
+        if not self._may_begin(thread):
+            # escalation quiesce: a starving thread heads the queue, so
+            # everyone else parks at begin until it commits serially
+            self._stall(thread)
+            return
+        if self.faults is not None and self.faults.begin_stall():
+            # injected stall storm: the begin request never reaches the
+            # TM system (a saturated timestamp-issue port)
+            self._stall(thread)
+            return
         txn, cycles = self.tm.begin(
             thread.thread_id, thread.spec.label, thread.retries)
         thread.clock += cycles
         if self.profiler is not None:
             self.profiler.account(thread.thread_id, "begin", cycles)
         if txn is None:
-            thread.clock += self.STALL_CYCLES
-            if self.profiler is not None:
-                self.profiler.account(thread.thread_id, "begin_stall",
-                                      self.STALL_CYCLES)
-            if self.metrics is not None:
-                self.metrics.inc("engine_begin_stalls")
-                self.metrics.inc("engine_begin_stall_cycles",
-                                 self.STALL_CYCLES)
+            self._stall(thread)
             return
+        thread.consecutive_stalls = 0
+        self._no_progress = 0
+        if thread.retries == 0:
+            thread.first_attempt_clock = thread.clock
         thread.txn = txn
         thread.gen = thread.spec.body_factory()
         thread.pending = None
         self.tracer.on_begin(txn)
+
+    def _stall(self, thread: _ThreadState) -> None:
+        """Charge one begin stall; detect stall starvation and no-progress."""
+        thread.clock += self.STALL_CYCLES
+        if self.profiler is not None:
+            self.profiler.account(thread.thread_id, "begin_stall",
+                                  self.STALL_CYCLES)
+        if self.metrics is not None:
+            self.metrics.inc("engine_begin_stalls")
+            self.metrics.inc("engine_begin_stall_cycles",
+                             self.STALL_CYCLES)
+        thread.consecutive_stalls += 1
+        policy = self.retry_policy
+        if (policy is not None and policy.escalation
+                and not thread.queued
+                and thread.consecutive_stalls >= policy.stall_budget):
+            self._enqueue(thread)
+        self._no_progress += 1
+        if self._no_progress >= self.WATCHDOG_STALL_STEPS:
+            raise SimulationError(
+                f"engine watchdog: no progress in {self._no_progress} "
+                f"consecutive steps (permanent begin stall)\n"
+                + self.diagnostics())
+
+    # -- golden-token escalation (repro.sim.retry) ---------------------
+
+    def _may_begin(self, thread: _ThreadState) -> bool:
+        """Gate begins while the escalation queue works off starvation."""
+        if self._golden is not None:
+            return self._golden == thread.thread_id
+        if not self._escalation_queue:
+            return True
+        if self._escalation_queue[0] != thread.thread_id:
+            return False
+        if self.tm.active_txns:
+            # the head waits for in-flight transactions to drain before
+            # taking the token; ops/commits/aborts are never gated, so
+            # the drain always completes
+            return False
+        self._acquire_golden(thread)
+        return True
+
+    def _enqueue(self, thread: _ThreadState) -> None:
+        thread.queued = True
+        self._escalation_queue.append(thread.thread_id)
+
+    def _acquire_golden(self, thread: _ThreadState) -> None:
+        self._golden = thread.thread_id
+        self.stats.escalations += 1
+        if self.faults is not None:
+            # the token holder runs fault-free: a serial, unfaulted
+            # transaction commits in every backend, so each escalation
+            # makes strict progress
+            self.faults.suppressed = True
+        if self.metrics is not None:
+            self.metrics.inc("engine_escalations")
+
+    def _release_golden(self, thread: _ThreadState) -> None:
+        self._golden = None
+        thread.queued = False
+        self._escalation_queue.pop(0)
+        if self.faults is not None:
+            self.faults.suppressed = False
 
     def _commit(self, thread: _ThreadState) -> None:
         txn = thread.txn
         assert txn is not None
         if txn.doomed is not None:
             self._abort(thread, txn.doomed)
+            return
+        if self.faults is not None and self.faults.spurious_abort():
+            # injected conflict-detection false positive, surfaced with
+            # the backend's own declared cause so oracle cause checks
+            # treat it like any legal abort
+            self._abort(thread, self.tm.SPURIOUS_ABORT_CAUSE)
             return
         cycles = self.tm.commit(txn, thread.clock)
         thread.clock += cycles
@@ -302,6 +412,9 @@ class Engine:
         self.stats.record_commit(thread.thread_id, thread.spec.label,
                                  thread.retries)
         self.tracer.on_commit(txn)
+        self._no_progress = 0
+        if self._golden == thread.thread_id:
+            self._release_golden(thread)
         thread.spec = None
         thread.txn = None
         thread.gen = None
@@ -317,14 +430,35 @@ class Engine:
                                   cycles + jitter)
             self.profiler.sub_account(thread.thread_id, "abort",
                                       "restart_jitter", jitter)
+        policy = self.retry_policy
+        if policy is not None:
+            # engine-level capped exponential backoff with jitter, on
+            # top of whatever the backend already charged
+            delay = policy.delay(thread.retries, self._retry_rng)
+            thread.clock += delay
+            if self.profiler is not None:
+                self.profiler.account(thread.thread_id, "abort", delay)
+                self.profiler.sub_account(thread.thread_id, "abort",
+                                          "retry_backoff", delay)
+            if self.metrics is not None:
+                self.metrics.inc("engine_retry_backoff_cycles", delay)
         self.stats.record_abort(thread.thread_id, thread.spec.label, cause)
         self.tracer.on_abort(txn, cause)
+        self._no_progress = 0
         if thread.gen is not None:
             thread.gen.close()
         thread.txn = None
         thread.gen = None
         thread.redo_op = None
         thread.retries += 1
+        self.stats.max_attempts_seen = max(self.stats.max_attempts_seen,
+                                           thread.retries)
+        if (policy is not None and policy.escalation
+                and not thread.queued):
+            age = thread.clock - thread.first_attempt_clock
+            if (thread.retries >= policy.attempt_budget
+                    or age >= policy.starvation_age_cycles):
+                self._enqueue(thread)
         limit = self.machine.config.tm.max_retries
         if limit and thread.retries > limit:
             raise SimulationError(
@@ -355,7 +489,21 @@ class Engine:
             lines.append(
                 f"  thread {thread.thread_id}: clock={thread.clock} "
                 f"spec={label!r} retries={thread.retries} {state} "
-                f"commits={tstats.commits} aborts={tstats.aborts}")
+                f"commits={tstats.commits} aborts={tstats.aborts} "
+                f"stalls={thread.consecutive_stalls}")
+        if self._golden is not None or self._escalation_queue:
+            lines.append(
+                f"  escalation: golden={self._golden} "
+                f"queue={self._escalation_queue} "
+                f"escalations={self.stats.escalations}")
+        if self._no_progress:
+            lines.append(f"  no-progress streak: {self._no_progress} steps")
+        if self.faults is not None:
+            injected = self.faults.stats()["injected"]
+            if injected:
+                sites = " ".join(f"{site}:{n}"
+                                 for site, n in injected.items())
+                lines.append(f"  injected faults: {sites}")
         if self.stats.retry_histogram:
             retries = " ".join(
                 f"{k}:{v}"

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.config import SimConfig
+from repro.faults import FaultInjector
 from repro.mem.address import AddressMap
 from repro.mem.backing import BackingStore
 from repro.mem.cache import CacheHierarchy
@@ -49,6 +50,16 @@ class Machine:
         self.clock = GlobalClock(delta=self.config.mvm.commit_delta,
                                  max_timestamp=self.config.mvm.max_timestamp)
         self.mvm = MVMController(self.config.mvm, self.address_map, self.clock)
+        #: fault injector (:class:`repro.faults.FaultInjector`) or None
+        #: — the default — when the config carries no active plan.  The
+        #: engine, MVM controller and global clock share this instance;
+        #: all of them guard with ``is not None`` (same zero-overhead
+        #: contract as ``metrics``/``profiler``).
+        self.faults = None
+        if self.config.faults is not None and self.config.faults.active():
+            self.faults = FaultInjector(self.config.faults)
+            self.clock.faults = self.faults
+            self.mvm.faults = self.faults
 
     def enable_telemetry(self, registry) -> None:
         """Attach a metrics registry to every emitting layer.

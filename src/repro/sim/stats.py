@@ -51,6 +51,12 @@ class RunStats:
         #: retries needed per committed transaction (0 = first try)
         self.retry_histogram: Counter = Counter()
         self.per_label: Dict[str, Counter] = {}
+        #: starving transactions escalated to serial golden-token mode
+        #: by the engine's retry policy (:mod:`repro.sim.retry`)
+        self.escalations = 0
+        #: highest attempt count any single transaction needed (1 = every
+        #: transaction committed first try); the starvation watermark
+        self.max_attempts_seen = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -59,6 +65,7 @@ class RunStats:
         """A transaction committed after ``retries`` aborted attempts."""
         self.threads[thread_id].commits += 1
         self.retry_histogram[retries] += 1
+        self.max_attempts_seen = max(self.max_attempts_seen, retries + 1)
         self._label(label)["commits"] += 1
 
     def record_abort(self, thread_id: int, label: str,
@@ -132,6 +139,8 @@ class RunStats:
                                 for k, v in self.retry_histogram.items()},
             "per_label": {label: dict(counter)
                           for label, counter in self.per_label.items()},
+            "escalations": self.escalations,
+            "max_attempts_seen": self.max_attempts_seen,
         }
 
     @classmethod
@@ -145,6 +154,9 @@ class RunStats:
             {int(k): v for k, v in data["retry_histogram"].items()})
         stats.per_label = {label: Counter(counter)
                            for label, counter in data["per_label"].items()}
+        # both absent in dicts serialized before the retry-policy layer
+        stats.escalations = data.get("escalations", 0)
+        stats.max_attempts_seen = data.get("max_attempts_seen", 0)
         return stats
 
     def summary(self) -> dict:

@@ -74,7 +74,7 @@ class Txn:
     """
 
     __slots__ = ("thread_id", "label", "attempt", "start_ts", "commit_ts",
-                 "read_lines", "write_lines", "promoted_lines",
+                 "epoch", "read_lines", "write_lines", "promoted_lines",
                  "write_buffer", "doomed", "active", "start_removed",
                  "son_lo", "son_hi", "after", "before",
                  "inbound_rw", "outbound_rw", "consecutive_stalls",
@@ -89,6 +89,9 @@ class Txn:
         #: systems only; ``None`` for untimestamped systems and read-only
         #: SI commits).  Recorded by the history oracle.
         self.commit_ts: Optional[int] = None
+        #: timestamp epoch the snapshot belongs to (bumped by overflow
+        #: resets, section 4.1); timestamps only compare within an epoch
+        self.epoch = 0
         self.read_lines: Set[int] = set()
         self.write_lines: Set[int] = set()
         #: promoted reads (section 5.1) — validated like writes, no version
@@ -182,6 +185,12 @@ class TMSystem:
     TOKEN_CYCLES = 10
     #: cycles per line written back at commit, on top of the L3 access
     WRITEBACK_CYCLES = 4
+    #: cause the fault injector's spurious-abort site reports for this
+    #: system (:mod:`repro.faults`) — a conflict-detection false
+    #: positive, so each backend declares the conflict cause its own
+    #: detector would raise; must be a member of ``ABORT_CAUSES`` so
+    #: the oracle's cause check treats injected aborts as legal
+    SPURIOUS_ABORT_CAUSE = AbortCause.EXPLICIT
 
     def __init__(self, machine: Machine, rng: SplitRandom):
         self.machine = machine

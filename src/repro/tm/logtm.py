@@ -45,6 +45,9 @@ class EagerLogTM(TMSystem):
     ABORT_CAUSES = frozenset({
         AbortCause.READ_WRITE, AbortCause.WRITE_WRITE,
         AbortCause.VERSION_BUFFER_OVERFLOW, AbortCause.EXPLICIT})
+    #: an injected false positive looks like a deadlock-avoidance
+    #: self-abort after repeated NACKs
+    SPURIOUS_ABORT_CAUSE = AbortCause.READ_WRITE
     #: cycles charged per NACK round trip
     NACK_CYCLES = 24
     #: consecutive NACKs before the requester aborts itself

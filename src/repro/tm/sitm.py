@@ -57,6 +57,9 @@ class SnapshotIsolationTM(TMSystem):
         AbortCause.WRITE_WRITE, AbortCause.VERSION_OVERFLOW,
         AbortCause.SNAPSHOT_TOO_OLD, AbortCause.TIMESTAMP_OVERFLOW,
         AbortCause.EXPLICIT})
+    #: an injected false positive looks like a first-committer-wins
+    #: write-write conflict (the only conflict SI-TM detects)
+    SPURIOUS_ABORT_CAUSE = AbortCause.WRITE_WRITE
     #: version-list entries per metadata line (section 3.2: eight per line)
     ENTRIES_PER_METADATA_LINE = 8
     #: extra cycles for MVM controller version compare + line allocation
@@ -101,6 +104,7 @@ class SnapshotIsolationTM(TMSystem):
             return None, cycles
         txn = Txn(thread_id, label, attempt)
         txn.start_ts = start_ts
+        txn.epoch = self.machine.clock.epoch
         self.mvm.active.add(start_ts)
         self._register(txn)
         return txn, cycles
@@ -267,6 +271,17 @@ class SnapshotIsolationTM(TMSystem):
             txn.conflict_line = line
             raise TransactionAborted(AbortCause.VERSION_OVERFLOW)
         cycles += install_cycles
+        faults = self.machine.faults
+        if faults is not None:
+            # injected GC pause: reclamation work this commit's installs
+            # triggered (coalesce/collect events) runs slow
+            pause = faults.drain_gc_pause()
+            if pause:
+                cycles += pause
+                fault_profiler = self.machine.profiler
+                if fault_profiler is not None:
+                    fault_profiler.sub_account(txn.thread_id, "commit",
+                                               "fault_gc_pause", pause)
         self.machine.clock.finish_commit(end_ts)
         txn.commit_ts = end_ts
         metrics = self.machine.metrics

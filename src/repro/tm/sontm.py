@@ -47,6 +47,8 @@ class SONTM(TMSystem):
         AbortCause.SON_RANGE_EMPTY, AbortCause.READ_WRITE,
         AbortCause.WRITE_WRITE, AbortCause.VERSION_BUFFER_OVERFLOW,
         AbortCause.EXPLICIT})
+    #: an injected false positive looks like a commit-time empty SON range
+    SPURIOUS_ABORT_CAUSE = AbortCause.SON_RANGE_EMPTY
     #: headroom left below a freshly chosen SON so that concurrent
     #: predecessors (which may commit later) still find a non-empty range
     SON_GAP = 1 << 20

@@ -76,6 +76,9 @@ class SerializableSITM(SnapshotIsolationTM):
     isolation = IsolationLevel.SERIALIZABLE_SNAPSHOT
     ABORT_CAUSES = (SnapshotIsolationTM.ABORT_CAUSES
                     | {AbortCause.DANGEROUS_STRUCTURE})
+    #: an injected false positive looks like a dangerous-structure
+    #: abort — SSI's detector is the one that genuinely admits them
+    SPURIOUS_ABORT_CAUSE = AbortCause.DANGEROUS_STRUCTURE
     #: cycles charged per committed-window record scanned at commit
     RECORD_SCAN_CYCLES = 1
 

@@ -39,6 +39,8 @@ class TwoPhaseLockingTM(TMSystem):
     ABORT_CAUSES = frozenset({
         AbortCause.READ_WRITE, AbortCause.WRITE_WRITE,
         AbortCause.VERSION_BUFFER_OVERFLOW, AbortCause.EXPLICIT})
+    #: an injected false positive looks like a requester-wins conflict
+    SPURIOUS_ABORT_CAUSE = AbortCause.READ_WRITE
 
     def __init__(self, machine: Machine, rng: SplitRandom):
         super().__init__(machine, rng)

@@ -189,3 +189,28 @@ class TestSerialization:
         data["mvm"]["max_versions"] = 0
         with pytest.raises(ConfigError):
             SimConfig.from_dict(data)
+
+    def test_default_dict_omits_faults_and_retry(self):
+        # omitted-when-None: pre-faults config fingerprints (and with
+        # them every cache key and bench baseline) must not move
+        data = SimConfig().to_dict()
+        assert "faults" not in data and "retry" not in data
+
+    def test_faults_and_retry_round_trip(self):
+        from repro.faults import FaultPlan
+        from repro.sim.retry import RetryPolicy
+
+        config = SimConfig(
+            faults=FaultPlan(abort_rate=0.5, overflow_at_commits=(2,)),
+            retry=RetryPolicy(attempt_budget=3, escalation=False))
+        recovered = SimConfig.from_dict(config.to_dict())
+        assert recovered == config
+        assert recovered.faults.overflow_at_commits == (2,)
+        assert recovered.retry.escalation is False
+        assert config.fingerprint() != SimConfig().fingerprint()
+
+    def test_faulted_config_from_dict_validates(self):
+        data = SimConfig(retry=None).to_dict()
+        data["faults"] = {"abort_rate": 7.0}
+        with pytest.raises(ConfigError):
+            SimConfig.from_dict(data)

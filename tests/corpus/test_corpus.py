@@ -24,11 +24,15 @@ from repro.tm import SYSTEMS
 
 CORPUS_DIR = pathlib.Path(__file__).parent / "schedules"
 CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+#: schedules expected to replay clean — livelock_under_fault is the one
+#: deliberate exception: its config injects a total abort storm with no
+#: escalating retry policy, so "fails to make progress" IS its invariant
+CLEAN_CORPUS = [p for p in CORPUS if p.stem != "livelock_under_fault"]
 ALL_SYSTEMS = sorted(SYSTEMS)
 
 
-def corpus_ids():
-    return [path.stem for path in CORPUS]
+def corpus_ids(corpus=None):
+    return [path.stem for path in (CORPUS if corpus is None else corpus)]
 
 
 def load(path):
@@ -39,7 +43,7 @@ def test_corpus_is_not_empty():
     assert len(CORPUS) >= 3
 
 
-@pytest.mark.parametrize("path", CORPUS, ids=corpus_ids())
+@pytest.mark.parametrize("path", CLEAN_CORPUS, ids=corpus_ids(CLEAN_CORPUS))
 @pytest.mark.parametrize("system", ALL_SYSTEMS)
 def test_schedule_is_clean_on_backend(path, system):
     schedule = load(path)
@@ -52,7 +56,7 @@ def test_schedule_is_clean_on_backend(path, system):
     assert check_history(type(history).loads(history.dumps())) == []
 
 
-@pytest.mark.parametrize("path", CORPUS, ids=corpus_ids())
+@pytest.mark.parametrize("path", CLEAN_CORPUS, ids=corpus_ids(CLEAN_CORPUS))
 def test_final_state_identical_across_backends(path):
     schedule = load(path)
     finals = {system: run_schedule(schedule, system)[1]
@@ -85,6 +89,30 @@ def test_fcw_race_catches_broken_sitm():
     rules = {v.rule for v in schedule_violations(schedule, ["SI-TM"],
                                                  broken="no-ww")}
     assert "first-committer-wins" in rules and "lost-update" in rules
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_escalation_terminates_under_total_abort_storm(system):
+    # a 1.0-rate spurious-abort storm means no commit attempt can ever
+    # succeed outside the golden token; the escalating retry policy in
+    # the schedule's config is the ONLY reason this terminates
+    schedule = load(CORPUS_DIR / "escalation_terminates.json")
+    violations, final, history = check_schedule_run(schedule, system)
+    assert violations == [], [str(v) for v in violations]
+    assert len(history.committed()) == 3
+    for cell, want in expected_counters(schedule).items():
+        assert final[cell] == want
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_livelock_under_fault_without_escalation(system):
+    # same storm, but no retry policy: every backend must fail to make
+    # progress, surfaced as a deterministic no-progress violation (the
+    # config's tm.max_retries keeps the demonstration fast)
+    schedule = load(CORPUS_DIR / "livelock_under_fault.json")
+    violations, _, history = check_schedule_run(schedule, system)
+    assert {v.rule for v in violations} == {"no-progress"}, violations
+    assert history is None or not history.committed()
 
 
 def test_corpus_files_are_plain_schedules():

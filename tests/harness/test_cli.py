@@ -77,6 +77,58 @@ class TestExecution:
         assert "rbtree" in out and "SI-TM/2PL" in out
 
 
+class TestFaultsCommand:
+    def test_parser_accepts_faults_flags(self):
+        args = build_parser().parse_args(
+            ["faults", "--list", "--no-escalation", "--seeds", "2"])
+        assert args.command == "faults"
+        assert args.list and args.no_escalation and args.seeds == 2
+
+    def test_parser_accepts_timeout(self):
+        assert build_parser().parse_args(
+            ["fig7", "--timeout", "30"]).timeout == 30.0
+        with pytest.raises(SystemExit):
+            main(["fig7", "--timeout", "-1"])
+
+    def test_faults_list_names_every_site(self, capsys):
+        from repro.faults import FAULT_SITES
+        assert main(["faults", "--list"]) == 0
+        out = capsys.readouterr().out
+        for site in FAULT_SITES:
+            assert site["site"] in out
+
+    def test_fuzz_faults_flag_parsed(self):
+        args = build_parser().parse_args(["fuzz", "--faults"])
+        assert args.faults
+
+    def test_quarantined_spec_renders_failed_cell_and_exits_1(
+            self, monkeypatch, capsys):
+        # a worker crash mid-grid must yield a completed grid with an
+        # explicit FAILED cell and a non-zero exit, never a traceback
+        from repro.harness.cli import Executor as CliExecutor
+        from repro.harness.executor import RunFailure
+        real_run = CliExecutor.run
+
+        def sabotaged(self, specs):
+            results = real_run(self, specs)
+            victim = next(iter(results))
+            failure = RunFailure(
+                spec=str(victim), spec_hash="0" * 24, kind="crash",
+                message="worker died (SIGKILL)", attempts=2)
+            self.failures.append(failure)
+            results[victim] = failure
+            return results
+
+        monkeypatch.setattr(CliExecutor, "run", sabotaged)
+        code = main(["fig7", "--profile", "test", "--seeds", "1",
+                     "--workloads", "rbtree", "--no-cache"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "[failures] 1 spec(s) quarantined" in out
+        assert "worker died (SIGKILL)" in out
+
+
 class TestExecutorIntegration:
     def test_fig7_cached_rerun_identical(self, tmp_path, capsys):
         argv = ["fig7", "--profile", "test", "--seeds", "1",

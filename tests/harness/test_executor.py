@@ -11,9 +11,12 @@ import json
 import pytest
 
 from repro.common.config import SimConfig
+from repro.common.errors import ConfigError
+from repro.faults import FaultPlan
 from repro.harness.executor import (
     Executor,
     ResultCache,
+    RunFailure,
     code_fingerprint,
     serial_executor,
 )
@@ -151,3 +154,82 @@ class TestOrdering:
         executor = serial_executor()
         assert executor.jobs == 1
         assert executor.use_cache is False
+
+
+@dataclasses.dataclass(frozen=True)
+class _BoomSpec:
+    """Minimal spec whose run always raises (inline quarantine path)."""
+
+    exc: type = RuntimeError
+
+    def run(self):
+        raise self.exc("boom")
+
+    def spec_hash(self):
+        return "f" * 24
+
+    def __str__(self):
+        return "boom/spec"
+
+
+class TestCrashTolerance:
+    """A grid must never die of one bad cell (see ISSUE acceptance)."""
+
+    def _crash_spec(self):
+        return ExperimentSpec("array", "SI-TM", 2, 1, "test",
+                              faults=FaultPlan(crash_at_begin=3))
+
+    def test_run_failure_round_trips(self):
+        failure = RunFailure(spec="x", spec_hash="0" * 24, kind="crash",
+                             message="worker died", attempts=2)
+        assert RunFailure.from_dict(failure.to_dict()) == failure
+        assert failure.failed is True
+
+    def test_results_have_no_failed_flag(self):
+        assert not getattr(SPEC.run(), "failed", False)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(timeout=0)
+        with pytest.raises(ValueError):
+            Executor(timeout=-1.5)
+
+    def test_worker_crash_mid_grid_is_quarantined(self, tmp_path):
+        # one cell SIGKILLs its worker; the grid must complete around
+        # it with a structured record, never an unhandled traceback
+        crash = self._crash_spec()
+        grid = [SPECS[0], crash, SPECS[1], SPECS[2]]
+        executor = Executor(jobs=2, cache=True, cache_dir=tmp_path)
+        results = executor.run(grid)
+        failure = results[crash]
+        assert isinstance(failure, RunFailure)
+        assert failure.kind == "crash"
+        assert failure.attempts == Executor.MAX_ATTEMPTS
+        for spec in SPECS:
+            assert not getattr(results[spec], "failed", False)
+        assert executor.counters()["failures"] == 1
+        # failures are never cached: only the three good cells persist
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_hung_worker_times_out(self):
+        hang = ExperimentSpec(
+            "array", "SI-TM", 2, 1, "test",
+            faults=FaultPlan(hang_at_begin=2, hang_seconds=60.0))
+        executor = Executor(jobs=2, cache=False, timeout=1.0)
+        results = executor.run([SPECS[0], hang])
+        assert isinstance(results[hang], RunFailure)
+        assert results[hang].kind == "timeout"
+        assert not getattr(results[SPECS[0]], "failed", False)
+
+    def test_inline_exception_is_quarantined(self):
+        boom = _BoomSpec()
+        results = Executor(jobs=1, cache=False).run([boom])
+        failure = results[boom]
+        assert isinstance(failure, RunFailure)
+        assert failure.kind == "error"
+        assert "RuntimeError: boom" in failure.message
+
+    def test_config_error_always_propagates(self):
+        # a misconfigured spec is the caller's bug, not a fault
+        with pytest.raises(ConfigError):
+            Executor(jobs=1, cache=False).run([_BoomSpec(exc=ConfigError)])

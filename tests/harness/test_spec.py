@@ -35,6 +35,60 @@ class TestCanonicalForm:
         assert {a: 1}[b] == 1
 
 
+class TestFaultsOnSpecs:
+    """``faults=None`` must be invisible: pre-existing spec hashes (and
+    therefore every cached result and ``BENCH_baseline.json``) survive
+    the introduction of fault injection."""
+
+    def test_plain_spec_dict_omits_faults(self):
+        spec = ExperimentSpec("list", "2PL", 2, 1, "test")
+        assert "faults" not in spec.to_dict()
+        assert "faults" not in json.loads(
+            ExperimentSpec("list", "2PL", 2, 1, "test",
+                           SimConfig()).canonical_json())["config"]
+
+    def test_plain_spec_hash_is_pinned(self):
+        # the literal pre-faults hash: if this moves, every cached
+        # result and bench baseline silently mismatches — change it
+        # only with a deliberate cache-busting commit
+        spec = ExperimentSpec("list", "2PL", 2, 1, "test")
+        assert spec.canonical_json() == (
+            '{"config":null,"profile":"test","seed":1,"system":"2PL",'
+            '"threads":2,"workload":"list"}')
+        assert spec.spec_hash() == "408bb8a41bb83ee4f1d0e688"
+
+    def test_faulted_spec_round_trips(self):
+        from repro.faults import FaultPlan
+        plan = FaultPlan(abort_rate=0.5, overflow_at_commits=(1, 3))
+        spec = ExperimentSpec("list", "SI-TM", 2, 1, "test", faults=plan)
+        recovered = ExperimentSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert recovered == spec
+        assert recovered.faults.overflow_at_commits == (1, 3)
+        assert "/faults" in str(spec)
+
+    def test_faults_feed_the_hash(self):
+        from repro.faults import FaultPlan
+        plain = ExperimentSpec("list", "SI-TM", 2, 1, "test")
+        faulted = ExperimentSpec("list", "SI-TM", 2, 1, "test",
+                                 faults=FaultPlan(abort_rate=0.5))
+        assert plain.spec_hash() != faulted.spec_hash()
+
+    def test_faulted_spec_cache_round_trip(self, tmp_path):
+        from repro.faults import FaultPlan
+        from repro.harness.executor import ResultCache
+        from repro.sim.retry import RetryPolicy
+        config = SimConfig(retry=RetryPolicy(attempt_budget=3,
+                                             stall_budget=8,
+                                             starvation_age_cycles=20_000))
+        spec = ExperimentSpec("list", "SI-TM", 2, 1, "test", config,
+                              faults=FaultPlan(abort_rate=0.5))
+        cache = ResultCache(tmp_path)
+        result = spec.run()
+        cache.store(spec, result)
+        assert cache.load(spec) == result
+
+
 class TestSpecHash:
     def test_stable_across_instances(self):
         a = ExperimentSpec("list", "2PL", 2, 1, "test")

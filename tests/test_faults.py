@@ -1,0 +1,218 @@
+"""Fault-injection and retry-policy tests.
+
+Three layers are covered: the :class:`FaultPlan`/:class:`FaultInjector`
+contracts (round trips, determinism, suppression), the engine
+integration (every backend terminates under the pinned adversarial
+plan, the watchdog catches permanent begin stalls, escalation is
+load-bearing), and the oracle-checked campaign A/B: with escalation the
+campaign is clean, without it every backend deterministically fails to
+make progress.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SimConfig
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.rng import SplitRandom
+from repro.faults import (FAULT_SITES, FaultInjector, FaultPlan,
+                          adversarial_plan)
+from repro.harness.executor import serial_executor
+from repro.harness.spec import ExperimentSpec
+from repro.oracle.fuzz import (apply_config_patch, check_schedule_run,
+                               fault_campaign, generate_schedule)
+from repro.sim.retry import RetryPolicy
+from repro.tm import SYSTEMS
+
+TIGHT_RETRY = RetryPolicy(attempt_budget=3, stall_budget=8,
+                          starvation_age_cycles=20_000)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_inert(self):
+        assert not FaultPlan().active()
+
+    def test_adversarial_plan_is_active_and_round_trips(self):
+        plan = adversarial_plan(3)
+        assert plan.active()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_from_dict_coerces_overflow_list_to_tuple(self):
+        plan = FaultPlan.from_dict({"overflow_at_commits": [2, 4]})
+        assert plan.overflow_at_commits == (2, 4)
+        assert hash(plan)  # stays hashable for frozen specs
+
+    def test_dict_key_set_matches_fields(self):
+        assert set(FaultPlan().to_dict()) == set(
+            FaultPlan.__dataclass_fields__)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"abort_rate": 1.5},
+        {"begin_stall_rate": -0.1},
+        {"abort_burst": 0},
+        {"begin_stall_burst": 0},
+        {"gc_pause_cycles": -1},
+        {"squeeze_max_versions": -1},
+        {"overflow_at_commits": (-1,)},
+        {"hang_seconds": -1.0},
+    ])
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultPlan(**kwargs)
+
+    def test_site_registry_names_real_fields(self):
+        fields = set(FaultPlan.__dataclass_fields__)
+        for site in FAULT_SITES:
+            for name in site["fields"].split(", "):
+                assert name in fields, site["site"]
+
+
+class TestRetryPolicy:
+    def test_round_trip(self):
+        policy = RetryPolicy(attempt_budget=2, escalation=False)
+        assert RetryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(attempt_budget=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_base_cycles=-1)
+
+    def test_delay_is_capped_exponential_with_bounded_jitter(self):
+        policy = RetryPolicy(backoff_base_cycles=10, backoff_max_exponent=3,
+                             jitter_cycles=4)
+        rng = SplitRandom(0)
+        for attempt in range(10):
+            delay = policy.delay(attempt, rng)
+            floor = 10 * (1 << min(attempt, 3))
+            assert floor <= delay < floor + 4
+        # the cap holds: attempt 9 charges no more than attempt 3's floor
+        assert policy.delay(9, rng) < 10 * (1 << 3) + 4
+
+
+class TestFaultInjector:
+    def test_decision_streams_are_deterministic(self):
+        plan = adversarial_plan(11)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        assert ([a.begin_stall() for _ in range(200)]
+                == [b.begin_stall() for _ in range(200)])
+        assert ([a.spurious_abort() for _ in range(200)]
+                == [b.spurious_abort() for _ in range(200)])
+
+    def test_suppression_silences_protocol_sites(self):
+        plan = FaultPlan(begin_stall_rate=1.0, abort_rate=1.0,
+                         overflow_at_commits=(0, 1, 2))
+        injector = FaultInjector(plan)
+        injector.suppressed = True
+        assert not any(injector.begin_stall() for _ in range(20))
+        assert not any(injector.spurious_abort() for _ in range(20))
+        assert not any(injector.forced_overflow() for _ in range(3))
+        assert injector.injected == {}
+
+    def test_squeeze_respects_install_window(self):
+        from repro.common.config import MVMConfig
+        config = MVMConfig(max_versions=4)
+        injector = FaultInjector(FaultPlan(squeeze_max_versions=2,
+                                           squeeze_start=1, squeeze_span=2))
+        caps = [injector.squeeze(config).max_versions for _ in range(4)]
+        assert caps == [4, 2, 2, 4]
+
+    def test_stats_count_injections(self):
+        injector = FaultInjector(FaultPlan(abort_rate=1.0))
+        for _ in range(5):
+            injector.spurious_abort()
+        stats = injector.stats()
+        assert stats["injected"]["spurious-abort"] == 5
+
+
+class TestEngineIntegration:
+    def test_adversarial_run_terminates_and_reports(self):
+        config = SimConfig(faults=adversarial_plan(0), retry=TIGHT_RETRY)
+        result = ExperimentSpec("list", "SI-TM", 2, 1, "test",
+                                config=config).run()
+        assert result.commits > 0
+        assert result.max_attempts_seen >= 1
+        assert result.fault_stats is not None
+        assert result.fault_stats["injected"]
+
+    @pytest.mark.parametrize("system", sorted(SYSTEMS))
+    def test_total_abort_storm_terminates_with_escalation(self, system):
+        plan = FaultPlan(abort_rate=1.0)
+        config = SimConfig(faults=plan, retry=TIGHT_RETRY)
+        result = ExperimentSpec("array", system, 2, 1, "test",
+                                config=config).run()
+        # no commit can succeed outside the golden token, so every
+        # commit the run made was bought by an escalation
+        assert result.commits > 0
+        assert result.escalations > 0
+
+    def test_watchdog_diagnoses_permanent_begin_stall(self):
+        # a 1.0-rate stall storm with no retry policy: begin never
+        # proceeds, and the watchdog must raise a diagnosable error
+        # instead of spinning silently to max_steps
+        plan = FaultPlan(begin_stall_rate=1.0, begin_stall_burst=1)
+        spec = ExperimentSpec("array", "SI-TM", 2, 1, "test",
+                              config=SimConfig(faults=plan))
+        with pytest.raises(SimulationError, match="permanent begin stall"):
+            spec.run()
+
+    def test_escalation_defeats_permanent_begin_stall(self):
+        plan = FaultPlan(begin_stall_rate=1.0, begin_stall_burst=1)
+        config = SimConfig(faults=plan, retry=TIGHT_RETRY)
+        result = ExperimentSpec("array", "SI-TM", 2, 1, "test",
+                                config=config).run()
+        assert result.commits > 0 and result.escalations > 0
+
+
+class TestFaultCampaign:
+    def test_campaign_is_clean_across_all_backends(self):
+        report = fault_campaign(serial_executor(), seeds=(0,), schedules=1)
+        assert report.clean, report.violations
+        for system in SYSTEMS:
+            assert report.per_system[system]["committed"] > 0
+
+    def test_without_escalation_every_backend_livelocks(self):
+        report = fault_campaign(serial_executor(), systems=["SI-TM"],
+                                seeds=(0,), schedules=1, escalation=False)
+        assert not report.clean
+        assert {v["rule"] for _, _, v in report.violations} == {"no-progress"}
+        # expected-failure campaigns skip the shrink-and-persist step
+        assert report.repro_path is None
+
+
+@st.composite
+def fault_plans(st_draw):
+    """Arbitrary protocol-level plans (process faults excluded: crashing
+    or hanging the test process is the executor suite's job)."""
+    return FaultPlan(
+        seed=st_draw(st.integers(0, 2**16)),
+        squeeze_max_versions=st_draw(st.integers(0, 3)),
+        squeeze_start=st_draw(st.integers(0, 4)),
+        squeeze_span=st_draw(st.integers(0, 4)),
+        overflow_at_commits=tuple(
+            st_draw(st.lists(st.integers(0, 12), max_size=3))),
+        gc_pause_cycles=st_draw(st.integers(0, 100)),
+        begin_stall_rate=st_draw(st.floats(0.0, 1.0)),
+        begin_stall_burst=st_draw(st.integers(1, 8)),
+        abort_rate=st_draw(st.floats(0.0, 1.0)),
+        abort_burst=st_draw(st.integers(1, 8)),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(plan=fault_plans(), seed=st.integers(0, 2**8))
+def test_any_plan_terminates_and_is_oracle_clean(plan, seed):
+    """The tentpole liveness property: ANY protocol fault plan plus ANY
+    seed terminates under an escalating retry policy, and the run's
+    history passes the isolation oracle."""
+    patch = {"faults": plan.to_dict(), "retry": TIGHT_RETRY.to_dict()}
+    schedule = apply_config_patch(
+        generate_schedule(seed, 0, threads=2, txns=1, cells=3, ops=2),
+        patch)
+    for system in ("SI-TM", "2PL"):
+        violations, _, history = check_schedule_run(schedule, system, seed)
+        assert violations == [], [str(v) for v in violations]
+        assert history is not None and history.committed()
