@@ -569,7 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="profile: write collapsed flamegraph stacks "
                              "to this file")
     parser.add_argument("--suite", default="quick",
-                        choices=("smoke", "quick", "full"),
+                        choices=("smoke", "quick", "flat_loop", "full"),
                         help="bench: pinned suite to run")
     parser.add_argument("--label", default="current",
                         help="bench: artifact label; written as "

@@ -12,7 +12,7 @@ which is both exact and fast enough for the scaled workloads.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.common.config import CacheConfig
 
@@ -23,23 +23,22 @@ class SetAssociativeCache:
     def __init__(self, config: CacheConfig, name: str = "cache"):
         self.config = config
         self.name = name
-        self._sets: Dict[int, Dict[int, None]] = {}
         self._num_sets = config.num_sets
+        # preallocated: one dict per set, so the hot path is a single
+        # list index instead of a get-or-create probe per access
+        self._sets: List[Dict[int, None]] = [
+            {} for _ in range(self._num_sets)]
         self._ways = config.associativity
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def _set_of(self, line: int) -> Dict[int, None]:
-        index = line % self._num_sets
-        entries = self._sets.get(index)
-        if entries is None:
-            entries = self._sets[index] = {}
-        return entries
+        return self._sets[line % self._num_sets]
 
     def lookup(self, line: int) -> bool:
         """Probe for ``line``; update LRU and hit/miss counters."""
-        entries = self._set_of(line)
+        entries = self._sets[line % self._num_sets]
         if line in entries:
             self.hits += 1
             # move-to-end == most recently used
@@ -51,7 +50,7 @@ class SetAssociativeCache:
 
     def fill(self, line: int) -> Optional[int]:
         """Insert ``line``; return the evicted line, if any."""
-        entries = self._set_of(line)
+        entries = self._sets[line % self._num_sets]
         if line in entries:
             del entries[line]
             entries[line] = None
@@ -66,25 +65,25 @@ class SetAssociativeCache:
 
     def invalidate(self, line: int) -> bool:
         """Remove ``line`` if resident; return whether it was."""
-        entries = self._sets.get(line % self._num_sets)
-        if entries and line in entries:
+        entries = self._sets[line % self._num_sets]
+        if line in entries:
             del entries[line]
             return True
         return False
 
     def contains(self, line: int) -> bool:
         """Probe without touching LRU state or counters."""
-        entries = self._sets.get(line % self._num_sets)
-        return bool(entries) and line in entries
+        return line in self._sets[line % self._num_sets]
 
     def flush(self) -> None:
         """Drop every resident line (counters are preserved)."""
-        self._sets.clear()
+        for entries in self._sets:
+            entries.clear()
 
     @property
     def resident_lines(self) -> int:
         """Number of lines currently resident."""
-        return sum(len(s) for s in self._sets.values())
+        return sum(len(s) for s in self._sets)
 
 
 class CoreCaches:
@@ -127,6 +126,12 @@ class CacheHierarchy:
         self.l3 = SetAssociativeCache(machine.l3, "L3")
         self.level_counts = {self.LEVEL_L1: 0, self.LEVEL_L2: 0,
                              self.LEVEL_L3: 0, self.LEVEL_MEM: 0}
+        # hoisted latencies: the per-access path reads these instead of
+        # chasing machine-config attribute chains
+        self._l1_lat = machine.l1d.latency_cycles
+        self._l2_lat = machine.l2.latency_cycles
+        self._l3_lat = machine.l3.latency_cycles
+        self._mem_lat = machine.memory_latency_cycles
         #: directory-style sharer tracking: line -> set of core ids whose
         #: private caches may hold it.  Kept approximately (eviction of a
         #: line from a private cache does not eagerly clear the bit, as in
@@ -136,8 +141,23 @@ class CacheHierarchy:
 
     def access(self, core_id: int, line: int) -> int:
         """Access ``line`` from ``core_id``; return latency in cycles."""
-        latency, _ = self.access_tracked(core_id, line)
-        return latency
+        sharers = self._sharers.get(line)
+        if sharers is None:
+            sharers = self._sharers[line] = set()
+        sharers.add(core_id)
+        core = self.cores[core_id]
+        l1 = core.l1
+        entries = l1._sets[line % l1._num_sets]
+        if line in entries:
+            # inlined L1 hit (the dominant case): same counter and LRU
+            # updates as SetAssociativeCache.lookup, minus three calls
+            l1.hits += 1
+            del entries[line]
+            entries[line] = None
+            self.level_counts[self.LEVEL_L1] += 1
+            return self._l1_lat
+        l1.misses += 1
+        return self._miss_path(core, line)[0]
 
     def access_tracked(self, core_id: int, line: int):
         """Access ``line``; return ``(latency, evicted_private_line)``.
@@ -146,29 +166,38 @@ class CacheHierarchy:
         private hierarchy (its L2 victim), or ``None`` — SI-TM uses it to
         model transactional-line spills to the MVM (section 4.2).
         """
-        core = self.cores[core_id]
-        m = self.machine
         sharers = self._sharers.get(line)
         if sharers is None:
             sharers = self._sharers[line] = set()
         sharers.add(core_id)
-        if core.l1.lookup(line):
+        core = self.cores[core_id]
+        l1 = core.l1
+        entries = l1._sets[line % l1._num_sets]
+        if line in entries:
+            l1.hits += 1
+            del entries[line]
+            entries[line] = None
             self.level_counts[self.LEVEL_L1] += 1
-            return m.l1d.latency_cycles, None
+            return self._l1_lat, None
+        l1.misses += 1
+        return self._miss_path(core, line)
+
+    def _miss_path(self, core: CoreCaches, line: int):
+        """L1-missing access: probe L2, L3, memory; fill on the way in."""
         if core.l2.lookup(line):
             core.l1.fill(line)
             self.level_counts[self.LEVEL_L2] += 1
-            return m.l2.latency_cycles, None
+            return self._l2_lat, None
         if self.l3.lookup(line):
             victim = core.l2.fill(line)
             core.l1.fill(line)
             self.level_counts[self.LEVEL_L3] += 1
-            return m.l3.latency_cycles, victim
+            return self._l3_lat, victim
         self.l3.fill(line)
         victim = core.l2.fill(line)
         core.l1.fill(line)
         self.level_counts[self.LEVEL_MEM] += 1
-        return m.memory_latency_cycles, victim
+        return self._mem_lat, victim
 
     def shared_access(self, line: int) -> int:
         """Access ``line`` at the shared level only (MVM controller path).
@@ -177,13 +206,12 @@ class CacheHierarchy:
         which bypass the private caches (section 4.2: versioning happens
         at the L3/MVM level).
         """
-        m = self.machine
         if self.l3.lookup(line):
             self.level_counts[self.LEVEL_L3] += 1
-            return m.l3.latency_cycles
+            return self._l3_lat
         self.l3.fill(line)
         self.level_counts[self.LEVEL_MEM] += 1
-        return m.memory_latency_cycles
+        return self._mem_lat
 
     def invalidate_everywhere(self, line: int, except_core: Optional[int] = None) -> int:
         """Invalidate ``line`` from sharers' private caches.

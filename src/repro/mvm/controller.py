@@ -157,6 +157,11 @@ class MVMController:
         vlist = self._lines.get(line)
         if vlist is None:
             return False
+        return self._words_conflict(vlist, start_ts, written_words)
+
+    def _words_conflict(self, vlist: VersionList, start_ts: int,
+                        written_words: Dict[int, int]) -> bool:
+        """Word filter on an already-probed version list (no dict probe)."""
         newest = vlist.newest_data()
         try:
             snapshot, _ = vlist.read_at(start_ts)
@@ -173,6 +178,39 @@ class MVMController:
             return True
         self.ww_conflicts_filtered += 1
         return False
+
+    def validate_many(self, lines, start_ts: int,
+                      written_words: Optional[Dict[int, Dict[int, int]]] = None,
+                      ) -> Optional[int]:
+        """Batched write-write validation: first conflicting line, or None.
+
+        One ``_lines`` probe per line for the whole validation set (the
+        per-line path probes once in ``validate_line`` and again in
+        ``words_conflict``).  ``written_words`` — when the word-granularity
+        filter is enabled — maps each *written* line to its
+        ``{word_index: value}`` dict; a line-level conflict on such a line
+        is dismissed (and counted as filtered) when the changed word sets
+        are disjoint.  Counter semantics match the per-line path exactly:
+        every conflicting line bumps ``ww_conflicts_detected``, dismissed
+        ones bump ``ww_conflicts_filtered``, and validation stops at the
+        first conflict that stands.
+        """
+        get = self._lines.get
+        for line in lines:
+            vlist = get(line)
+            if vlist is None:
+                continue
+            newest = vlist.newest_timestamp()
+            if newest is None or newest <= start_ts:
+                continue
+            self.ww_conflicts_detected += 1
+            if written_words is not None:
+                written = written_words.get(line)
+                if written is not None and not self._words_conflict(
+                        vlist, start_ts, written):
+                    continue
+            return line
+        return None
 
     def install_line(self, line: int, end_ts: int, data: LineData) -> None:
         """Install a committed version of ``line`` at ``end_ts``.
@@ -205,6 +243,81 @@ class MVMController:
             # occupancy *after* this install (and its GC/coalescing):
             # what the hardware would actually have to store
             self.metrics.observe("mvm_version_list_length", len(vlist))
+
+    def newest_many(self, lines) -> Dict[int, Optional[LineData]]:
+        """Newest committed data per line, one probe pass (commit merge).
+
+        TM COMMIT merges each written line's buffered words onto the
+        newest version.  Batching the lookups before the installs is
+        safe: a commit installs each line at most once, and installing
+        one line never changes another line's newest data.
+        """
+        get = self._lines.get
+        out: Dict[int, Optional[LineData]] = {}
+        for line in lines:
+            vlist = get(line)
+            out[line] = vlist.newest_data() if vlist is not None else None
+        return out
+
+    def install_many(self, end_ts: int, items, on_installed=None) -> None:
+        """Install a whole write set at ``end_ts`` through one MVM call.
+
+        ``items`` is a sequence of ``(line, data)`` pairs in install
+        order.  Per line the semantics are identical to
+        :meth:`install_line` — fault squeeze, GC-on-write, coalescing,
+        counters, profiler/metrics events all fire per line, in order —
+        and ``on_installed(line, data)`` (the TM system's cycle-charging
+        and invalidation hook) runs after each line exactly where the
+        old per-line commit loop charged it.  That preserves the
+        interleaving the ABORT_WRITER policy makes observable: a
+        mid-commit :class:`CapExceeded` leaves the cache/coherence
+        effects of the already-installed prefix in place.  On
+        ``CapExceeded`` every installed line is rolled back and the
+        exception is re-raised with ``.line`` set to the failing line.
+        """
+        faults = self.faults
+        dedup = self.dedup
+        profiler = self.profiler
+        metrics = self.metrics
+        base_config = self.config
+        lines_map = self._lines
+        active = self.active
+        installed = []
+        line = None
+        try:
+            for line, data in items:
+                config = (base_config if faults is None
+                          else faults.squeeze(base_config))
+                vlist = lines_map.get(line)
+                if vlist is None:
+                    vlist = lines_map[line] = VersionList()
+                coalesced, dropped = vlist.install(
+                    end_ts, data, config, active)
+                if faults is not None:
+                    faults.note_gc_event(int(coalesced), dropped)
+                if dedup is not None:
+                    dedup.add(data)
+                self.versions_installed += 1
+                if coalesced:
+                    self.versions_coalesced += 1
+                self.versions_collected += dropped
+                if profiler is not None:
+                    profiler.mvm_event("install", line)
+                    if coalesced:
+                        profiler.mvm_event("coalesce", line)
+                    if dropped:
+                        profiler.mvm_event("gc", line, dropped)
+                if metrics is not None:
+                    self.metrics.observe("mvm_version_list_length",
+                                         len(vlist))
+                installed.append(line)
+                if on_installed is not None:
+                    on_installed(line, data)
+        except CapExceeded as exc:
+            for rollback in installed:
+                self.rollback_line(rollback, end_ts)
+            exc.line = line
+            raise
 
     def bundle_copy_lines(self, line: int) -> int:
         """Extra lines copied when ``line``'s bundle first materialises.

@@ -29,6 +29,9 @@ from repro.common.errors import MVMError, TimestampOverflowError
 class GlobalClock:
     """The global timestamp counter with the Δ-commit protocol."""
 
+    __slots__ = ("_now", "_delta", "_max", "_pending_commits",
+                 "start_stalls", "epoch", "faults")
+
     def __init__(self, delta: int = 64, max_timestamp: Optional[int] = None):
         if delta < 1:
             raise MVMError("delta must be >= 1")
@@ -122,12 +125,19 @@ class ActiveTransactionTable:
     start between two candidate version timestamps?
     """
 
+    __slots__ = ("_starts", "_oldest")
+
     def __init__(self) -> None:
         self._starts: List[int] = []
+        # cached head: ``oldest()`` runs on every version install (GC
+        # consults it), mutations only at begin/commit/abort, so the
+        # watermark is maintained on mutation and read for free
+        self._oldest: Optional[int] = None
 
     def add(self, start_ts: int) -> None:
         """Register a transaction's start timestamp."""
         bisect.insort(self._starts, start_ts)
+        self._oldest = self._starts[0]
 
     def remove(self, start_ts: int) -> None:
         """Remove a start timestamp on commit or abort."""
@@ -135,10 +145,11 @@ class ActiveTransactionTable:
         if idx >= len(self._starts) or self._starts[idx] != start_ts:
             raise MVMError(f"unknown active start timestamp {start_ts}")
         self._starts.pop(idx)
+        self._oldest = self._starts[0] if self._starts else None
 
     def oldest(self) -> Optional[int]:
         """Start timestamp of the oldest in-flight transaction."""
-        return self._starts[0] if self._starts else None
+        return self._oldest
 
     def any_started_in(self, lo: int, hi: int) -> bool:
         """Any active transaction with ``lo < start_ts < hi``?"""

@@ -32,6 +32,11 @@ LineData = Tuple[int, ...]
 class CapExceeded(Exception):
     """Installing this version would exceed the cap under ABORT_WRITER."""
 
+    #: set by :meth:`repro.mvm.controller.MVMController.install_many` to
+    #: the line whose install hit the cap, so TM COMMIT can report the
+    #: conflict line without re-deriving it
+    line: Optional[int] = None
+
 
 class SnapshotTooOld(Exception):
     """No version old enough survives (DROP_OLDEST policy, section 3.1)."""
@@ -79,6 +84,10 @@ class VersionList:
         """
         if not self._timestamps:
             return None, 0
+        if self._timestamps[-1] <= start_ts:
+            # newest-visible fast path: the dominant case (most snapshots
+            # are younger than the newest version) skips the bisect
+            return self._data[-1], 1
         idx = bisect.bisect_right(self._timestamps, start_ts) - 1
         if idx < 0:
             if self._base_dropped:

@@ -33,7 +33,7 @@ __all__ = ["Span", "SpanRecorder", "MultiTracer"]
 COMMIT, ABORT, OPEN = "commit", "abort", "open"
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One transaction attempt's lifecycle record."""
 

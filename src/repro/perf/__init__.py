@@ -15,10 +15,13 @@ from repro.perf.bench import (BENCH_DIR_ENV, DEFAULT_BENCH_DIR, SUITES,
                               BenchSuite, artifact_path, load_artifact,
                               run_bench, save_artifact, validate_artifact)
 from repro.perf.compare import CompareReport, compare_artifacts
+from repro.perf.micro import (PRE_REFACTOR_BASELINE, run_dispatch_micro,
+                              run_fullstack_micro)
 
 __all__ = [
     "BENCH_DIR_ENV", "DEFAULT_BENCH_DIR", "SUITES", "BenchSuite",
     "artifact_path", "load_artifact", "run_bench", "save_artifact",
     "validate_artifact",
     "CompareReport", "compare_artifacts",
+    "PRE_REFACTOR_BASELINE", "run_dispatch_micro", "run_fullstack_micro",
 ]

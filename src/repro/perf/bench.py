@@ -89,6 +89,15 @@ SUITES: Dict[str, BenchSuite] = {
         ("array", "SI-TM", 8),
         ("list", "SONTM", 4),
     ), seeds=2, profile="test"),
+    # the flat-loop refactor's simulated-behaviour pin (ISSUE 6): high
+    # thread counts through the specialized fast path; the host-side
+    # dispatch measurement lives in the artifact's advisory section
+    # (see repro.perf.micro)
+    "flat_loop": BenchSuite("flat_loop", (
+        ("array", "SI-TM", 32),
+        ("rbtree", "SI-TM", 32),
+        ("rbtree", "2PL", 32),
+    ), seeds=2, profile="test"),
     # broader sweep for manual before/after studies
     "full": BenchSuite("full", (
         ("rbtree", "2PL", 8),

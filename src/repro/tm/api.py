@@ -151,6 +151,8 @@ class CommitToken:
     the caller can charge the wait.
     """
 
+    __slots__ = ("_busy_until",)
+
     def __init__(self) -> None:
         self._busy_until = 0
 
@@ -225,6 +227,20 @@ class TMSystem:
              ) -> Tuple[int, int]:
         """Transactional load; return ``(value, cycles)``."""
         raise NotImplementedError
+
+    def read_many(self, txn: Txn, addrs, promote: bool = False):
+        """Bulk transactional load: ``(value, cycles)`` per address.
+
+        Semantically a loop over :meth:`read` — and that is the default
+        implementation every backend inherits — but a single entry point
+        lets workloads that read a whole structure amortise the per-call
+        dispatch, and lets backends override with a genuinely batched
+        path (SI-TM's snapshot reads probe the MVM once per line).
+        Ordering matters: reads are issued in ``addrs`` order, so cache
+        and timing side effects are identical to the equivalent loop.
+        """
+        read = self.read
+        return [read(txn, addr, promote) for addr in addrs]
 
     def write(self, txn: Txn, addr: int, value: int) -> int:
         """Transactional store; return cycles."""

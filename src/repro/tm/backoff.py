@@ -16,6 +16,8 @@ from repro.common.rng import SplitRandom
 class ExponentialBackoff:
     """Computes the delay (in cycles) to wait after the n-th abort."""
 
+    __slots__ = ("_enabled", "_base", "_max_exponent", "_rng")
+
     def __init__(self, config: TMConfig, rng: SplitRandom):
         self._enabled = config.backoff_enabled
         self._base = config.backoff_base_cycles
@@ -38,6 +40,8 @@ class ExponentialBackoff:
 class NoBackoff:
     """Null policy: never wait (SI-TM's default — lazy commits guarantee
     progress, section 2)."""
+
+    __slots__ = ()
 
     def delay(self, attempt: int) -> int:  # noqa: D102 — trivially documented above
         return 0

@@ -22,6 +22,8 @@ into the write set for conflict detection but creates no new data version.
 
 from __future__ import annotations
 
+import sys
+
 
 class Op:
     """Base class of all operation descriptors."""
@@ -37,7 +39,9 @@ class Read(Op):
     def __init__(self, addr: int, promote: bool = False, site: str = ""):
         self.addr = addr
         self.promote = promote
-        self.site = site
+        # sites repeat per call site; interning makes every later
+        # dict/set probe on them a pointer comparison
+        self.site = sys.intern(site) if site else site
 
     def __repr__(self) -> str:
         flags = ", promote=True" if self.promote else ""
@@ -52,7 +56,7 @@ class Write(Op):
     def __init__(self, addr: int, value: int, site: str = ""):
         self.addr = addr
         self.value = value
-        self.site = site
+        self.site = sys.intern(site) if site else site
 
     def __repr__(self) -> str:
         return f"Write({self.addr:#x}, {self.value})"

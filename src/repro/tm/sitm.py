@@ -42,6 +42,7 @@ from repro.common.errors import (
     TransactionAborted,
 )
 from repro.common.rng import SplitRandom
+from repro.mem.address import MVM_REGION_BASE
 from repro.mem.cache import SetAssociativeCache
 from repro.mvm.version_list import CapExceeded, SnapshotTooOld
 from repro.sim.machine import Machine
@@ -82,6 +83,16 @@ class SnapshotIsolationTM(TMSystem):
         #: until the last doomed transaction drains and the MVM resets
         self._overflow_pending = False
         self.timestamp_overflows = 0
+        # hoisted hot-path state: the read/write paths run once per
+        # simulated memory operation, so attribute chains and repeated
+        # config lookups are paid here instead.  Bound methods are safe
+        # to cache — the machine never swaps its caches or controller.
+        self._wpl = machine.address_map.words_per_line
+        self._l1_lat = machine.config.machine.l1d.latency_cycles
+        self._l2_lat = machine.config.machine.l2.latency_cycles
+        self._access = machine.caches.access
+        self._access_tracked = machine.caches.access_tracked
+        self._snapshot_read = machine.mvm.snapshot_read
 
     def uses_backoff(self) -> bool:
         """SI-TM needs no backoff: lazy commits guarantee progress."""
@@ -124,25 +135,30 @@ class SnapshotIsolationTM(TMSystem):
 
     def read(self, txn: Txn, addr: int, promote: bool = False,
              ) -> Tuple[int, int]:
-        line = self.amap.line_of(addr)
-        if promote and self.amap.is_mvm(addr):
+        # this is the hottest method in the simulator (one call per
+        # simulated load); line/word math and the MVM-region test are
+        # inlined and the per-access collaborators pre-bound in __init__
+        wpl = self._wpl
+        line = addr // wpl
+        is_mvm = addr >= MVM_REGION_BASE
+        if promote and is_mvm:
             # promotion = commit-time validation against version
             # timestamps; conventional addresses have none (thread-private
             # or immutable data), so promotion is a no-op there
             txn.promoted_lines.add(line)
-        buffered = self._buffered_read(txn, addr)
+        buffered = txn.write_buffer.get(addr)
         if buffered is not None:
-            return buffered, self.config.machine.l1d.latency_cycles
-        cycles = self.machine.caches.access(txn.thread_id, line)
-        if not self.amap.is_mvm(addr):
+            return buffered, self._l1_lat
+        cycles = self._access(txn.thread_id, line)
+        if not is_mvm:
             return self.machine.backing.load(addr), cycles
-        if cycles > self.config.machine.l2.latency_cycles:
+        if cycles > self._l2_lat:
             # L2 miss: the access reaches the MVM controller and pays the
             # indirection lookup unless the translation cache hides it.
             cycles += self._indirection_cycles(line)
             cycles += self.MVM_CONTROL_CYCLES
         try:
-            data = self.mvm.snapshot_read(line, txn.start_ts)
+            data = self._snapshot_read(line, txn.start_ts)
         except SnapshotTooOld:
             txn.conflict_line = line
             raise TransactionAborted(
@@ -150,10 +166,10 @@ class SnapshotIsolationTM(TMSystem):
                 f"line {line:#x} has no version <= {txn.start_ts}")
         if data is None:
             return 0, cycles
-        return data[self.amap.word_in_line(addr)], cycles
+        return data[addr % wpl], cycles
 
     def write(self, txn: Txn, addr: int, value: int) -> int:
-        if not self.amap.is_mvm(addr):
+        if addr < MVM_REGION_BASE:
             # Only multiversioned memory carries version timestamps, so
             # write-write conflicts on conventional addresses would go
             # undetected — silent lost updates.  The paper requires
@@ -163,13 +179,12 @@ class SnapshotIsolationTM(TMSystem):
                 f"SI-TM transactional write to conventional address "
                 f"{addr:#x}; transactional data must be allocated with "
                 f"mvmalloc() (section 4.4)")
-        line = self.amap.line_of(addr)
+        line = addr // self._wpl
         txn.write_lines.add(line)
         txn.write_buffer[addr] = value
         # Lazy detection: no coherence messages (section 4.2); the line is
         # simply marked transactionally written in the L1 (write-allocate).
-        cycles, evicted = self.machine.caches.access_tracked(
-            txn.thread_id, line)
+        cycles, evicted = self._access_tracked(txn.thread_id, line)
         if evicted is not None and evicted in txn.write_lines:
             # an uncommitted transactionally-written line left the private
             # caches: the MVM stores it under a temporary ID, visible only
@@ -183,25 +198,29 @@ class SnapshotIsolationTM(TMSystem):
     # ------------------------------------------------------------------
 
     def _validate(self, txn: Txn) -> None:
-        """Timestamp-based write-write validation (section 4.2)."""
+        """Timestamp-based write-write validation (section 4.2).
+
+        Delegates to the MVM's batched ``validate_many`` so the whole
+        validation set is checked in one controller call (one version-list
+        probe per line).  When the word-granularity filter is on, the
+        written words are grouped per line eagerly — only write lines get
+        an entry, so promoted-read conflicts are never filtered, exactly
+        as in the per-line path.
+        """
         if not self.ww_validation:
             return
-        word_filter = self.config.tm.word_grain_commit_filter
-        words_per_line = self.amap.words_per_line
-        for line in sorted(txn.validation_lines()):
-            if not self.mvm.validate_line(line, txn.start_ts):
-                continue
-            if word_filter and line in txn.write_lines:
-                written = {
-                    self.amap.word_in_line(addr): value
-                    for addr, value in txn.write_buffer.items()
-                    if self.amap.line_of(addr) == line}
-                if len(written) <= words_per_line and not \
-                        self.mvm.words_conflict(line, txn.start_ts, written):
-                    continue
-            txn.conflict_line = line
+        written_words = None
+        if self.config.tm.word_grain_commit_filter and txn.write_lines:
+            wpl = self._wpl
+            written_words = {}
+            for addr, value in txn.write_buffer.items():
+                written_words.setdefault(addr // wpl, {})[addr % wpl] = value
+        conflict = self.mvm.validate_many(
+            sorted(txn.validation_lines()), txn.start_ts, written_words)
+        if conflict is not None:
+            txn.conflict_line = conflict
             raise TransactionAborted(
-                AbortCause.WRITE_WRITE, f"line {line:#x}")
+                AbortCause.WRITE_WRITE, f"line {conflict:#x}")
 
     def _build_line(self, txn: Txn, line: int) -> tuple:
         """Merge buffered words onto the current newest version of ``line``.
@@ -243,32 +262,54 @@ class SnapshotIsolationTM(TMSystem):
         # Release our snapshot before installing so coalescing considers
         # only *other* transactions' start timestamps.
         self._remove_start(txn)
-        installed = []
-        install_cycles = 0
         # the write path rejects conventional addresses, so every written
         # line is multiversioned
         mvm_lines = sorted(txn.write_lines)
+        # Merge the buffered words onto each line's newest version, all
+        # lookups in one controller call: a commit installs each line at
+        # most once, so one line's install can't change another's base.
+        wpl = self._wpl
+        bases = self.mvm.newest_many(mvm_lines)
+        merged = {}
+        for addr, value in txn.write_buffer.items():
+            merged.setdefault(addr // wpl, {})[addr] = value
+        items = []
+        for line in mvm_lines:
+            base = bases[line]
+            words = list(base) if base is not None else [0] * wpl
+            base_addr = line * wpl
+            for addr, value in merged[line].items():
+                words[addr - base_addr] = value
+            items.append((line, tuple(words)))
+        install_cycles = 0
+        shared_access = self.machine.caches.shared_access
+        invalidate = self.machine.caches.invalidate_everywhere
+        bundle_copy_lines = self.mvm.bundle_copy_lines
+        writeback = self.WRITEBACK_CYCLES
+        tid = txn.thread_id
+
+        def charge(line: int, data: tuple) -> None:
+            # per-line commit cost, run by install_many after each install
+            # so the cache/coherence effects interleave with the installs
+            # exactly as the old per-line loop did (observable when a
+            # mid-commit CapExceeded leaves the prefix's effects in place)
+            nonlocal install_cycles
+            install_cycles += (shared_access(line) + writeback
+                               + self.MVM_CONTROL_CYCLES
+                               # bundled configurations copy the whole
+                               # bundle on its first write (section 3.2's
+                               # capacity/write trade-off)
+                               + bundle_copy_lines(line) * writeback)
+            invalidate(line, except_core=tid)
+
         try:
-            for line in mvm_lines:
-                data = self._build_line(txn, line)
-                self.mvm.install_line(line, end_ts, data)
-                installed.append(line)
-                install_cycles += (self.machine.caches.shared_access(line)
-                                   + self.WRITEBACK_CYCLES
-                                   + self.MVM_CONTROL_CYCLES)
-                # bundled configurations copy the whole bundle on its
-                # first write (section 3.2's capacity/write trade-off)
-                install_cycles += (self.mvm.bundle_copy_lines(line)
-                                   * self.WRITEBACK_CYCLES)
-                self.machine.caches.invalidate_everywhere(
-                    line, except_core=txn.thread_id)
-        except CapExceeded:
-            # Optimistic commit is itself transactional: undo our versions.
-            for rollback in installed:
-                self.mvm.rollback_line(rollback, end_ts)
+            self.mvm.install_many(end_ts, items, on_installed=charge)
+        except CapExceeded as exc:
+            # Optimistic commit is itself transactional: install_many
+            # already undid our versions; release the reservation.
             self.machine.clock.abandon_commit(end_ts)
             self._release(txn)
-            txn.conflict_line = line
+            txn.conflict_line = exc.line
             raise TransactionAborted(AbortCause.VERSION_OVERFLOW)
         cycles += install_cycles
         faults = self.machine.faults

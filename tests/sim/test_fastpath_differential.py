@@ -1,0 +1,248 @@
+"""Fast-path differential: the flattened loop changes nothing observable.
+
+The engine selects a specialized step loop at construction when no
+observer (tracer, metrics, profiler, fault injector, retry policy) is
+present.  These tests pin the refactor's core contract: for every
+backend, over the persisted schedule corpus and the pinned micro grids,
+the fast path produces **byte-identical** results to the fully-guarded
+legacy path — the same :class:`RunStats` (including per-label insertion
+order), the same final memory, the same step count, and the same
+history of calls across the TM interface (operation order, arguments,
+results and cycle charges), which is the complete channel through which
+a run's schedule is observable without a tracer.
+
+The TM-interface history is captured by wrapping the backend in a
+recording proxy; the proxy works identically on both paths because the
+engine drives the backend the same way regardless of loop shape — that
+is exactly the property under test.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.common.rng import SplitRandom, derive_seed
+from repro.oracle.fuzz import _make_body, _patched_config, \
+    generate_schedule
+from repro.perf.micro import _dispatch_programs, _fullstack_programs, \
+    _machine
+from repro.sim.engine import Engine, Tracer, TransactionSpec
+from repro.sim.machine import Machine
+from repro.tm import SYSTEMS
+
+CORPUS_DIR = pathlib.Path(__file__).parent.parent / "corpus" / "schedules"
+#: livelock_under_fault never terminates by design (that is its point)
+CLEAN_CORPUS = sorted(p for p in CORPUS_DIR.glob("*.json")
+                      if p.stem != "livelock_under_fault")
+ALL_SYSTEMS = sorted(SYSTEMS)
+
+
+class RecordingTM:
+    """Proxy over a TM backend logging every call across the interface.
+
+    The log entries include arguments, results, raised abort causes and
+    cycle charges, so two engines produce equal logs only if they drove
+    the backend through the same sequence of operations with the same
+    outcomes.
+    """
+
+    def __init__(self, inner, log):
+        self._inner = inner
+        self._log = log
+        self.machine = inner.machine
+        self.rng = inner.rng
+
+    def __getattr__(self, name):
+        # anything not intercepted (constants, ww_validation, ...)
+        # resolves on the wrapped backend
+        return getattr(self._inner, name)
+
+    @property
+    def stats(self):
+        return self._inner.stats
+
+    @stats.setter
+    def stats(self, value):
+        self._inner.stats = value
+
+    def begin(self, thread_id, label, retries):
+        txn, cycles = self._inner.begin(thread_id, label, retries)
+        self._log.append(("begin", thread_id, label, retries,
+                          txn is None, cycles))
+        return txn, cycles
+
+    def read(self, txn, addr, promote=False):
+        try:
+            value, cycles = self._inner.read(txn, addr, promote)
+        except BaseException as exc:
+            self._log.append(("read!", txn.thread_id, addr, promote,
+                              type(exc).__name__, str(exc)))
+            raise
+        self._log.append(("read", txn.thread_id, addr, promote,
+                          value, cycles))
+        return value, cycles
+
+    def write(self, txn, addr, value):
+        try:
+            cycles = self._inner.write(txn, addr, value)
+        except BaseException as exc:
+            self._log.append(("write!", txn.thread_id, addr, value,
+                              type(exc).__name__, str(exc)))
+            raise
+        self._log.append(("write", txn.thread_id, addr, value, cycles))
+        return cycles
+
+    def commit(self, txn, now):
+        try:
+            cycles = self._inner.commit(txn, now)
+        except BaseException as exc:
+            self._log.append(("commit!", txn.thread_id, now,
+                              type(exc).__name__, str(exc)))
+            raise
+        self._log.append(("commit", txn.thread_id, now, cycles))
+        return cycles
+
+    def abort(self, txn, cause):
+        cycles = self._inner.abort(txn, cause)
+        self._log.append(("abort", txn.thread_id, cause.name, cycles))
+        return cycles
+
+
+def _load(path):
+    doc = json.loads(path.read_text())
+    return doc.get("schedule", doc)
+
+
+def _run_schedule_variant(schedule, system, observed, soa=None):
+    """Mirror ``repro.oracle.fuzz.run_schedule`` minus the recorder."""
+    config = _patched_config(schedule.get("config"))
+    machine = Machine(config)
+    stride = machine.address_map.words_per_line
+    initial = list(schedule["initial"])
+    base = machine.mvmalloc(max(1, len(initial)) * stride)
+    for cell, value in enumerate(initial):
+        machine.plain_store(base + cell * stride, value)
+    log = []
+    tm = RecordingTM(
+        SYSTEMS[system](machine, SplitRandom(
+            derive_seed(0, "fuzz-run", schedule.get("name", ""), system))),
+        log)
+    programs = [
+        [TransactionSpec(_make_body(txn["ops"], base, stride, txn["label"]),
+                         txn["label"])
+         for txn in thread]
+        for thread in schedule["threads"]]
+    total_ops = sum(len(txn["ops"]) + 2
+                    for thread in schedule["threads"] for txn in thread)
+    kwargs = {} if soa is None else {"soa": soa}
+    engine = Engine(tm, programs,
+                    tracer=Tracer() if observed else None, **kwargs)
+    engine.run(max_steps=1000 * max(1, total_ops) + 20_000)
+    final = [machine.plain_load(base + cell * stride)
+             for cell in range(len(initial))]
+    return {
+        "stats": engine.stats.to_dict(),
+        "final": final,
+        "steps": engine.steps_taken,
+        "tm_log": log,
+        "fast": engine._fast,
+    }
+
+
+def _strip(result):
+    return {k: result[k] for k in ("stats", "final", "steps", "tm_log")}
+
+
+def test_all_five_backends_are_covered():
+    assert len(ALL_SYSTEMS) == 5, ALL_SYSTEMS
+
+
+def test_corpus_is_present():
+    assert len(CLEAN_CORPUS) >= 3
+
+
+@pytest.mark.parametrize("path", CLEAN_CORPUS,
+                         ids=[p.stem for p in CLEAN_CORPUS])
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_fast_path_is_byte_identical_on_corpus(path, system):
+    schedule = _load(path)
+    fast = _run_schedule_variant(schedule, system, observed=False)
+    observed = _run_schedule_variant(schedule, system, observed=True)
+    assert not observed["fast"]
+    if not schedule.get("config") or not (
+            schedule["config"].get("faults")
+            or schedule["config"].get("retry")):
+        # no observer in the schedule's own config: the unobserved
+        # variant must actually have taken the specialized loop —
+        # otherwise this whole test is vacuously comparing legacy to
+        # legacy
+        assert fast["fast"]
+    assert _strip(fast) == _strip(observed)
+
+
+@pytest.mark.parametrize("path", CLEAN_CORPUS,
+                         ids=[p.stem for p in CLEAN_CORPUS])
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_soa_layout_is_byte_identical_on_corpus(path, system):
+    schedule = _load(path)
+    auto = _run_schedule_variant(schedule, system, observed=False)
+    soa = _run_schedule_variant(schedule, system, observed=False, soa=True)
+    assert _strip(auto) == _strip(soa)
+
+
+@pytest.mark.parametrize("index", range(6))
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_fast_path_is_byte_identical_on_generated_schedules(system, index):
+    """Property over the fuzzer's schedule space: randomized contended
+    schedules (increments, transfers, scans, blind writes, write skew)
+    must agree between paths just like the curated corpus does."""
+    schedule = generate_schedule(11, index, threads=3, txns=2,
+                                 cells=4, ops=3)
+    fast = _run_schedule_variant(schedule, system, observed=False)
+    observed = _run_schedule_variant(schedule, system, observed=True)
+    assert fast["fast"] and not observed["fast"]
+    assert _strip(fast) == _strip(observed)
+
+
+def _run_grid_variant(programs_builder, threads, observed, soa=None):
+    machine = _machine(threads)
+    tm = SYSTEMS["SI-TM"](machine, SplitRandom(7))
+    log = []
+    tm = RecordingTM(tm, log)
+    kwargs = {} if soa is None else {"soa": soa}
+    engine = Engine(tm, programs_builder(machine),
+                    tracer=Tracer() if observed else None, **kwargs)
+    engine.run()
+    return {
+        "stats": engine.stats.to_dict(),
+        "steps": engine.steps_taken,
+        "tm_log": log,
+        "fast": engine._fast,
+    }
+
+
+def _fullstack(machine):
+    base = machine.mvmalloc(32 * 8)
+    return _fullstack_programs(base, 32, 12, 8)
+
+
+def _dispatch(machine):
+    wpl = machine.address_map.words_per_line
+    base = machine.mvmalloc(64 * wpl)
+    return _dispatch_programs(machine, base, 64, 6, 40, 300, 2, 2)
+
+
+@pytest.mark.parametrize("builder,threads", [
+    (_fullstack, 32),
+    (_dispatch, 64),
+], ids=["fullstack32", "dispatch64"])
+def test_fast_path_is_byte_identical_on_micro_grids(builder, threads):
+    """32- and 64-thread grids: exercises bursts, SoA and batched commit."""
+    fast = _run_grid_variant(builder, threads, observed=False)
+    observed = _run_grid_variant(builder, threads, observed=True)
+    soa = _run_grid_variant(builder, threads, observed=False, soa=True)
+    assert fast["fast"] and not observed["fast"] and soa["fast"]
+    for variant in (observed, soa):
+        assert {k: fast[k] for k in ("stats", "steps", "tm_log")} \
+            == {k: variant[k] for k in ("stats", "steps", "tm_log")}
