@@ -38,6 +38,7 @@ from repro.tm import (
     SYSTEMS,
     Abort,
     Compute,
+    HybridHTM,
     Read,
     SerializableSITM,
     SnapshotIsolationTM,
@@ -54,6 +55,7 @@ __all__ = [
     "Compute",
     "Engine",
     "FaultPlan",
+    "HybridHTM",
     "Machine",
     "MachineConfig",
     "MVMConfig",

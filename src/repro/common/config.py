@@ -200,12 +200,33 @@ class TMConfig:
     version_buffer_lines: int = 0
     #: SI-TM word-granularity commit filtering of false sharing/silent stores.
     word_grain_commit_filter: bool = False
+    #: Capacity bound on the tracked read set, in lines (POWER-style
+    #: limited-capacity HTM).  Exceeding it aborts with ``read-capacity``.
+    #: ``0`` (the default) disables the bound and is omitted from the
+    #: canonical dict so pre-capacity fingerprints survive.
+    read_set_limit: int = 0
+    #: Capacity bound on the tracked write set, in lines.  Exceeding it
+    #: aborts with ``write-capacity``.  ``0`` disables; omitted when unset.
+    write_set_limit: int = 0
+    #: Capacity bound on the speculative version buffer — buffered store
+    #: words for lazy-versioning backends, undo-log entries for eager
+    #: ones.  Exceeding it aborts with ``version-capacity``.  ``0``
+    #: disables; omitted when unset.
+    version_buffer_limit: int = 0
+    #: HybridHTM only: hardware attempts before a transaction falls back
+    #: to the serialized global-lock path.  ``0`` (the default) uses the
+    #: backend's built-in budget; omitted when unset.
+    hybrid_hw_attempts: int = 0
 
     def __post_init__(self) -> None:
         if self.backoff_base_cycles < 1:
             raise ConfigError("backoff_base_cycles must be >= 1")
         if self.backoff_max_exponent < 0:
             raise ConfigError("backoff_max_exponent must be >= 0")
+        for name in ("read_set_limit", "write_set_limit",
+                     "version_buffer_limit", "hybrid_hw_attempts"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -275,6 +296,16 @@ class SimConfig:
         return digest.hexdigest()[:16]
 
 
+#: Config fields serialized omitted-when-unset (0/None/False): their
+#: defaults predate nothing — they were added after fingerprints, cache
+#: keys and bench baselines already existed, so a default value must
+#: leave the canonical dict byte-identical to the pre-feature form.
+OMITTED_WHEN_UNSET = frozenset({
+    "read_set_limit", "write_set_limit", "version_buffer_limit",
+    "hybrid_hw_attempts",
+})
+
+
 def _config_to_dict(config) -> dict:
     """Recursively convert a config dataclass tree to JSON-safe types."""
     out = {}
@@ -285,6 +316,9 @@ def _config_to_dict(config) -> dict:
             # these carry their own canonical to_dict (tuple -> list)
             if value is not None:
                 out[f.name] = value.to_dict()
+        elif f.name in OMITTED_WHEN_UNSET:
+            if value:
+                out[f.name] = value
         elif dataclasses.is_dataclass(value):
             out[f.name] = _config_to_dict(value)
         elif isinstance(value, enum.Enum):

@@ -84,6 +84,15 @@ class AbortCause(enum.Enum):
     SNAPSHOT_TOO_OLD = "snapshot-too-old"
     #: Conventional HTM: the L1 version buffer overflowed (section 4.3).
     VERSION_BUFFER_OVERFLOW = "version-buffer-overflow"
+    #: Capacity-bounded HTM: the tracked read set outgrew the backend's
+    #: declared ``read_set_limit`` (POWER-style limited-capacity HTM).
+    READ_CAPACITY = "read-capacity"
+    #: Capacity-bounded HTM: the tracked write set outgrew the backend's
+    #: declared ``write_set_limit``.
+    WRITE_CAPACITY = "write-capacity"
+    #: Capacity-bounded HTM: the speculative version buffer (write buffer
+    #: or undo log) outgrew the backend's declared ``version_buffer_limit``.
+    VERSION_CAPACITY = "version-capacity"
     #: SSI-TM: incoming and outgoing rw-antidependency observed (section 5.2).
     DANGEROUS_STRUCTURE = "dangerous-structure"
     #: Global timestamp counter overflow (section 4.1).

@@ -31,6 +31,11 @@ registry):
   transaction at commit with the backend's declared
   ``SPURIOUS_ABORT_CAUSE`` (rate + burst), modelling conflict-detection
   false positives;
+* **capacity squeeze** — :meth:`FaultInjector.capacity_limits` caps the
+  tracked read/write sets and the speculative version buffer below the
+  configured bounds, forcing the declared capacity aborts
+  (``read-capacity``/``write-capacity``/``version-capacity``) on
+  workloads whose footprints would never hit the real limits;
 * **worker crash / hang** — process-level faults
   (``crash_at_begin``/``hang_at_begin``) used by the executor's
   recovery tests: the worker SIGKILLs itself or sleeps mid-run.
@@ -92,6 +97,14 @@ FAULT_SITES = [
      "fields": "abort_rate, abort_burst",
      "effect": "aborts at commit with the backend's declared "
                "SPURIOUS_ABORT_CAUSE (conflict false positives)"},
+    {"site": "capacity-squeeze",
+     "layer": "tm/api.py:_charge_{read,write,version}_capacity",
+     "fields": "squeeze_read_lines, squeeze_write_lines, "
+               "squeeze_buffer_entries",
+     "effect": "caps the tracked read/write sets and the speculative "
+               "version buffer below the configured limits, forcing "
+               "declared capacity aborts (read-capacity, "
+               "write-capacity, version-capacity)"},
     {"site": "worker-crash",
      "layer": "sim/engine.py:_begin (process-level)",
      "fields": "crash_at_begin",
@@ -147,6 +160,14 @@ class FaultPlan:
     #: consecutive commit attempts aborted once a burst starts
     abort_burst: int = 1
 
+    # -- capacity squeeze (TM tracking sites) ---------------------------
+    #: cap the tracked read set to this many lines (0 = site disabled)
+    squeeze_read_lines: int = 0
+    #: cap the tracked write set to this many lines (0 = site disabled)
+    squeeze_write_lines: int = 0
+    #: cap the speculative version buffer to this many entries (0 = off)
+    squeeze_buffer_entries: int = 0
+
     # -- process-level faults (executor recovery tests) -----------------
     #: SIGKILL the worker at the Nth begin call (1-based, 0 = off)
     crash_at_begin: int = 0
@@ -170,6 +191,9 @@ class FaultPlan:
             raise ConfigError("overflow_at_commits indices must be >= 0")
         if self.gc_pause_cycles < 0:
             raise ConfigError("gc_pause_cycles must be >= 0")
+        if (self.squeeze_read_lines < 0 or self.squeeze_write_lines < 0
+                or self.squeeze_buffer_entries < 0):
+            raise ConfigError("capacity squeezes must be >= 0")
         if self.crash_at_begin < 0 or self.hang_at_begin < 0:
             raise ConfigError("crash/hang begin indices must be >= 0")
         if self.hang_seconds < 0:
@@ -186,8 +210,14 @@ class FaultPlan:
                     or self.gc_pause_cycles
                     or self.begin_stall_rate
                     or self.abort_rate
+                    or self.squeezes_capacity()
                     or self.crash_at_begin
                     or self.hang_at_begin)
+
+    def squeezes_capacity(self) -> bool:
+        """True when the capacity-squeeze site is enabled."""
+        return bool(self.squeeze_read_lines or self.squeeze_write_lines
+                    or self.squeeze_buffer_entries)
 
     def to_dict(self) -> dict:
         """Canonical JSON-safe form (stable key set, tuple -> list)."""
@@ -202,6 +232,9 @@ class FaultPlan:
             "begin_stall_burst": self.begin_stall_burst,
             "abort_rate": self.abort_rate,
             "abort_burst": self.abort_burst,
+            "squeeze_read_lines": self.squeeze_read_lines,
+            "squeeze_write_lines": self.squeeze_write_lines,
+            "squeeze_buffer_entries": self.squeeze_buffer_entries,
             "crash_at_begin": self.crash_at_begin,
             "hang_at_begin": self.hang_at_begin,
             "hang_seconds": self.hang_seconds,
@@ -297,6 +330,25 @@ class FaultInjector:
             self._record("spurious-abort")
             return True
         return False
+
+    # -- TM capacity-tracking sites -------------------------------------
+
+    def capacity_limits(self) -> Tuple[int, int, int]:
+        """Squeezed ``(read, write, buffer)`` capacity caps, 0 = off.
+
+        Suppression (golden-token mode) disables the squeeze entirely:
+        a serial escalated transaction must be able to commit whatever
+        its footprint, which is exactly how a squeezed run terminates.
+        """
+        if self.suppressed:
+            return (0, 0, 0)
+        plan = self.plan
+        return (plan.squeeze_read_lines, plan.squeeze_write_lines,
+                plan.squeeze_buffer_entries)
+
+    def note_capacity_abort(self, kind: str) -> None:
+        """Count a capacity abort caused by the squeeze (not the config)."""
+        self._record("capacity-squeeze")
 
     # -- MVM install site -----------------------------------------------
 

@@ -9,6 +9,7 @@ Usage::
     sitm-harness fig8  [--profile quick] [--seeds 3] [--jobs 4]
     sitm-harness table1
     sitm-harness table2 [--profile quick]
+    sitm-harness capacity [--profile quick] [--threads 8] [--seeds 3]
     sitm-harness overheads
     sitm-harness cache [--stats | --clear]
     sitm-harness fuzz  [--backend all] [--schedules N] [--seed S] [--jobs 4]
@@ -180,6 +181,44 @@ def _claims(args) -> str:
         title="Headline-claim verification")
     verdict = "ALL CLAIMS PASS" if all_passed(results) else "FAILURES PRESENT"
     return table + f"\n\n{verdict}"
+
+
+def _capacity(args) -> str:
+    """``sitm-harness capacity``: abort rate vs. capacity curves."""
+    cells = experiments.capacity(args.profile, threads=args.threads,
+                                 seeds=args.seeds,
+                                 workloads=args.workloads,
+                                 systems=args.systems,
+                                 executor=args.executor)
+    _export(args, export.capacity_rows(cells))
+    table_rows = []
+    for c in cells:
+        causes = " ".join(f"{k.split('-')[0]}:{v:.0f}"
+                          for k, v in c.capacity_causes.items() if v)
+        table_rows.append([
+            c.workload, c.system, c.limit if c.limit else "inf",
+            "FAILED" if c.failed else f"{c.abort_rate:.3f}",
+            f"{c.capacity_aborts:.0f}", causes or "-"])
+    lines = [format_table(
+        ["benchmark", "system", "limit", "abort rate", "capacity aborts",
+         "by cause"],
+        table_rows,
+        title="Capacity sweep: abort rate vs. read/write-set bound")]
+    levels: List[int] = []
+    for c in cells:
+        if c.limit not in levels:
+            levels.append(c.limit)
+    by_workload = {}
+    for c in cells:
+        by_workload.setdefault(c.workload, {}).setdefault(
+            c.system, []).append(c.abort_rate)
+    for workload, curves in by_workload.items():
+        lines.append("")
+        lines.append(line_chart(
+            curves, levels,
+            title=f"{workload}: abort rate vs. capacity "
+                  f"(x = set limit in lines, 0 = unbounded)"))
+    return "\n".join(lines)
 
 
 def _overheads(args) -> str:
@@ -412,7 +451,8 @@ def _bench(args) -> str:
             raise ConfigError(f"suite {suite.name!r} has no "
                               f"{args.backend} cells; systems: "
                               f"{sorted({c[1] for c in suite.cells})}")
-        suite = BenchSuite(suite.name, cells, suite.seeds, suite.profile)
+        suite = BenchSuite(suite.name, cells, suite.seeds, suite.profile,
+                           suite.config)
     artifact = run_bench(suite, args.label, executor=args.executor)
     path = save_artifact(artifact, args.bench_out)
     lines = [f"bench artifact written: {path}",
@@ -453,7 +493,8 @@ def _cache(args) -> str:
 _BACKEND_ALIASES = {
     "2pl": "2PL", "sontm": "SONTM", "sitm": "SI-TM", "si-tm": "SI-TM",
     "ssi": "SSI-TM", "ssitm": "SSI-TM", "ssi-tm": "SSI-TM",
-    "logtm": "LogTM", "all": "all",
+    "logtm": "LogTM", "hybrid": "HybridHTM", "hybridhtm": "HybridHTM",
+    "hybrid-htm": "HybridHTM", "all": "all",
 }
 
 
@@ -496,10 +537,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="sitm-harness",
         description="Regenerate the SI-TM paper's figures and tables.")
     parser.add_argument("command",
-                        choices=list(_COMMANDS) + ["trace", "metrics",
-                                                   "profile", "bench",
-                                                   "cache", "fuzz",
-                                                   "faults", "all"])
+                        choices=list(_COMMANDS) + ["capacity", "trace",
+                                                   "metrics", "profile",
+                                                   "bench", "cache",
+                                                   "fuzz", "faults",
+                                                   "all"])
     parser.add_argument("--profile", default="quick",
                         choices=("test", "quick", "full"))
     parser.add_argument("--threads", type=int, default=16,
@@ -538,9 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chart", action="store_true",
                         help="fig8: also draw ASCII speedup charts")
     parser.add_argument("--csv", default=None,
-                        help="fig1/fig7/fig8: write rows to this CSV file")
+                        help="fig1/fig7/fig8/capacity: write rows to "
+                             "this CSV file")
     parser.add_argument("--json", default=None,
-                        help="fig1/fig7/fig8: write rows to this JSON file")
+                        help="fig1/fig7/fig8/capacity: write rows to "
+                             "this JSON file")
     parser.add_argument("--clear", action="store_true",
                         help="cache: delete every entry")
     parser.add_argument("--list", action="store_true",
@@ -559,7 +603,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cache: print entry counts (the default)")
     parser.add_argument("--backend", default="all", type=_backend,
                         choices=("2PL", "SONTM", "SI-TM", "SSI-TM",
-                                 "LogTM", "all"),
+                                 "LogTM", "HybridHTM", "all"),
                         help="trace/metrics/profile: system to telemeter "
                              "(default SI-TM); fuzz: backend(s) to "
                              "cross-check; bench: restrict the suite to "
@@ -569,7 +613,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="profile: write collapsed flamegraph stacks "
                              "to this file")
     parser.add_argument("--suite", default="quick",
-                        choices=("smoke", "quick", "flat_loop", "full"),
+                        choices=("smoke", "quick", "flat_loop",
+                                 "capacity", "full"),
                         help="bench: pinned suite to run")
     parser.add_argument("--label", default="current",
                         help="bench: artifact label; written as "
@@ -602,9 +647,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fuzz-out", default=None,
                         help="fuzz: repro output directory (default "
                              "results/fuzz, or $SITM_FUZZ_DIR)")
-    parser.add_argument("--broken", default=None, choices=("no-ww",),
+    parser.add_argument("--broken", default=None,
+                        choices=("no-ww", "no-lock"),
                         help="fuzz: deliberately break a backend "
-                             "(oracle self-test hook)")
+                             "(oracle self-test hook): no-ww disables "
+                             "SI-TM's write-write validation, no-lock "
+                             "un-serializes HybridHTM's fallback")
     parser.add_argument("--replay", default=None,
                         help="fuzz: re-check a persisted repro or "
                              "schedule JSON instead of generating")
@@ -634,6 +682,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = "\n\n".join(fn(args) for fn in _COMMANDS.values())
         elif args.command == "cache":
             report = _cache(args)
+        elif args.command == "capacity":
+            report = _capacity(args)
         elif args.command == "fuzz":
             report = _fuzz(args)
         elif args.command == "faults":

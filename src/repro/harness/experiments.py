@@ -20,7 +20,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.config import MVMConfig, SimConfig, VersionCapPolicy
+from repro.common.config import (MVMConfig, SimConfig, TMConfig,
+                                 VersionCapPolicy)
 from repro.common.errors import AbortCause, ConfigError, TransactionAborted
 from repro.common.rng import SplitRandom
 from repro.mvm.overhead import report as overhead_report
@@ -442,6 +443,99 @@ def census_tail_fraction(rows: List[dict], depth: int = 4) -> float:
     deeper = sum(r["accesses"] for r in rows
                  if order.index(r["version"]) >= depth)
     return deeper / total
+
+
+# ----------------------------------------------------------------------
+# Capacity sweep — abort rate vs. hardware capacity (POWER-style bounds)
+
+
+#: capacity levels swept by ``sitm-harness capacity``: the common bound
+#: applied to both the tracked read set and the tracked write set, in
+#: cache lines; 0 = unbounded (the paper's perfect sets)
+CAPACITY_LEVELS: Tuple[int, ...] = (4, 8, 16, 32, 0)
+#: STAMP workloads with contrasting footprints for the capacity sweep
+CAPACITY_WORKLOADS = ["genome", "vacation", "kmeans"]
+#: the declared capacity abort causes, in export order
+CAPACITY_CAUSES = (AbortCause.READ_CAPACITY.value,
+                   AbortCause.WRITE_CAPACITY.value,
+                   AbortCause.VERSION_CAPACITY.value)
+
+
+def _capacity_config(limit: int) -> Optional[SimConfig]:
+    """Config for one sweep level; ``None`` for the unbounded baseline.
+
+    Finite levels carry a retry policy: a transaction whose footprint
+    can never fit the bound must eventually escalate to the golden
+    token, which runs capacity-exempt (the software-fallback analogue),
+    so every cell terminates no matter how tight the squeeze.
+    """
+    if not limit:
+        return None
+    from repro.sim.retry import RetryPolicy
+    return SimConfig(
+        tm=TMConfig(read_set_limit=limit, write_set_limit=limit),
+        retry=RetryPolicy(attempt_budget=4, stall_budget=16,
+                          starvation_age_cycles=50_000))
+
+
+@dataclass
+class CapacityCell:
+    """One (workload, system, capacity) point of the capacity sweep."""
+
+    workload: str
+    system: str
+    #: swept read/write-set bound in lines (0 = unbounded)
+    limit: int
+    commits: float
+    aborts: float
+    abort_rate: float
+    #: mean aborts attributed to the three capacity causes
+    capacity_aborts: float
+    #: per-cause mean counts (read-/write-/version-capacity)
+    capacity_causes: Dict[str, float] = field(default_factory=dict)
+    throughput: float = 0.0
+    failed: bool = False
+
+
+def capacity(profile: str = "quick", threads: int = 8, seeds: int = 3,
+             workloads: Optional[Sequence[str]] = None,
+             systems: Optional[Sequence[str]] = None,
+             levels: Optional[Sequence[int]] = None,
+             executor: Optional[Executor] = None) -> List[CapacityCell]:
+    """Abort rate vs. declared capacity: every backend, >=3 workloads.
+
+    Sweeps one common read/write-set bound over ``levels`` (default
+    :data:`CAPACITY_LEVELS`) for every (workload, system) pair.  The
+    unbounded level (0) runs the pristine default config, so its cells
+    are byte-identical to — and cache-share with — the figure grids;
+    finite levels ride a retry policy whose golden-token escalation is
+    capacity-exempt, guaranteeing termination below the footprint.
+    Every abort the bound causes carries one of the three declared
+    capacity causes, which is what the per-cause columns report.
+    """
+    workloads = list(workloads or CAPACITY_WORKLOADS)
+    systems = list(systems or sorted(SYSTEMS))
+    levels = list(levels if levels is not None else CAPACITY_LEVELS)
+    grid = [(name, system, threads)
+            for name in workloads for system in systems]
+    cells: List[CapacityCell] = []
+    for limit in levels:
+        aggregates = _run_cells(grid, profile, seeds, executor,
+                                config=_capacity_config(limit))
+        for name, system, _ in grid:
+            agg = aggregates[(name, system, threads)]
+            runs = agg.runs
+            n = max(1, len(runs))
+            causes = {c: sum(r.abort_causes.get(c, 0) for r in runs) / n
+                      for c in CAPACITY_CAUSES}
+            cells.append(CapacityCell(
+                workload=name, system=system, limit=limit,
+                commits=sum(r.commits for r in runs) / n,
+                aborts=agg.aborts, abort_rate=agg.abort_rate,
+                capacity_aborts=sum(causes.values()),
+                capacity_causes=causes,
+                throughput=agg.throughput, failed=agg.failed))
+    return cells
 
 
 # ----------------------------------------------------------------------

@@ -14,6 +14,8 @@ import json
 from typing import Dict, List, Mapping, Sequence
 
 from repro.harness.experiments import (
+    CAPACITY_CAUSES,
+    CapacityCell,
     Figure1Row,
     Figure7Cell,
     Figure8Series,
@@ -72,6 +74,30 @@ def figure8_rows(series: Sequence[Figure8Series]) -> List[dict]:
                                                   else ""),
                         "backoff_cycles": round(backoff, 2),
                         "commit_wait_cycles": round(wait, 2)})
+    return out
+
+
+def capacity_rows(cells: Sequence[CapacityCell]) -> List[dict]:
+    """Flatten the capacity sweep: one row per (workload, system, limit).
+
+    ``limit`` 0 denotes the unbounded baseline; the per-cause columns
+    split the capacity aborts by their declared cause so plots can
+    distinguish read-set, write-set and version-buffer pressure.
+    """
+    out = []
+    for cell in cells:
+        row = {"workload": cell.workload,
+               "system": cell.system,
+               "limit": cell.limit,
+               "commits": round(cell.commits, 2),
+               "aborts": round(cell.aborts, 2),
+               "abort_rate": round(cell.abort_rate, 6),
+               "capacity_aborts": round(cell.capacity_aborts, 2),
+               "throughput": round(cell.throughput, 6),
+               "failed": cell.failed}
+        for cause in CAPACITY_CAUSES:
+            row[cause] = round(cell.capacity_causes.get(cause, 0.0), 2)
+        out.append(row)
     return out
 
 

@@ -194,8 +194,10 @@ def run_schedule(schedule: dict, system: str, seed: int = 0,
 
     ``broken="no-ww"`` disables SI-TM's commit-time write-write
     validation (the oracle test hook), deliberately producing lost
-    updates the checker must catch; it is a no-op for backends that do
-    not consult the hook.
+    updates the checker must catch; ``broken="no-lock"`` removes the
+    serialization of HybridHTM's lock fallback, letting untracked
+    fallback accesses race live hardware transactions.  Each hook is a
+    no-op for backends that do not consult it.
 
     ``tracer`` rides alongside the history recorder in the engine's
     single tracer slot (composed via :class:`~repro.obs.spans.
@@ -214,6 +216,8 @@ def run_schedule(schedule: dict, system: str, seed: int = 0,
                                          schedule.get("name", ""), system)))
     if broken == "no-ww":
         tm.ww_validation = False
+    elif broken == "no-lock":
+        tm.fallback_serializes = False
     recorder = HistoryRecorder.for_system(
         tm, initial={base + cell * stride: value
                      for cell, value in enumerate(initial)})

@@ -33,10 +33,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.config import SimConfig, TMConfig
 from repro.common.errors import ConfigError
 from repro.harness.executor import Executor, code_fingerprint, \
     serial_executor
 from repro.harness.spec import ExperimentSpec
+from repro.sim.retry import RetryPolicy
 
 __all__ = ["SCHEMA", "SCHEMA_VERSION", "BENCH_DIR_ENV",
            "DEFAULT_BENCH_DIR", "SUITES", "BenchSuite", "artifact_path",
@@ -60,17 +62,22 @@ class BenchSuite:
 
     Cells are ``(workload, system, threads)`` triples; every cell runs
     ``seeds`` consecutive seeds (from 1) at workload ``profile``.
+    ``config`` optionally pins a non-default simulation config for the
+    whole suite (the capacity suite bounds the read/write sets); the
+    default ``None`` keeps every pre-existing suite's spec hashes — and
+    therefore its artifact history — untouched.
     """
 
     name: str
     cells: Tuple[Tuple[str, str, int], ...]
     seeds: int = 2
     profile: str = "test"
+    config: Optional[SimConfig] = None
 
     def specs(self) -> List[ExperimentSpec]:
         """The suite's full spec list, profiling enabled, in grid order."""
         return [ExperimentSpec(workload, system, threads, seed,
-                               self.profile, profiling=True)
+                               self.profile, self.config, profiling=True)
                 for workload, system, threads in self.cells
                 for seed in range(1, self.seeds + 1)]
 
@@ -98,6 +105,17 @@ SUITES: Dict[str, BenchSuite] = {
         ("rbtree", "SI-TM", 32),
         ("rbtree", "2PL", 32),
     ), seeds=2, profile="test"),
+    # the capacity-bounds pin (CI perf-smoke cell): tight read/write-set
+    # limits with escalation-based termination, plus the hybrid backend
+    # running on its own built-in bounds and lock fallback
+    "capacity": BenchSuite("capacity", (
+        ("list", "2PL", 4),
+        ("list", "HybridHTM", 4),
+        ("rbtree", "HybridHTM", 8),
+    ), seeds=2, profile="test", config=SimConfig(
+        tm=TMConfig(read_set_limit=8, write_set_limit=8),
+        retry=RetryPolicy(attempt_budget=4, stall_budget=16,
+                          starvation_age_cycles=50_000))),
     # broader sweep for manual before/after studies
     "full": BenchSuite("full", (
         ("rbtree", "2PL", 8),
@@ -172,7 +190,8 @@ def run_bench(suite: BenchSuite, label: str,
     deterministic: Dict[str, dict] = {}
     for workload, system, threads in suite.cells:
         runs = [results[ExperimentSpec(workload, system, threads, seed,
-                                       suite.profile, profiling=True)]
+                                       suite.profile, suite.config,
+                                       profiling=True)]
                 for seed in range(1, suite.seeds + 1)]
         throughputs = [r.throughput for r in runs]
         abort_rates = [r.abort_rate for r in runs]

@@ -780,6 +780,10 @@ class Engine:
     def _acquire_golden(self, thread: _ThreadState) -> None:
         self._golden = thread.thread_id
         self.stats.escalations += 1
+        # the token holder runs as a software fallback: hardware
+        # capacity bounds do not apply, so a transaction whose
+        # footprint can never fit still terminates
+        self.tm.capacity_suppressed = True
         if self.faults is not None:
             # the token holder runs fault-free: a serial, unfaulted
             # transaction commits in every backend, so each escalation
@@ -792,6 +796,7 @@ class Engine:
         self._golden = None
         thread.queued = False
         self._escalation_queue.pop(0)
+        self.tm.capacity_suppressed = False
         if self.faults is not None:
             self.faults.suppressed = False
 

@@ -1,9 +1,10 @@
-"""Transactional-memory systems: common API, 2PL, SONTM, SI-TM, SSI-TM, LogTM."""
+"""TM systems: common API, 2PL, SONTM, SI-TM, SSI-TM, LogTM, HybridHTM."""
 
 from typing import Dict, Type
 
 from repro.tm.api import CommitToken, IsolationLevel, TMSystem, Txn
 from repro.tm.backoff import ExponentialBackoff, NoBackoff
+from repro.tm.hybrid import HybridHTM
 from repro.tm.logtm import EagerLogTM
 from repro.tm.ops import Abort, Compute, Op, Read, Write
 from repro.tm.sitm import SnapshotIsolationTM
@@ -18,6 +19,7 @@ SYSTEMS: Dict[str, Type[TMSystem]] = {
     SnapshotIsolationTM.name: SnapshotIsolationTM,
     SerializableSITM.name: SerializableSITM,
     EagerLogTM.name: EagerLogTM,
+    HybridHTM.name: HybridHTM,
 }
 
 __all__ = [
@@ -26,6 +28,7 @@ __all__ = [
     "CommitToken",
     "Compute",
     "ExponentialBackoff",
+    "HybridHTM",
     "IsolationLevel",
     "NoBackoff",
     "Op",

@@ -207,6 +207,26 @@ class TMSystem:
         self.stats: Optional[RunStats] = None
         #: transactions currently in flight, by thread id
         self.active_txns: Dict[int, Txn] = {}
+        #: declared capacity bounds, resolved once: tracked read lines,
+        #: tracked write lines, speculative version-buffer entries.
+        #: ``0`` = unbounded (the default, matching the paper's perfect
+        #: sets); backends with built-in hardware bounds (HybridHTM)
+        #: override these in their constructors.
+        tm_cfg = self.config.tm
+        self.read_set_limit = tm_cfg.read_set_limit
+        self.write_set_limit = tm_cfg.write_set_limit
+        self.version_buffer_limit = tm_cfg.version_buffer_limit
+        #: set by the engine while a golden-token transaction runs: an
+        #: escalated transaction executes like a software fallback, so
+        #: hardware capacity bounds do not apply — this is what keeps
+        #: "any limit x any seed terminates" true under retry policies
+        self.capacity_suppressed = False
+        #: fault injector, only when its plan squeezes capacity — every
+        #: capacity check is two int tests when no bound is configured
+        faults = machine.faults
+        self._capacity_faults = (
+            faults if faults is not None
+            and faults.plan.squeezes_capacity() else None)
 
     # -- policy hooks ---------------------------------------------------
 
@@ -324,6 +344,88 @@ class TMSystem:
         if limit and len(txn.write_lines) > limit:
             from repro.common.errors import TransactionAborted
             raise TransactionAborted(AbortCause.VERSION_BUFFER_OVERFLOW)
+
+    # -- capacity bounds (POWER-style limited-capacity HTM) ---------------
+
+    def _capacity_abort(self, txn: Txn, cause: AbortCause, line: int,
+                        size: int, limit: int) -> None:
+        """Abort ``txn`` on a capacity overflow with full attribution.
+
+        The overflowing line feeds the conflict heatmap (the profiler's
+        ``on_abort`` hook attributes per-line, per-cause), and telemetry
+        gets a dedicated per-cause capacity counter on top of the
+        ordinary ``txn_aborts_total`` attribution.
+        """
+        txn.conflict_line = line
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.inc("tm_capacity_aborts_total", system=self.name,
+                        cause=cause.value)
+        from repro.common.errors import TransactionAborted
+        raise TransactionAborted(
+            cause, f"{size} entries exceed limit {limit}")
+
+    def _charge_read_capacity(self, txn: Txn, line: int) -> None:
+        """Charge the tracked read set against the read-set bound.
+
+        Called at every read-line *tracking* site — systems with
+        invisible readers (SI-TM) track no read lines and therefore
+        never charge read capacity.  Both the declared limit and any
+        fault-plan squeeze are two int tests when unconfigured, so the
+        unlimited path stays byte-identical to pre-capacity behaviour.
+        """
+        if self.capacity_suppressed:
+            return
+        size = len(txn.read_lines)
+        limit = self.read_set_limit
+        if limit and size > limit:
+            self._capacity_abort(txn, AbortCause.READ_CAPACITY, line,
+                                 size, limit)
+        faults = self._capacity_faults
+        if faults is not None:
+            squeezed = faults.capacity_limits()[0]
+            if squeezed and size > squeezed:
+                faults.note_capacity_abort("read")
+                self._capacity_abort(txn, AbortCause.READ_CAPACITY, line,
+                                     size, squeezed)
+
+    def _charge_write_capacity(self, txn: Txn, line: int) -> None:
+        """Charge the tracked write set against the write-set bound."""
+        if self.capacity_suppressed:
+            return
+        size = len(txn.write_lines)
+        limit = self.write_set_limit
+        if limit and size > limit:
+            self._capacity_abort(txn, AbortCause.WRITE_CAPACITY, line,
+                                 size, limit)
+        faults = self._capacity_faults
+        if faults is not None:
+            squeezed = faults.capacity_limits()[1]
+            if squeezed and size > squeezed:
+                faults.note_capacity_abort("write")
+                self._capacity_abort(txn, AbortCause.WRITE_CAPACITY, line,
+                                     size, squeezed)
+
+    def _charge_version_capacity(self, txn: Txn, line: int,
+                                 occupancy: int) -> None:
+        """Charge the speculative version buffer against its bound.
+
+        ``occupancy`` is backend-defined: buffered store words for
+        lazy-versioning systems, undo-log entries for eager ones.
+        """
+        if self.capacity_suppressed:
+            return
+        limit = self.version_buffer_limit
+        if limit and occupancy > limit:
+            self._capacity_abort(txn, AbortCause.VERSION_CAPACITY, line,
+                                 occupancy, limit)
+        faults = self._capacity_faults
+        if faults is not None:
+            squeezed = faults.capacity_limits()[2]
+            if squeezed and occupancy > squeezed:
+                faults.note_capacity_abort("buffer")
+                self._capacity_abort(txn, AbortCause.VERSION_CAPACITY,
+                                     line, occupancy, squeezed)
 
     # -- plain (non-transactional) timed access ---------------------------
 

@@ -44,7 +44,9 @@ class EagerLogTM(TMSystem):
     isolation = IsolationLevel.CONFLICT_SERIALIZABLE
     ABORT_CAUSES = frozenset({
         AbortCause.READ_WRITE, AbortCause.WRITE_WRITE,
-        AbortCause.VERSION_BUFFER_OVERFLOW, AbortCause.EXPLICIT})
+        AbortCause.VERSION_BUFFER_OVERFLOW, AbortCause.READ_CAPACITY,
+        AbortCause.WRITE_CAPACITY, AbortCause.VERSION_CAPACITY,
+        AbortCause.EXPLICIT})
     #: an injected false positive looks like a deadlock-avoidance
     #: self-abort after repeated NACKs
     SPURIOUS_ABORT_CAUSE = AbortCause.READ_WRITE
@@ -103,6 +105,7 @@ class EagerLogTM(TMSystem):
         if line not in txn.read_lines:
             cycles += self.machine.interconnect.broadcast_cost()
             txn.read_lines.add(line)
+            self._charge_read_capacity(txn, line)
         # eager versioning: memory always holds this txn's own writes
         return self.machine.plain_load(addr), cycles
 
@@ -120,8 +123,10 @@ class EagerLogTM(TMSystem):
                 line, except_core=txn.thread_id)
             txn.write_lines.add(line)
             self._check_version_buffer(txn)
+            self._charge_write_capacity(txn, line)
         # in-place update with undo logging
         txn.undo_log.append((addr, self.machine.plain_load(addr)))
+        self._charge_version_capacity(txn, line, len(txn.undo_log))
         self.machine.plain_store(addr, value)
         return cycles
 

@@ -57,6 +57,7 @@ class SnapshotIsolationTM(TMSystem):
     ABORT_CAUSES = frozenset({
         AbortCause.WRITE_WRITE, AbortCause.VERSION_OVERFLOW,
         AbortCause.SNAPSHOT_TOO_OLD, AbortCause.TIMESTAMP_OVERFLOW,
+        AbortCause.WRITE_CAPACITY, AbortCause.VERSION_CAPACITY,
         AbortCause.EXPLICIT})
     #: an injected false positive looks like a first-committer-wins
     #: write-write conflict (the only conflict SI-TM detects)
@@ -180,8 +181,11 @@ class SnapshotIsolationTM(TMSystem):
                 f"{addr:#x}; transactional data must be allocated with "
                 f"mvmalloc() (section 4.4)")
         line = addr // self._wpl
-        txn.write_lines.add(line)
+        if line not in txn.write_lines:
+            txn.write_lines.add(line)
+            self._charge_write_capacity(txn, line)
         txn.write_buffer[addr] = value
+        self._charge_version_capacity(txn, line, len(txn.write_buffer))
         # Lazy detection: no coherence messages (section 4.2); the line is
         # simply marked transactionally written in the L1 (write-allocate).
         cycles, evicted = self._access_tracked(txn.thread_id, line)

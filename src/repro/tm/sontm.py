@@ -46,7 +46,8 @@ class SONTM(TMSystem):
     ABORT_CAUSES = frozenset({
         AbortCause.SON_RANGE_EMPTY, AbortCause.READ_WRITE,
         AbortCause.WRITE_WRITE, AbortCause.VERSION_BUFFER_OVERFLOW,
-        AbortCause.EXPLICIT})
+        AbortCause.READ_CAPACITY, AbortCause.WRITE_CAPACITY,
+        AbortCause.VERSION_CAPACITY, AbortCause.EXPLICIT})
     #: an injected false positive looks like a commit-time empty SON range
     SPURIOUS_ABORT_CAUSE = AbortCause.SON_RANGE_EMPTY
     #: headroom left below a freshly chosen SON so that concurrent
@@ -95,6 +96,7 @@ class SONTM(TMSystem):
                     # we read the old value -> we precede the writer
                     self._order(txn, other)
             txn.read_lines.add(line)
+            self._charge_read_capacity(txn, line)
         return self.machine.plain_load(addr), cycles
 
     def write(self, txn: Txn, addr: int, value: int) -> int:
@@ -109,7 +111,9 @@ class SONTM(TMSystem):
                     self._order(other, txn)
             txn.write_lines.add(line)
             self._check_version_buffer(txn)
+            self._charge_write_capacity(txn, line)
         txn.write_buffer[addr] = value
+        self._charge_version_capacity(txn, line, len(txn.write_buffer))
         return cycles
 
     def commit(self, txn: Txn, now: int) -> int:

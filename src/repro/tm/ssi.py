@@ -75,7 +75,8 @@ class SerializableSITM(SnapshotIsolationTM):
     name = "SSI-TM"
     isolation = IsolationLevel.SERIALIZABLE_SNAPSHOT
     ABORT_CAUSES = (SnapshotIsolationTM.ABORT_CAUSES
-                    | {AbortCause.DANGEROUS_STRUCTURE})
+                    | {AbortCause.DANGEROUS_STRUCTURE,
+                       AbortCause.READ_CAPACITY})
     #: an injected false positive looks like a dangerous-structure
     #: abort — SSI's detector is the one that genuinely admits them
     SPURIOUS_ABORT_CAUSE = AbortCause.DANGEROUS_STRUCTURE
@@ -99,7 +100,10 @@ class SerializableSITM(SnapshotIsolationTM):
     def read(self, txn: Txn, addr: int, promote: bool = False,
              ) -> Tuple[int, int]:
         value, cycles = super().read(txn, addr, promote)
-        txn.read_lines.add(self.amap.line_of(addr))
+        line = self.amap.line_of(addr)
+        if line not in txn.read_lines:
+            txn.read_lines.add(line)
+            self._charge_read_capacity(txn, line)
         return value, cycles
 
     def _prune_window(self) -> None:

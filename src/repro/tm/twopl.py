@@ -38,7 +38,9 @@ class TwoPhaseLockingTM(TMSystem):
     isolation = IsolationLevel.CONFLICT_SERIALIZABLE
     ABORT_CAUSES = frozenset({
         AbortCause.READ_WRITE, AbortCause.WRITE_WRITE,
-        AbortCause.VERSION_BUFFER_OVERFLOW, AbortCause.EXPLICIT})
+        AbortCause.VERSION_BUFFER_OVERFLOW, AbortCause.READ_CAPACITY,
+        AbortCause.WRITE_CAPACITY, AbortCause.VERSION_CAPACITY,
+        AbortCause.EXPLICIT})
     #: an injected false positive looks like a requester-wins conflict
     SPURIOUS_ABORT_CAUSE = AbortCause.READ_WRITE
 
@@ -68,6 +70,7 @@ class TwoPhaseLockingTM(TMSystem):
                 if line in other.write_lines:
                     other.doom(AbortCause.READ_WRITE, line)
             txn.read_lines.add(line)
+            self._charge_read_capacity(txn, line)
         return self.machine.plain_load(addr), cycles
 
     def write(self, txn: Txn, addr: int, value: int) -> int:
@@ -85,7 +88,9 @@ class TwoPhaseLockingTM(TMSystem):
                 line, except_core=txn.thread_id)
             txn.write_lines.add(line)
             self._check_version_buffer(txn)
+            self._charge_write_capacity(txn, line)
         txn.write_buffer[addr] = value
+        self._charge_version_capacity(txn, line, len(txn.write_buffer))
         return cycles
 
     def commit(self, txn: Txn, now: int) -> int:

@@ -196,6 +196,26 @@ class TestSerialization:
         data = SimConfig().to_dict()
         assert "faults" not in data and "retry" not in data
 
+    def test_default_dict_omits_unset_capacity_limits(self):
+        # same invariant for the capacity knobs: zero (unbounded) limits
+        # stay out of the serialized dict, so pre-capacity fingerprints,
+        # cache keys and the bench baseline are all unmoved
+        data = SimConfig().to_dict()["tm"]
+        for key in ("read_set_limit", "write_set_limit",
+                    "version_buffer_limit", "hybrid_hw_attempts"):
+            assert key not in data, key
+
+    def test_capacity_limits_round_trip(self):
+        from repro.common.config import TMConfig
+
+        config = SimConfig(tm=TMConfig(read_set_limit=8, write_set_limit=4,
+                                       version_buffer_limit=16,
+                                       hybrid_hw_attempts=3))
+        recovered = SimConfig.from_dict(config.to_dict())
+        assert recovered == config
+        assert recovered.tm.version_buffer_limit == 16
+        assert config.fingerprint() != SimConfig().fingerprint()
+
     def test_faults_and_retry_round_trip(self):
         from repro.faults import FaultPlan
         from repro.sim.retry import RetryPolicy

@@ -15,11 +15,15 @@ import pathlib
 
 import pytest
 
+from repro.common.rng import SplitRandom, derive_seed
 from repro.oracle.checker import check_history
-from repro.oracle.fuzz import (addonly_cells, check_schedule_run,
-                               expected_counters, run_schedule,
-                               schedule_violations)
+from repro.oracle.fuzz import (_make_body, _patched_config, addonly_cells,
+                               check_schedule_run, expected_counters,
+                               run_schedule, schedule_violations)
+from repro.oracle.history import HistoryRecorder
 from repro.oracle.shrink import load_repro
+from repro.sim.engine import Engine, TransactionSpec
+from repro.sim.machine import Machine
 from repro.tm import SYSTEMS
 
 CORPUS_DIR = pathlib.Path(__file__).parent / "schedules"
@@ -113,6 +117,62 @@ def test_livelock_under_fault_without_escalation(system):
     violations, _, history = check_schedule_run(schedule, system)
     assert {v.rule for v in violations} == {"no-progress"}, violations
     assert history is None or not history.committed()
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_capacity_overflow_aborts_carry_declared_cause(system):
+    # the squeeze caps every write set at one line, so the two-line
+    # writers must abort with the *declared* capacity cause on every
+    # backend — and still reach the commutative totals, because golden-
+    # token escalation suppresses capacity bounds (software fallback)
+    schedule = load(CORPUS_DIR / "capacity_overflow.json")
+    violations, final, history = check_schedule_run(schedule, system)
+    assert violations == [], [str(v) for v in violations]
+    causes = {rec.abort_cause for rec in history.aborts()}
+    assert "write-capacity" in causes, causes
+    for cell, want in expected_counters(schedule).items():
+        assert final[cell] == want
+
+
+def _run_keeping_tm(schedule, system):
+    """Mirror ``run_schedule`` but return the backend for counter checks."""
+    config = _patched_config(schedule.get("config"))
+    machine = Machine(config)
+    stride = machine.address_map.words_per_line
+    initial = list(schedule["initial"])
+    base = machine.mvmalloc(max(1, len(initial)) * stride)
+    for cell, value in enumerate(initial):
+        machine.plain_store(base + cell * stride, value)
+    tm = SYSTEMS[system](
+        machine, SplitRandom(derive_seed(0, "fuzz-run",
+                                         schedule.get("name", ""), system)))
+    recorder = HistoryRecorder.for_system(
+        tm, initial={base + cell * stride: value
+                     for cell, value in enumerate(initial)})
+    programs = [
+        [TransactionSpec(_make_body(txn["ops"], base, stride, txn["label"]),
+                         txn["label"])
+         for txn in thread]
+        for thread in schedule["threads"]]
+    engine = Engine(tm, programs, tracer=recorder)
+    engine.run(max_steps=100_000)
+    final = [machine.plain_load(base + cell * stride)
+             for cell in range(len(initial))]
+    return tm, recorder.history, final
+
+
+def test_hybrid_fallback_reaches_the_serial_path():
+    # one hardware attempt only: the first abort sends a thread to the
+    # serialized global-lock fallback, which must commit (the fallback
+    # is unabortable) and still replay oracle-clean
+    schedule = load(CORPUS_DIR / "hybrid_fallback.json")
+    tm, history, final = _run_keeping_tm(schedule, "HybridHTM")
+    assert tm.hw_attempts == 1
+    assert tm.fallback_entries > 0
+    assert tm.fallback_commits > 0
+    assert check_history(history) == []
+    for cell, want in expected_counters(schedule).items():
+        assert final[cell] == want
 
 
 def test_corpus_files_are_plain_schedules():

@@ -56,6 +56,9 @@ class TestFaultPlan:
         {"begin_stall_burst": 0},
         {"gc_pause_cycles": -1},
         {"squeeze_max_versions": -1},
+        {"squeeze_read_lines": -1},
+        {"squeeze_write_lines": -1},
+        {"squeeze_buffer_entries": -1},
         {"overflow_at_commits": (-1,)},
         {"hang_seconds": -1.0},
     ])
@@ -192,6 +195,9 @@ def fault_plans(st_draw):
         squeeze_max_versions=st_draw(st.integers(0, 3)),
         squeeze_start=st_draw(st.integers(0, 4)),
         squeeze_span=st_draw(st.integers(0, 4)),
+        squeeze_read_lines=st_draw(st.integers(0, 3)),
+        squeeze_write_lines=st_draw(st.integers(0, 3)),
+        squeeze_buffer_entries=st_draw(st.integers(0, 3)),
         overflow_at_commits=tuple(
             st_draw(st.lists(st.integers(0, 12), max_size=3))),
         gc_pause_cycles=st_draw(st.integers(0, 100)),
@@ -207,12 +213,14 @@ def fault_plans(st_draw):
 def test_any_plan_terminates_and_is_oracle_clean(plan, seed):
     """The tentpole liveness property: ANY protocol fault plan plus ANY
     seed terminates under an escalating retry policy, and the run's
-    history passes the isolation oracle."""
+    history passes the isolation oracle.  The plan space includes the
+    capacity squeezes, and the system set includes HybridHTM, whose
+    serialized fallback must coexist with golden-token escalation."""
     patch = {"faults": plan.to_dict(), "retry": TIGHT_RETRY.to_dict()}
     schedule = apply_config_patch(
         generate_schedule(seed, 0, threads=2, txns=1, cells=3, ops=2),
         patch)
-    for system in ("SI-TM", "2PL"):
+    for system in ("SI-TM", "2PL", "HybridHTM"):
         violations, _, history = check_schedule_run(schedule, system, seed)
         assert violations == [], [str(v) for v in violations]
         assert history is not None and history.committed()

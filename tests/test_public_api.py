@@ -12,7 +12,8 @@ class TestTopLevelExports:
             assert hasattr(repro, name), name
 
     def test_systems_registry(self):
-        assert set(repro.SYSTEMS) == {"2PL", "SONTM", "SI-TM", "SSI-TM", "LogTM"}
+        assert set(repro.SYSTEMS) == {"2PL", "SONTM", "SI-TM", "SSI-TM",
+                                      "LogTM", "HybridHTM"}
 
     def test_readme_quickstart(self):
         from repro import (
