@@ -72,10 +72,44 @@ def test_disabled_run_constructs_no_telemetry_objects(monkeypatch):
 
     monkeypatch.setattr(metrics_mod.MetricsRegistry, "__init__", poison)
     monkeypatch.setattr(spans_mod.SpanRecorder, "__init__", poison)
+    monkeypatch.setattr(spans_mod.StreamingSpanRecorder, "__init__", poison)
     monkeypatch.setattr(profile_mod.CycleProfiler, "__init__", poison)
     result = run_once(WORKLOAD, SYSTEM, THREADS, seed=1, profile=PROFILE)
     assert result.metrics is None and result.spans is None
     assert result.phases is None
+
+
+def test_streaming_holds_memory_at_cap_on_long_run():
+    """The bounded-memory claim at scale: a heavily contended run of
+    over a million engine steps (hundreds of thousands of closed spans)
+    never holds more than one cap's worth of commits plus one cap's
+    worth of aborts, while the online aggregates still count every
+    span exactly."""
+    from repro.obs import StreamingSpanRecorder
+    from repro.sim.engine import TransactionSpec
+    from repro.tm.ops import Read, Write
+
+    machine = Machine(SimConfig())
+    addr = machine.mvmalloc(1)
+
+    def body():
+        value = yield Read(addr)
+        yield Write(addr, value + 1)
+
+    programs = [[TransactionSpec(body, "ctr") for _ in range(22_000)]
+                for _ in range(4)]
+    recorder = StreamingSpanRecorder(cap=256, seed=1)
+    tm = SYSTEMS[SYSTEM](machine, SplitRandom(3))
+    engine = Engine(tm, programs, tracer=recorder)
+    stats = engine.run()
+    closed = stats.total_commits + stats.total_aborts
+    assert engine.steps_taken >= 1_000_000
+    assert closed >= 100_000
+    assert recorder.max_retained <= 2 * recorder.cap
+    assert len(recorder) <= 2 * recorder.cap
+    assert recorder.total_commits == stats.total_commits
+    assert recorder.total_aborts == stats.total_aborts
+    assert recorder.aggregate()["total_spans"] == closed
 
 
 def test_telemetry_off_overhead_within_contract(once, benchmark):

@@ -18,6 +18,8 @@ Usage::
     sitm-harness trace   [--experiment figure7] [--backend sitm]
                          [--out trace.json]
     sitm-harness metrics [--experiment rbtree] [--backend sitm]
+    sitm-harness blame   [--experiment rbtree] [--backend sitm]
+                         [--top N] [--dot graph.dot] [--json blame.json]
     sitm-harness profile [--experiment rbtree] [--backend sitm]
                          [--stacks stacks.txt]
     sitm-harness bench [--suite quick] [--label current] [--jobs 4]
@@ -59,10 +61,18 @@ def _fig1(args) -> str:
     rows = experiments.figure1(args.profile, args.threads, args.seeds,
                                executor=args.executor)
     _export(args, export.figure1_rows(rows))
+
+    def pct(value) -> str:
+        return "-" if value is None else f"{value:.1f}"
+
     return format_table(
-        ["benchmark", "read-write %", "write-write %", "aborts/run"],
+        ["benchmark", "read-write %", "write-write %", "aborts/run",
+         "decisive %", "cascading %", "self %", "wasted kc/run"],
         [[r.workload, f"{r.read_write_pct:.1f}", f"{r.write_write_pct:.1f}",
-          f"{r.total_aborts:.0f}"] for r in rows],
+          f"{r.total_aborts:.0f}", pct(r.decisive_pct),
+          pct(r.cascading_pct), pct(r.self_inflicted_pct),
+          "-" if r.wasted_cycles is None
+          else f"{r.wasted_cycles / 1000.0:.1f}"] for r in rows],
         title="Figure 1: abort causes under 2PL")
 
 
@@ -407,6 +417,44 @@ def _metrics(args) -> str:
     return "\n\n".join(sections)
 
 
+def _blame(args) -> str:
+    """``sitm-harness blame``: killer→victim abort attribution.
+
+    Runs the same telemetry specs as ``trace``/``metrics``, builds the
+    conflict-provenance report for each, and renders the wasted-work
+    Pareto ledger.  ``--dot``/``--json`` export the merged
+    killer→victim graph for Graphviz / machine consumption.
+    """
+    import json as json_module
+    from repro.obs import (Span, blame_table, build_provenance,
+                           merge_provenance)
+    specs, results = _trace_results(args)
+    sections = []
+    reports = []
+    for spec in specs:
+        spans = [Span.from_dict(row) for row in results[spec].spans or []]
+        report = build_provenance(spans)
+        reports.append(report)
+        sections.append(f"=== {spec} ===\n"
+                        + blame_table(report, top=args.top))
+    merged = merge_provenance(reports)
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(merged.to_dot())
+        sections.append(f"conflict graph (DOT) written: {args.dot}")
+    if args.json:
+        document = {"runs": {str(spec): report.to_dict()
+                             for spec, report in zip(specs, reports)},
+                    "merged": merged.to_dict()}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(json_module.dumps(document, sort_keys=True,
+                                           indent=2) + "\n")
+        sections.append(f"provenance report (JSON) written: {args.json}")
+        # --json names the provenance export, not a figure-row dump
+        args.json = None
+    return "\n\n".join(sections)
+
+
 def _profile(args) -> str:
     from repro.obs import (Span, collapsed_stacks, conflict_heatmap,
                            phase_table)
@@ -539,9 +587,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("command",
                         choices=list(_COMMANDS) + ["capacity", "trace",
                                                    "metrics", "profile",
-                                                   "bench", "cache",
-                                                   "fuzz", "faults",
-                                                   "all"])
+                                                   "blame", "bench",
+                                                   "cache", "fuzz",
+                                                   "faults", "all"])
     parser.add_argument("--profile", default="quick",
                         choices=("test", "quick", "full"))
     parser.add_argument("--threads", type=int, default=16,
@@ -584,7 +632,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "this CSV file")
     parser.add_argument("--json", default=None,
                         help="fig1/fig7/fig8/capacity: write rows to "
-                             "this JSON file")
+                             "this JSON file; blame: write the "
+                             "provenance report there instead")
     parser.add_argument("--clear", action="store_true",
                         help="cache: delete every entry")
     parser.add_argument("--list", action="store_true",
@@ -612,6 +661,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--stacks", default=None,
                         help="profile: write collapsed flamegraph stacks "
                              "to this file")
+    parser.add_argument("--top", type=int, default=None,
+                        help="blame: show only the N worst "
+                             "(killer, victim) pairs in the Pareto table")
+    parser.add_argument("--dot", default=None,
+                        help="blame: write the merged killer→victim "
+                             "conflict graph as Graphviz DOT to this file")
     parser.add_argument("--suite", default="quick",
                         choices=("smoke", "quick", "flat_loop",
                                  "capacity", "full"),
@@ -694,6 +749,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = _metrics(args)
         elif args.command == "profile":
             report = _profile(args)
+        elif args.command == "blame":
+            report = _blame(args)
         elif args.command == "bench":
             report = _bench(args)
         else:

@@ -78,12 +78,22 @@ def _run_cells(cells: Sequence[Cell], profile: str, seeds: int,
 
 @dataclass
 class Figure1Row:
-    """One bar of Figure 1."""
+    """One bar of Figure 1 (plus the killer→victim provenance split).
+
+    The provenance columns are ``None`` when the rows were built
+    without span telemetry (the pre-provenance shape) and carry the
+    decisive/cascading/self-inflicted abort percentages and wasted
+    cycles per run otherwise.
+    """
 
     workload: str
     read_write_pct: float
     write_write_pct: float
     total_aborts: float
+    decisive_pct: Optional[float] = None
+    cascading_pct: Optional[float] = None
+    self_inflicted_pct: Optional[float] = None
+    wasted_cycles: Optional[float] = None
 
 
 def figure1(profile: str = "quick", threads: int = 16,
@@ -92,21 +102,44 @@ def figure1(profile: str = "quick", threads: int = 16,
     """Reproduce Figure 1: abort-cause split under the 2PL baseline.
 
     The paper's claim: 75%-99% of all aborts in STAMP-class applications
-    are read-write conflicts.
+    are read-write conflicts.  The runs carry span telemetry (which
+    never perturbs the simulation), so each row also reports *who* the
+    aborts are attributable to: the decisive/cascading/self-inflicted
+    provenance split and the mean wasted cycles per run.
     """
-    cells = [(name, "2PL", threads) for name in FIGURE1_BENCHMARKS]
-    aggregates = _run_cells(cells, profile, seeds, executor)
+    from repro.obs import Span, build_provenance, merge_provenance
+    executor = executor if executor is not None else serial_executor()
+    specs = {name: seed_specs(name, "2PL", threads, profile, seeds,
+                              telemetry=True)
+             for name in FIGURE1_BENCHMARKS}
+    results = executor.run([spec for cell in specs.values()
+                            for spec in cell])
     rows = []
-    for cell in cells:
-        agg = aggregates[cell]
-        rw = sum(r.read_write_aborts for r in agg.runs)
-        ww = sum(r.write_write_aborts for r in agg.runs)
+    for name in FIGURE1_BENCHMARKS:
+        outcomes = [results[spec] for spec in specs[name]]
+        runs = [r for r in outcomes if not getattr(r, "failed", False)]
+        rw = sum(r.read_write_aborts for r in runs)
+        ww = sum(r.write_write_aborts for r in runs)
         total = rw + ww
+        # classification happens per run (span uids restart each run);
+        # the merged report then carries the provenance split
+        report = merge_provenance([
+            build_provenance([Span.from_dict(row) for row in r.spans])
+            for r in runs if r.spans is not None])
+        aborts = report.aborts
         rows.append(Figure1Row(
-            workload=agg.workload,
+            workload=name,
             read_write_pct=100.0 * rw / total if total else 0.0,
             write_write_pct=100.0 * ww / total if total else 0.0,
-            total_aborts=total / seeds))
+            total_aborts=total / seeds,
+            decisive_pct=(100.0 * report.by_class["decisive"] / aborts
+                          if aborts else 0.0),
+            cascading_pct=(100.0 * report.by_class["cascading"] / aborts
+                           if aborts else 0.0),
+            self_inflicted_pct=(
+                100.0 * report.by_class["self_inflicted"] / aborts
+                if aborts else 0.0),
+            wasted_cycles=report.wasted_cycles / seeds))
     return rows
 
 

@@ -26,11 +26,25 @@ from repro.harness.spec import ExperimentSpec
 
 
 def figure1_rows(rows: Sequence[Figure1Row]) -> List[dict]:
-    """Flatten Figure 1 results."""
-    return [{"workload": r.workload,
-             "read_write_pct": round(r.read_write_pct, 2),
-             "write_write_pct": round(r.write_write_pct, 2),
-             "aborts_per_run": round(r.total_aborts, 2)} for r in rows]
+    """Flatten Figure 1 results.
+
+    Provenance columns follow the omitted-when-None convention: rows
+    built without span telemetry flatten to exactly the historical
+    four-key shape.
+    """
+    out = []
+    for r in rows:
+        row = {"workload": r.workload,
+               "read_write_pct": round(r.read_write_pct, 2),
+               "write_write_pct": round(r.write_write_pct, 2),
+               "aborts_per_run": round(r.total_aborts, 2)}
+        if r.decisive_pct is not None:
+            row["decisive_pct"] = round(r.decisive_pct, 2)
+            row["cascading_pct"] = round(r.cascading_pct, 2)
+            row["self_inflicted_pct"] = round(r.self_inflicted_pct, 2)
+            row["wasted_cycles_per_run"] = round(r.wasted_cycles, 2)
+        out.append(row)
+    return out
 
 
 def figure7_rows(cells: Sequence[Figure7Cell]) -> List[dict]:

@@ -245,12 +245,21 @@ def run_once(workload: str, system: str, threads: int, seed: int,
                    if machine.mvm.census is not None else None)
     metrics_snapshot = spans = phases = None
     if telemetry:
-        from repro.obs import collect_run_metrics
+        from repro.obs import collect_run_metrics, record_provenance_metrics
         collect_run_metrics(registry, machine, tm, stats)
+        # end-of-run fold: killer outcomes are only knowable once every
+        # span has closed, so provenance counters cost the hot path nothing
+        provenance = record_provenance_metrics(registry, system,
+                                               recorder.spans)
         metrics_snapshot = registry.snapshot()
         spans = [s.to_dict() for s in recorder.spans]
     if profiling:
-        profiler.check_conservation([t.cycles for t in stats.threads])
+        # with telemetry on, reconcile the span ledger's per-victim-thread
+        # wasted cycles against the profiler's independent clock-delta
+        # tally — the two must agree exactly
+        wasted = provenance.wasted_by_thread if telemetry else None
+        profiler.check_conservation([t.cycles for t in stats.threads],
+                                    wasted_by_thread=wasted)
         phases = profiler.snapshot()
     return RunResult(
         workload=workload, system=system, threads=threads, seed=seed,

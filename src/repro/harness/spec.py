@@ -138,10 +138,11 @@ class ExperimentSpec:
 
 def seed_specs(workload: str, system: str, threads: int,
                profile: str = "quick", seeds: int = 3, seed0: int = 1,
-               config: Optional[SimConfig] = None) -> List[ExperimentSpec]:
+               config: Optional[SimConfig] = None,
+               telemetry: bool = False) -> List[ExperimentSpec]:
     """Specs for one aggregate cell: ``seeds`` consecutive seeds."""
     return [ExperimentSpec(workload, system, threads, seed0 + i,
-                           profile, config)
+                           profile, config, telemetry=telemetry)
             for i in range(seeds)]
 
 

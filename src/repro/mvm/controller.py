@@ -108,6 +108,15 @@ class MVMController:
         """Largest version count across all lines (coalescing diagnostics)."""
         return max((len(v) for v in self._lines.values()), default=0)
 
+    def newest_installer(self, line: int) -> Optional[object]:
+        """Identity of the transaction that installed ``line``'s newest
+        version, or ``None`` (non-transactional write, or identity not
+        recorded).  Conflict provenance: after ``validate_many`` reports
+        a write-write conflict, this names the first committer that won.
+        """
+        vlist = self._lines.get(line)
+        return vlist.newest_installer() if vlist is not None else None
+
     # ------------------------------------------------------------------
     # transactional reads
 
@@ -212,19 +221,21 @@ class MVMController:
             return line
         return None
 
-    def install_line(self, line: int, end_ts: int, data: LineData) -> None:
+    def install_line(self, line: int, end_ts: int, data: LineData,
+                     installer: Optional[object] = None) -> None:
         """Install a committed version of ``line`` at ``end_ts``.
 
         Raises :class:`CapExceeded` under the ABORT_WRITER policy; the
         caller (TM COMMIT) turns that into a VERSION_OVERFLOW abort and
-        rolls back any versions it already installed.
+        rolls back any versions it already installed.  ``installer`` is
+        the opaque identity reported back by :meth:`newest_installer`.
         """
         config = self.config
         if self.faults is not None:
             config = self.faults.squeeze(config)
         vlist = self._list_of(line)
         coalesced, dropped = vlist.install(
-            end_ts, data, config, self.active)
+            end_ts, data, config, self.active, installer)
         if self.faults is not None:
             self.faults.note_gc_event(int(coalesced), dropped)
         if self.dedup is not None:
@@ -259,7 +270,8 @@ class MVMController:
             out[line] = vlist.newest_data() if vlist is not None else None
         return out
 
-    def install_many(self, end_ts: int, items, on_installed=None) -> None:
+    def install_many(self, end_ts: int, items, on_installed=None,
+                     installer: Optional[object] = None) -> None:
         """Install a whole write set at ``end_ts`` through one MVM call.
 
         ``items`` is a sequence of ``(line, data)`` pairs in install
@@ -292,7 +304,7 @@ class MVMController:
                 if vlist is None:
                     vlist = lines_map[line] = VersionList()
                 coalesced, dropped = vlist.install(
-                    end_ts, data, config, active)
+                    end_ts, data, config, active, installer)
                 if faults is not None:
                     faults.note_gc_event(int(coalesced), dropped)
                 if dedup is not None:

@@ -45,11 +45,17 @@ class SnapshotTooOld(Exception):
 class VersionList:
     """Committed versions of one line, ordered by ascending timestamp."""
 
-    __slots__ = ("_timestamps", "_data", "_base_dropped")
+    __slots__ = ("_timestamps", "_data", "_installers", "_base_dropped")
 
     def __init__(self) -> None:
         self._timestamps: List[int] = []
         self._data: List[LineData] = []
+        # Parallel to ``_timestamps``: the opaque identity of the
+        # transaction that installed each version (``None`` for
+        # non-transactional writes).  Conflict provenance reads it back
+        # through :meth:`newest_installer` so first-committer-wins
+        # validation can name the committer that doomed a victim.
+        self._installers: List[Optional[object]] = []
         # The *implicit base version*: before the first transactional
         # version, the line's pre-transactional content (zeros, or data
         # written in place) is readable by arbitrarily old snapshots.  It
@@ -72,6 +78,10 @@ class VersionList:
     def newest_data(self) -> Optional[LineData]:
         """Data of the most recent committed version."""
         return self._data[-1] if self._data else None
+
+    def newest_installer(self) -> Optional[object]:
+        """Identity passed to :meth:`install` for the newest version."""
+        return self._installers[-1] if self._installers else None
 
     def read_at(self, start_ts: int) -> Tuple[Optional[LineData], int]:
         """Snapshot read: newest version with ``timestamp <= start_ts``.
@@ -110,6 +120,7 @@ class VersionList:
         else:
             self._timestamps.append(0)
             self._data.append(data)
+            self._installers.append(None)
 
     def collect_garbage(self, oldest_active: Optional[int]) -> int:
         """Drop versions invisible to every active transaction.
@@ -124,6 +135,7 @@ class VersionList:
             if dropped > 0:
                 del self._timestamps[:dropped]
                 del self._data[:dropped]
+                del self._installers[:dropped]
                 self._base_dropped = True
                 return dropped
             self._base_dropped = self._base_dropped or bool(self._timestamps)
@@ -132,6 +144,7 @@ class VersionList:
         if idx > 0:
             del self._timestamps[:idx]
             del self._data[:idx]
+            del self._installers[:idx]
             self._base_dropped = True
             return idx
         if idx == 0:
@@ -141,7 +154,8 @@ class VersionList:
         return 0
 
     def install(self, end_ts: int, data: LineData, config: MVMConfig,
-                active: ActiveTransactionTable) -> Tuple[bool, int]:
+                active: ActiveTransactionTable,
+                installer: Optional[object] = None) -> Tuple[bool, int]:
         """Install a committed version with timestamp ``end_ts``.
 
         Applies GC-on-write then coalescing, then enforces the version cap.
@@ -149,6 +163,8 @@ class VersionList:
         the previous newest (Figure 4), and how many obsolete versions GC
         deleted.  Raises :class:`CapExceeded` under the ABORT_WRITER policy
         when the line is already at the cap and cannot coalesce.
+        ``installer`` is an opaque identity stored alongside the version
+        and reported by :meth:`newest_installer`.
         """
         newest = self.newest_timestamp()
         if newest is not None and end_ts <= newest:
@@ -159,6 +175,7 @@ class VersionList:
                 and not active.any_started_in(self._timestamps[-1], end_ts)):
             self._timestamps[-1] = end_ts
             self._data[-1] = data
+            self._installers[-1] = installer
             return True, dropped
         if (config.cap_policy is not VersionCapPolicy.UNBOUNDED
                 and len(self._timestamps) >= config.max_versions):
@@ -168,10 +185,12 @@ class VersionList:
             # DROP_OLDEST: discard the oldest version to make room.
             self._timestamps.pop(0)
             self._data.pop(0)
+            self._installers.pop(0)
             self._base_dropped = True
             dropped += 1
         self._timestamps.append(end_ts)
         self._data.append(data)
+        self._installers.append(installer)
         return False, dropped
 
     def truncate_after(self, timestamp: int) -> int:
@@ -186,6 +205,7 @@ class VersionList:
         if dropped:
             del self._timestamps[idx:]
             del self._data[idx:]
+            del self._installers[idx:]
         return dropped
 
     def remove_version(self, end_ts: int) -> None:
@@ -200,3 +220,4 @@ class VersionList:
             raise MVMError(f"no version with timestamp {end_ts} to remove")
         self._timestamps.pop(idx)
         self._data.pop(idx)
+        self._installers.pop(idx)

@@ -12,6 +12,9 @@ reproduction:
 * :mod:`repro.obs.profile` — deterministic cycle-attribution profiler
   (:class:`CycleProfiler`), conservation-checked phase accounting with
   collapsed-stack (flamegraph) export;
+* :mod:`repro.obs.provenance` — killer→victim conflict graph, the
+  wasted-work ledger and the decisive/cascading/self-inflicted abort
+  classification behind ``sitm-harness blame``;
 * :mod:`repro.obs.report` — abort-attribution, conflict-heatmap,
   cycle-attribution and version-occupancy text reports.
 
@@ -24,22 +27,31 @@ span schema and profiler phases.
 """
 
 from repro.obs.metrics import MetricsRegistry, collect_run_metrics
-from repro.obs.spans import MultiTracer, Span, SpanRecorder
-from repro.obs.export import (chrome_trace, chrome_trace_events,
-                              load_spans_jsonl, spans_to_jsonl,
+from repro.obs.spans import (MultiTracer, Span, SpanRecorder,
+                             StreamingSpanRecorder, merge_span_aggregates)
+from repro.obs.export import (SPAN_SCHEMA_VERSION, chrome_trace,
+                              chrome_trace_events, load_spans_jsonl,
+                              spans_to_jsonl, validate_span_log,
                               write_chrome_trace)
 from repro.obs.profile import (CycleProfiler, collapsed_stacks,
                                phase_shares)
+from repro.obs.provenance import (ProvenanceReport, blame_table,
+                                  build_provenance, merge_provenance,
+                                  record_provenance_metrics)
 from repro.obs.report import (abort_attribution, conflict_heatmap,
                               metrics_table, phase_table,
                               version_occupancy)
 
 __all__ = [
     "MetricsRegistry", "collect_run_metrics",
-    "MultiTracer", "Span", "SpanRecorder",
-    "chrome_trace", "chrome_trace_events", "load_spans_jsonl",
-    "spans_to_jsonl", "write_chrome_trace",
+    "MultiTracer", "Span", "SpanRecorder", "StreamingSpanRecorder",
+    "merge_span_aggregates",
+    "SPAN_SCHEMA_VERSION", "chrome_trace", "chrome_trace_events",
+    "load_spans_jsonl", "spans_to_jsonl", "validate_span_log",
+    "write_chrome_trace",
     "CycleProfiler", "collapsed_stacks", "phase_shares",
+    "ProvenanceReport", "blame_table", "build_provenance",
+    "merge_provenance", "record_provenance_metrics",
     "abort_attribution", "conflict_heatmap", "metrics_table",
     "phase_table", "version_occupancy",
 ]

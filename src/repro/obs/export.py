@@ -25,7 +25,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.obs.spans import Span
 
 __all__ = ["spans_to_jsonl", "load_spans_jsonl", "chrome_trace",
-           "chrome_trace_events", "write_chrome_trace"]
+           "chrome_trace_events", "write_chrome_trace",
+           "validate_span_log", "SPAN_SCHEMA_VERSION"]
+
+#: span-log JSONL schema version, stamped on every exported line.
+#: Version history:
+#:
+#: * (absent) / 1 — the pre-provenance schema: the thirteen core keys,
+#:   always present, ``None`` where unknown;
+#: * 2 — adds the optional ``killer_tid``/``killer_uid``/
+#:   ``killer_label``/``killer_ts`` provenance fields, present only on
+#:   aborts whose backend identified the killer.  Core keys unchanged,
+#:   so version-1 logs (including the fuzzer's persisted
+#:   ``repro-*.spans.jsonl`` artifacts) still load.
+SPAN_SCHEMA_VERSION = 2
 
 #: Chrome trace color names by span outcome (rendered by the trace UIs)
 _OUTCOME_COLORS = {
@@ -45,6 +58,7 @@ def spans_to_jsonl(spans: Sequence[Span],
     lines = []
     for span in spans:
         row = span.to_dict()
+        row["schema_version"] = SPAN_SCHEMA_VERSION
         if extra:
             row.update(extra)
         lines.append(json.dumps(row, sort_keys=True))
@@ -59,6 +73,73 @@ def load_spans_jsonl(text: str) -> List[Span]:
         if line:
             spans.append(Span.from_dict(json.loads(line)))
     return spans
+
+
+#: required span-log keys and the types their non-None values must have
+_REQUIRED_SPAN_KEYS = {"uid": int, "thread": int, "label": str,
+                       "begin_cycle": int}
+_OPTIONAL_SPAN_KEYS = {"end_cycle": int, "outcome": str, "cause": str,
+                       "retries": int, "reads": int, "writes": int,
+                       "start_ts": int, "commit_ts": int,
+                       "conflict_line": int, "schema_version": int,
+                       "killer_tid": int, "killer_uid": int,
+                       "killer_label": str, "killer_ts": int}
+_VALID_OUTCOMES = {"commit", "abort", "open"}
+
+
+def validate_span_log(text: str) -> List[str]:
+    """Check a span-log JSONL document against the pinned schema.
+
+    Returns a list of human-readable problems (empty = valid).  Both
+    schema versions are accepted: version-1 logs simply have no
+    ``schema_version`` or killer keys.  This is the contract the
+    ROADMAP's trace-replay workload will consume, so it is deliberately
+    strict about types and outcome values but tolerant of extra keys
+    (the fuzzer stamps ``system``/``schedule`` onto every line).
+    """
+    problems: List[str] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"line {number}: not JSON ({exc})")
+            continue
+        if not isinstance(row, dict):
+            problems.append(f"line {number}: not an object")
+            continue
+        for key, kind in _REQUIRED_SPAN_KEYS.items():
+            if key not in row:
+                problems.append(f"line {number}: missing {key!r}")
+            elif not isinstance(row[key], kind) \
+                    or isinstance(row[key], bool):
+                problems.append(
+                    f"line {number}: {key!r} must be {kind.__name__}, "
+                    f"got {row[key]!r}")
+        for key, kind in _OPTIONAL_SPAN_KEYS.items():
+            value = row.get(key)
+            if value is not None and (not isinstance(value, kind)
+                                      or isinstance(value, bool)):
+                problems.append(
+                    f"line {number}: {key!r} must be {kind.__name__} "
+                    f"or null, got {value!r}")
+        outcome = row.get("outcome")
+        if outcome is not None and outcome not in _VALID_OUTCOMES:
+            problems.append(
+                f"line {number}: unknown outcome {outcome!r}")
+        version = row.get("schema_version")
+        if isinstance(version, int) and not isinstance(version, bool) \
+                and not 1 <= version <= SPAN_SCHEMA_VERSION:
+            problems.append(
+                f"line {number}: unsupported schema_version {version}")
+        killer_keys = [k for k in ("killer_tid", "killer_uid")
+                       if row.get(k) is not None]
+        if killer_keys and row.get("outcome") != "abort":
+            problems.append(
+                f"line {number}: killer fields on a non-abort span")
+    return problems
 
 
 def chrome_trace_events(spans: Sequence[Span], pid: int = 0,

@@ -96,7 +96,16 @@ class CycleProfiler(Tracer):
         self._mvm_events: Dict[str, Dict[int, int]] = {}
         #: aborts whose detecting backend knew no single conflicting line
         self.unattributed_aborts = 0
+        #: thread -> cycles burned inside attempts that ended in abort
+        #: (each abort charges end-clock minus begin-clock, the exact
+        #: wasted-work quantum the span recorder sees as abort-span
+        #: duration — the ledger reconciliation in the runner depends on
+        #: the two agreeing to the cycle)
+        self._wasted: Dict[int, int] = {}
+        #: thread -> clock at the most recent on_begin (open attempt)
+        self._attempt_begin: Dict[int, int] = {}
         self._amap = None
+        self._engine = None
 
     # -- wiring ----------------------------------------------------------
 
@@ -109,6 +118,7 @@ class CycleProfiler(Tracer):
         guard along the hot paths fires.
         """
         engine.profiler = self
+        self._engine = engine
         machine = getattr(engine, "machine", None)
         if machine is not None:
             machine.profiler = self
@@ -148,7 +158,20 @@ class CycleProfiler(Tracer):
             lines = self._mvm_events[kind] = {}
         lines[line] = lines.get(line, 0) + count
 
-    # -- tracer hooks (conflict heatmap) ---------------------------------
+    # -- tracer hooks (conflict heatmap + wasted-work tally) -------------
+
+    def _thread_clock(self, thread_id: int) -> Optional[int]:
+        if self._engine is None:
+            return None
+        return self._engine.threads[thread_id].clock
+
+    def on_begin(self, txn: Txn) -> None:
+        clock = self._thread_clock(txn.thread_id)
+        if clock is not None:
+            self._attempt_begin[txn.thread_id] = clock
+
+    def on_commit(self, txn: Txn) -> None:
+        self._attempt_begin.pop(txn.thread_id, None)
 
     def on_write(self, txn: Txn, addr: int, site: str,
                  value: object = None) -> None:
@@ -161,6 +184,12 @@ class CycleProfiler(Tracer):
         sites[site] = sites.get(site, 0) + 1
 
     def on_abort(self, txn: Txn, cause: AbortCause) -> None:
+        tid = txn.thread_id
+        begin = self._attempt_begin.pop(tid, None)
+        if begin is not None:
+            clock = self._thread_clock(tid)
+            if clock is not None:
+                self._wasted[tid] = self._wasted.get(tid, 0) + clock - begin
         line = txn.conflict_line
         if line is None:
             self.unattributed_aborts += 1
@@ -172,13 +201,21 @@ class CycleProfiler(Tracer):
 
     # -- invariants ------------------------------------------------------
 
-    def check_conservation(self, thread_clocks: Sequence[int]) -> None:
+    def check_conservation(self, thread_clocks: Sequence[int],
+                           wasted_by_thread: Optional[Dict[int, int]]
+                           = None) -> None:
         """Verify phase cycles sum exactly to each thread's final clock.
 
         Also verifies sub-phase containment (no sub-phase group exceeds
-        its parent).  Raises :class:`~repro.common.errors.SimulationError`
-        on any violation — a profiler that loses or invents cycles would
-        silently corrupt every phase-share number downstream.
+        its parent) and that no thread's wasted-cycle tally exceeds its
+        clock.  When ``wasted_by_thread`` is given (the span ledger's
+        per-victim-thread totals), it must match this profiler's tally
+        *exactly* — wasted work is counted by two independent observers
+        (abort-span durations vs. begin/abort clock deltas) and any
+        disagreement means cycles were lost or invented.  Raises
+        :class:`~repro.common.errors.SimulationError` on any violation —
+        a profiler that loses or invents cycles would silently corrupt
+        every phase-share number downstream.
         """
         for thread_id, clock in enumerate(thread_clocks):
             total = sum(self._phases.get(thread_id, {}).values())
@@ -186,6 +223,21 @@ class CycleProfiler(Tracer):
                 raise SimulationError(
                     f"cycle-conservation violation on thread {thread_id}: "
                     f"phases sum to {total}, engine clock is {clock}")
+            wasted = self._wasted.get(thread_id, 0)
+            if wasted > clock:
+                raise SimulationError(
+                    f"wasted-cycle overflow on thread {thread_id}: "
+                    f"{wasted} wasted > clock {clock}")
+        if wasted_by_thread is not None:
+            threads = set(self._wasted) | set(wasted_by_thread)
+            for thread_id in sorted(threads):
+                mine = self._wasted.get(thread_id, 0)
+                theirs = wasted_by_thread.get(thread_id, 0)
+                if mine != theirs:
+                    raise SimulationError(
+                        f"wasted-cycle reconciliation failure on thread "
+                        f"{thread_id}: profiler tallied {mine}, span "
+                        f"ledger charged {theirs}")
         for thread_id, parents in self._sub.items():
             phases = self._phases.get(thread_id, {})
             for parent, subs in parents.items():
@@ -207,6 +259,14 @@ class CycleProfiler(Tracer):
         """All charged cycles (equals the sum of final thread clocks)."""
         return sum(sum(phases.values()) for phases in self._phases.values())
 
+    def wasted_cycles_by_thread(self) -> Dict[int, int]:
+        """Per-thread cycles burned inside attempts that later aborted."""
+        return dict(self._wasted)
+
+    def wasted_cycles(self) -> int:
+        """Total cycles across all threads spent on aborted attempts."""
+        return sum(self._wasted.values())
+
     # -- serialization ---------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -217,7 +277,10 @@ class CycleProfiler(Tracer):
         runs produce byte-identical snapshots.
         """
         return {
-            "version": 1,
+            # version 2 added "wasted_cycles"; downstream consumers
+            # (phase_shares, bench artifacts) read only "threads", so
+            # version-1 snapshots remain loadable
+            "version": 2,
             "threads": {
                 str(tid): {
                     phase: {
@@ -249,6 +312,8 @@ class CycleProfiler(Tracer):
                 for kind, lines in sorted(self._mvm_events.items())
             },
             "unattributed_aborts": self.unattributed_aborts,
+            "wasted_cycles": {str(tid): cycles
+                              for tid, cycles in sorted(self._wasted.items())},
         }
 
 

@@ -20,14 +20,17 @@ recorder must never change the history the checker sees
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.common.errors import AbortCause
+from repro.common.rng import derive_seed
 from repro.sim.engine import Tracer
 from repro.tm.api import Txn
 
-__all__ = ["Span", "SpanRecorder", "MultiTracer"]
+__all__ = ["Span", "SpanRecorder", "StreamingSpanRecorder",
+           "MultiTracer", "merge_span_aggregates"]
 
 #: span outcomes
 COMMIT, ABORT, OPEN = "commit", "abort", "open"
@@ -53,6 +56,14 @@ class Span:
     #: memory line on which the fatal conflict was detected (aborts
     #: whose cause pinpoints one; feeds the conflict heatmap)
     conflict_line: Optional[int] = None
+    #: conflict provenance (aborts doomed by another transaction): the
+    #: killer's thread, span uid, label and timestamp.  ``None`` for
+    #: commits and self-inflicted aborts, and *omitted* from the dict
+    #: form so pre-provenance span logs round-trip unchanged.
+    killer_tid: Optional[int] = None
+    killer_uid: Optional[int] = None
+    killer_label: Optional[str] = None
+    killer_ts: Optional[int] = None
 
     @property
     def duration(self) -> int:
@@ -61,15 +72,26 @@ class Span:
             return 0
         return self.end_cycle - self.begin_cycle
 
+    @property
+    def has_killer(self) -> bool:
+        """True when another transaction was identified as the killer."""
+        return self.killer_uid is not None or self.killer_tid is not None
+
     def to_dict(self) -> dict:
-        """JSON-safe form (stable key set)."""
-        return {"uid": self.uid, "thread": self.thread_id,
-                "label": self.label, "begin_cycle": self.begin_cycle,
-                "end_cycle": self.end_cycle, "outcome": self.outcome,
-                "cause": self.cause, "retries": self.retries,
-                "reads": self.reads, "writes": self.writes,
-                "start_ts": self.start_ts, "commit_ts": self.commit_ts,
-                "conflict_line": self.conflict_line}
+        """JSON-safe form (stable key set; killer fields only when set)."""
+        row = {"uid": self.uid, "thread": self.thread_id,
+               "label": self.label, "begin_cycle": self.begin_cycle,
+               "end_cycle": self.end_cycle, "outcome": self.outcome,
+               "cause": self.cause, "retries": self.retries,
+               "reads": self.reads, "writes": self.writes,
+               "start_ts": self.start_ts, "commit_ts": self.commit_ts,
+               "conflict_line": self.conflict_line}
+        if self.has_killer:
+            row["killer_tid"] = self.killer_tid
+            row["killer_uid"] = self.killer_uid
+            row["killer_label"] = self.killer_label
+            row["killer_ts"] = self.killer_ts
+        return row
 
     @classmethod
     def from_dict(cls, data: dict) -> "Span":
@@ -84,7 +106,11 @@ class Span:
                    writes=data.get("writes", 0),
                    start_ts=data.get("start_ts"),
                    commit_ts=data.get("commit_ts"),
-                   conflict_line=data.get("conflict_line"))
+                   conflict_line=data.get("conflict_line"),
+                   killer_tid=data.get("killer_tid"),
+                   killer_uid=data.get("killer_uid"),
+                   killer_label=data.get("killer_label"),
+                   killer_ts=data.get("killer_ts"))
 
 
 class SpanRecorder(Tracer):
@@ -120,7 +146,13 @@ class SpanRecorder(Tracer):
     # -- tracer hooks ----------------------------------------------------
 
     def on_begin(self, txn: Txn) -> None:
-        span = Span(uid=len(self.spans), thread_id=txn.thread_id,
+        # the TM mints txn.uid in global begin order, which is exactly
+        # the order this hook fires in, so uid == len(spans) whenever
+        # the transaction came from a real backend; the fallback keeps
+        # hand-built tracer tests working
+        uid = txn.uid if getattr(txn, "uid", None) is not None \
+            else len(self.spans)
+        span = Span(uid=uid, thread_id=txn.thread_id,
                     label=txn.label, begin_cycle=self._clock(txn.thread_id),
                     retries=txn.attempt, start_ts=txn.start_ts)
         self.spans.append(span)
@@ -153,6 +185,11 @@ class SpanRecorder(Tracer):
         span.cause = cause
         span.commit_ts = txn.commit_ts
         span.conflict_line = getattr(txn, "conflict_line", None)
+        if outcome == ABORT:
+            span.killer_tid = getattr(txn, "killer_tid", None)
+            span.killer_uid = getattr(txn, "killer_uid", None)
+            span.killer_label = getattr(txn, "killer_label", None)
+            span.killer_ts = getattr(txn, "killer_ts", None)
         if self.metrics is not None:
             self.metrics.observe("txn_cycles", span.duration,
                                  outcome=outcome)
@@ -161,6 +198,203 @@ class SpanRecorder(Tracer):
 
     def __len__(self) -> int:
         return len(self.spans)
+
+
+def _merge_histogram_dicts(a: Optional[dict],
+                           b: Optional[dict]) -> Optional[dict]:
+    """Merge two power-of-two histogram dicts (``_Histogram.to_dict``)."""
+    if a is None:
+        return None if b is None else dict(b, buckets=dict(b["buckets"]))
+    if b is None:
+        return dict(a, buckets=dict(a["buckets"]))
+    buckets = dict(a["buckets"])
+    for bound, count in b["buckets"].items():
+        buckets[bound] = buckets.get(bound, 0) + count
+    mins = [m for m in (a["min"], b["min"]) if m is not None]
+    maxs = [m for m in (a["max"], b["max"]) if m is not None]
+    return {"buckets": {k: buckets[k]
+                        for k in sorted(buckets, key=int)},
+            "count": a["count"] + b["count"],
+            "sum": a["sum"] + b["sum"],
+            "min": min(mins) if mins else None,
+            "max": max(maxs) if maxs else None}
+
+
+def merge_span_aggregates(*aggregates: dict) -> dict:
+    """Merge :meth:`StreamingSpanRecorder.aggregate` outputs.
+
+    The aggregates are mergeable by construction (power-of-two bucket
+    histograms plus counters), so per-shard streaming runs combine into
+    one summary without ever holding the spans themselves.
+    """
+    merged: dict = {"total_spans": 0, "outcomes": {}}
+    for agg in aggregates:
+        merged["total_spans"] += agg["total_spans"]
+        for outcome, stats in agg["outcomes"].items():
+            into = merged["outcomes"].get(outcome)
+            if into is None:
+                merged["outcomes"][outcome] = {
+                    key: _merge_histogram_dicts(value, None)
+                    for key, value in stats.items()}
+            else:
+                for key, value in stats.items():
+                    into[key] = _merge_histogram_dicts(into.get(key),
+                                                       value)
+    merged["outcomes"] = {k: merged["outcomes"][k]
+                          for k in sorted(merged["outcomes"])}
+    return merged
+
+
+class StreamingSpanRecorder(SpanRecorder):
+    """Bounded-memory span recording for arbitrarily long runs.
+
+    Retention policy per closed span:
+
+    * **aborts are always kept** — they are what provenance analysis
+      consumes, and they are rare by construction on healthy runs;
+      without a sink the newest ``cap`` aborts survive (ring buffer),
+      with a sink older aborts reach the JSONL file before rotation;
+    * **commits are reservoir-sampled** (Algorithm R, seeded) down to
+      ``cap`` — a uniform sample of the flush window;
+    * every closed span feeds the online per-outcome aggregates
+      (power-of-two histograms of cycles/reads/footprints), which are
+      exact and mergeable (:func:`merge_span_aggregates`) no matter
+      how many spans were discarded.
+
+    With ``sink`` set, retained spans append to the JSONL file every
+    ``flush_every`` closed spans (and whenever the abort buffer hits
+    the cap), so disk gets a complete abort log plus sampled commits
+    while memory stays at O(``cap``).
+    """
+
+    def __init__(self, cap: int = 1024, seed: int = 0, metrics=None,
+                 sink=None, flush_every: int = 0):
+        if cap <= 0:
+            raise ValueError(f"span cap must be positive, got {cap}")
+        super().__init__(metrics=metrics)
+        self.cap = cap
+        self.sink = sink
+        self.flush_every = flush_every
+        self._rng = random.Random(derive_seed(seed, "span-reservoir"))
+        self._commits: List[Span] = []
+        self._aborts: List[Span] = []
+        #: commits seen in the current flush window (reservoir size base)
+        self._commit_seen = 0
+        self._closed_since_flush = 0
+        self.total_begun = 0
+        self.total_commits = 0
+        self.total_aborts = 0
+        #: spans discarded without reaching memory or the sink
+        self.commits_sampled_out = 0
+        self.aborts_dropped = 0
+        self.flushed_spans = 0
+        #: high-water mark of retained closed spans (memory-cap proof)
+        self.max_retained = 0
+        self._aggregates: Dict[str, Dict[str, object]] = {}
+
+    # -- tracer hooks ----------------------------------------------------
+
+    def on_begin(self, txn: Txn) -> None:
+        uid = txn.uid if getattr(txn, "uid", None) is not None \
+            else self.total_begun
+        span = Span(uid=uid, thread_id=txn.thread_id,
+                    label=txn.label, begin_cycle=self._clock(txn.thread_id),
+                    retries=txn.attempt, start_ts=txn.start_ts)
+        self.total_begun += 1
+        self._open[txn.thread_id] = span
+
+    def _close(self, txn: Txn, outcome: str, cause: Optional[str]) -> None:
+        span = self._open.get(txn.thread_id)
+        super()._close(txn, outcome, cause)
+        if span is None:
+            return
+        self._aggregate(span)
+        self._retain(span)
+
+    # -- retention -------------------------------------------------------
+
+    def _retain(self, span: Span) -> None:
+        if span.outcome == ABORT:
+            self.total_aborts += 1
+            self._aborts.append(span)
+            if self.sink is None and len(self._aborts) > self.cap:
+                self._aborts.pop(0)
+                self.aborts_dropped += 1
+        else:
+            self.total_commits += 1
+            self._commit_seen += 1
+            if len(self._commits) < self.cap:
+                self._commits.append(span)
+            else:
+                slot = self._rng.randrange(self._commit_seen)
+                if slot < self.cap:
+                    self.commits_sampled_out += 1
+                    self._commits[slot] = span
+                else:
+                    self.commits_sampled_out += 1
+        self.max_retained = max(self.max_retained,
+                                len(self._commits) + len(self._aborts))
+        self._closed_since_flush += 1
+        if self.sink is not None and (
+                (self.flush_every
+                 and self._closed_since_flush >= self.flush_every)
+                or len(self._aborts) >= self.cap):
+            self.flush()
+
+    def retained(self) -> List[Span]:
+        """Closed spans currently held in memory, in begin (uid) order."""
+        return sorted(self._commits + self._aborts,
+                      key=lambda span: span.uid)
+
+    def flush(self) -> int:
+        """Append retained spans to the JSONL sink and release them.
+
+        Returns the number of spans written.  A no-op without a sink.
+        """
+        if self.sink is None:
+            return 0
+        rows = self.retained()
+        if rows:
+            from repro.obs.export import spans_to_jsonl
+            with open(self.sink, "a", encoding="utf-8") as handle:
+                handle.write(spans_to_jsonl(rows))
+        self._commits.clear()
+        self._aborts.clear()
+        self._commit_seen = 0
+        self._closed_since_flush = 0
+        self.flushed_spans += len(rows)
+        return len(rows)
+
+    # -- aggregation -----------------------------------------------------
+
+    def _aggregate(self, span: Span) -> None:
+        from repro.obs.metrics import _Histogram
+        stats = self._aggregates.get(span.outcome)
+        if stats is None:
+            stats = self._aggregates[span.outcome] = {
+                "cycles": _Histogram(), "reads": _Histogram(),
+                "writes": _Histogram()}
+        stats["cycles"].observe(span.duration)
+        stats["reads"].observe(span.reads)
+        stats["writes"].observe(span.writes)
+
+    def aggregate(self) -> dict:
+        """Canonical mergeable summary of *every* closed span.
+
+        Exact regardless of sampling: aggregation happens before
+        retention, so the histograms cover spans the reservoir dropped.
+        """
+        return {
+            "total_spans": self.total_commits + self.total_aborts,
+            "outcomes": {
+                outcome: {key: hist.to_dict()
+                          for key, hist in sorted(stats.items())}
+                for outcome, stats in sorted(self._aggregates.items())
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._commits) + len(self._aborts)
 
 
 class MultiTracer(Tracer):

@@ -76,14 +76,20 @@ class Txn:
     __slots__ = ("thread_id", "label", "attempt", "start_ts", "commit_ts",
                  "epoch", "read_lines", "write_lines", "promoted_lines",
                  "write_buffer", "doomed", "active", "start_removed",
-                 "son_lo", "son_hi", "after", "before",
-                 "inbound_rw", "outbound_rw", "consecutive_stalls",
-                 "undo_log", "conflict_line")
+                 "son_lo", "son_hi", "son_hi_setter", "after", "before",
+                 "inbound_rw", "outbound_rw", "inbound_peer",
+                 "outbound_peer", "consecutive_stalls",
+                 "undo_log", "conflict_line", "uid",
+                 "killer_tid", "killer_uid", "killer_label", "killer_ts")
 
     def __init__(self, thread_id: int, label: str, attempt: int):
         self.thread_id = thread_id
         self.label = label
         self.attempt = attempt
+        #: global begin-order id, minted by :meth:`TMSystem._register`;
+        #: the i-th transaction to successfully begin gets uid i, which
+        #: is exactly the index the span recorder assigns its span
+        self.uid: Optional[int] = None
         self.start_ts: Optional[int] = None
         #: end timestamp assigned at a successful commit (timestamped
         #: systems only; ``None`` for untimestamped systems and read-only
@@ -105,11 +111,18 @@ class Txn:
         # SONTM state (serializability-order-number range + edges)
         self.son_lo = 0
         self.son_hi: Optional[int] = None  # None = +infinity
+        #: identity of the committer whose propagation last lowered
+        #: ``son_hi`` — the killer when the range later turns up empty
+        self.son_hi_setter: Optional[Tuple] = None
         self.after: Set[int] = set()   # thread ids that must precede us
         self.before: Set[int] = set()  # thread ids that must follow us
-        # SSI-TM dangerous-structure flags (section 5.2)
+        # SSI-TM dangerous-structure flags (section 5.2), plus the
+        # identity of the concurrent transaction on each rw edge — the
+        # killer when the pivot completes at commit
         self.inbound_rw = False
         self.outbound_rw = False
+        self.inbound_peer: Optional[Tuple] = None
+        self.outbound_peer: Optional[Tuple] = None
         # LogTM-style state: NACK/stall bookkeeping + in-place undo log
         self.consecutive_stalls = 0
         self.undo_log: list = []
@@ -117,16 +130,54 @@ class Txn:
         #: was detected (None while alive, or when the cause has no single
         #: line — e.g. an empty SON range).  Feeds the conflict heatmap.
         self.conflict_line: Optional[int] = None
+        #: conflict provenance: identity of the transaction whose
+        #: conflicting access doomed this attempt (None for self-inflicted
+        #: aborts — capacity, overflow, fault injection).  Flows into the
+        #: span's ``killer_*`` fields and the wasted-work ledger.
+        self.killer_tid: Optional[int] = None
+        self.killer_uid: Optional[int] = None
+        self.killer_label: Optional[str] = None
+        self.killer_ts: Optional[int] = None
 
-    def doom(self, cause: AbortCause, line: Optional[int] = None) -> None:
+    def identity(self) -> Tuple:
+        """``(thread_id, uid, label, ts)`` naming this attempt.
+
+        ``ts`` is the commit timestamp when one was assigned, else the
+        begin timestamp — the instant of the conflicting access a victim
+        should report.  The same tuple shape is stored as the MVM
+        version installer and in SSI's committed-record window.
+        """
+        return (self.thread_id, self.uid, self.label,
+                self.commit_ts if self.commit_ts is not None
+                else self.start_ts)
+
+    def record_killer(self, killer: Optional[Tuple]) -> None:
+        """Stamp killer identity (first writer wins, like ``doom``).
+
+        ``killer`` is an ``(tid, uid, label, ts)`` identity tuple as
+        produced by :meth:`identity`; ``None`` is a no-op so call sites
+        need no guard when provenance is unavailable.
+        """
+        if killer is None or self.killer_uid is not None:
+            return
+        self.killer_tid, self.killer_uid, self.killer_label, \
+            self.killer_ts = killer
+
+    def doom(self, cause: AbortCause, line: Optional[int] = None,
+             killer: Optional["Txn"] = None) -> None:
         """Mark this transaction for abort (requester-wins victim).
 
         ``line`` is the conflicting memory line when the detecting system
-        knows it; recorded for conflict-heatmap attribution.
+        knows it; recorded for conflict-heatmap attribution.  ``killer``
+        is the transaction whose access doomed this one (the requester,
+        for eager requester-wins policies); its identity feeds the
+        killer→victim conflict graph.
         """
         if self.doomed is None:
             self.doomed = cause
             self.conflict_line = line
+            if killer is not None:
+                self.record_killer(killer.identity())
 
     @property
     def is_read_only(self) -> bool:
@@ -227,6 +278,10 @@ class TMSystem:
         self._capacity_faults = (
             faults if faults is not None
             and faults.plan.squeezes_capacity() else None)
+        #: next transaction uid; every successful begin registers exactly
+        #: one transaction, so uids equal global begin order — the same
+        #: order the span recorder indexes spans by
+        self._next_uid = 0
 
     # -- policy hooks ---------------------------------------------------
 
@@ -286,6 +341,8 @@ class TMSystem:
         if txn.thread_id in self.active_txns:
             raise TMError(
                 f"thread {txn.thread_id} already has an active transaction")
+        txn.uid = self._next_uid
+        self._next_uid += 1
         self.active_txns[txn.thread_id] = txn
 
     def _deregister(self, txn: Txn) -> None:

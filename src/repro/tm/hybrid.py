@@ -153,8 +153,12 @@ class HybridHTM(TwoPhaseLockingTM):
     def commit(self, txn: Txn, now: int) -> int:
         if txn.thread_id in self.fallback_threads:
             # the serial section is non-speculative: hardware conflicts
-            # cannot abort it (there is no footprint to hit)
+            # cannot abort it (there is no footprint to hit) — any doom
+            # and its provenance recorded before escalation is void
             txn.doomed = None
+            txn.conflict_line = None
+            txn.killer_tid = txn.killer_uid = None
+            txn.killer_label = txn.killer_ts = None
             try:
                 cycles = super().commit(txn, now)
             finally:

@@ -79,8 +79,14 @@ class EagerLogTM(TMSystem):
                 return other
         return None
 
-    def _nack(self, txn: Txn, line: int) -> None:
-        """Stall the requester; abort it after too many consecutive NACKs."""
+    def _nack(self, txn: Txn, line: int,
+              owner: Optional[Txn] = None) -> None:
+        """Stall the requester; abort it after too many consecutive NACKs.
+
+        ``owner`` is the transaction holding the line — on a
+        deadlock-avoidance self-abort it is the killer the requester
+        backed off from.
+        """
         txn.consecutive_stalls += 1
         self.stalls_issued += 1
         metrics = self.machine.metrics
@@ -89,6 +95,8 @@ class EagerLogTM(TMSystem):
                             system=self.name)
         if txn.consecutive_stalls > self.MAX_STALLS:
             txn.conflict_line = line
+            if owner is not None:
+                txn.record_killer(owner.identity())
             raise TransactionAborted(
                 AbortCause.READ_WRITE, "possible deadlock: requester aborts")
         raise StallRequested(self.NACK_CYCLES)
@@ -99,7 +107,7 @@ class EagerLogTM(TMSystem):
         if line not in txn.read_lines and line not in txn.write_lines:
             owner = self._conflicting_owner(txn, line, for_write=False)
             if owner is not None:
-                self._nack(txn, line)
+                self._nack(txn, line, owner)
         txn.consecutive_stalls = 0
         cycles = self.machine.caches.access(txn.thread_id, line)
         if line not in txn.read_lines:
@@ -114,7 +122,7 @@ class EagerLogTM(TMSystem):
         if line not in txn.write_lines:
             owner = self._conflicting_owner(txn, line, for_write=True)
             if owner is not None:
-                self._nack(txn, line)
+                self._nack(txn, line, owner)
         txn.consecutive_stalls = 0
         cycles = self.machine.caches.access(txn.thread_id, line)
         if line not in txn.write_lines:

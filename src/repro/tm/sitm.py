@@ -223,6 +223,9 @@ class SnapshotIsolationTM(TMSystem):
             sorted(txn.validation_lines()), txn.start_ts, written_words)
         if conflict is not None:
             txn.conflict_line = conflict
+            # first committer wins: the killer is whoever installed the
+            # conflicting line's newest version after our snapshot
+            txn.record_killer(self.mvm.newest_installer(conflict))
             raise TransactionAborted(
                 AbortCause.WRITE_WRITE, f"line {conflict:#x}")
 
@@ -307,7 +310,9 @@ class SnapshotIsolationTM(TMSystem):
             invalidate(line, except_core=tid)
 
         try:
-            self.mvm.install_many(end_ts, items, on_installed=charge)
+            self.mvm.install_many(
+                end_ts, items, on_installed=charge,
+                installer=(tid, txn.uid, txn.label, end_ts))
         except CapExceeded as exc:
             # Optimistic commit is itself transactional: install_many
             # already undid our versions; release the reservation.

@@ -128,6 +128,9 @@ class SONTM(TMSystem):
             if writer is not None:
                 txn.son_lo = max(txn.son_lo, writer + 1)
         if txn.son_hi is not _INF and txn.son_lo > txn.son_hi:
+            # the range can only be empty once a concurrent committer
+            # lowered our upper bound; that committer is the killer
+            txn.record_killer(txn.son_hi_setter)
             self._deregister(txn)
             raise TransactionAborted(AbortCause.SON_RANGE_EMPTY)
         # Choose the SON leaving headroom *below* for concurrent
@@ -137,6 +140,7 @@ class SONTM(TMSystem):
         # the highest admissible number.
         son = txn.son_lo + self.SON_GAP if txn.son_hi is _INF else txn.son_hi
         # Propagate ordering constraints to surviving concurrent txns.
+        identity = (txn.thread_id, txn.uid, txn.label, son)
         for other in txn.before:
             if other.active:
                 other.son_lo = max(other.son_lo, son + 1)
@@ -145,6 +149,9 @@ class SONTM(TMSystem):
                 bound = son - 1
                 if other.son_hi is _INF or other.son_hi > bound:
                     other.son_hi = bound
+                    # we hold the victim's binding upper bound; if its
+                    # range turns up empty at commit, we are the killer
+                    other.son_hi_setter = identity
         # Publish: write numbers + data write-back, serialised by a token.
         if txn.write_buffer:
             hold = (self.TOKEN_CYCLES

@@ -52,17 +52,20 @@ class _CommittedRecord:
     active transaction could still be concurrent with it."""
 
     __slots__ = ("start_ts", "commit_stamp", "read_lines", "write_lines",
-                 "inbound", "outbound")
+                 "inbound", "outbound", "identity")
 
     def __init__(self, start_ts: int, commit_stamp: int,
                  read_lines: Set[int], write_lines: Set[int],
-                 inbound: bool, outbound: bool):
+                 inbound: bool, outbound: bool, identity: Tuple):
         self.start_ts = start_ts
         self.commit_stamp = commit_stamp
         self.read_lines = read_lines
         self.write_lines = write_lines
         self.inbound = inbound
         self.outbound = outbound
+        #: ``Txn.identity()`` tuple of the committed transaction, named
+        #: as the killer when this record anchors a dangerous structure
+        self.identity = identity
 
     @property
     def dangerous(self) -> bool:
@@ -126,6 +129,10 @@ class SerializableSITM(SnapshotIsolationTM):
         for line in pure_reads:
             if self.mvm.validate_line(line, txn.start_ts):
                 txn.outbound_rw = True
+                if txn.outbound_peer is None:
+                    # the concurrent writer on our outgoing edge: whoever
+                    # installed the newer version of the line we read
+                    txn.outbound_peer = self.mvm.newest_installer(line)
                 for rec in self._window:
                     cycles += self.RECORD_SCAN_CYCLES
                     if (line in rec.write_lines
@@ -134,6 +141,7 @@ class SerializableSITM(SnapshotIsolationTM):
                         if rec.dangerous:
                             # our edge would complete a committed pivot
                             txn.conflict_line = line
+                            txn.record_killer(rec.identity)
                             raise TransactionAborted(
                                 AbortCause.DANGEROUS_STRUCTURE,
                                 f"committed pivot via read line {line:#x}")
@@ -146,13 +154,19 @@ class SerializableSITM(SnapshotIsolationTM):
                 overlap = txn.write_lines & rec.read_lines
                 if overlap and not (overlap <= rec.write_lines):
                     txn.inbound_rw = True
+                    if txn.inbound_peer is None:
+                        txn.inbound_peer = rec.identity
                     rec.outbound = True
                     if rec.dangerous:
                         txn.conflict_line = min(overlap)
+                        txn.record_killer(rec.identity)
                         raise TransactionAborted(
                             AbortCause.DANGEROUS_STRUCTURE,
                             "committed pivot via reader record")
         if txn.inbound_rw and txn.outbound_rw:
+            # both rw-edge peers are concurrent committed transactions;
+            # name the inbound one (a record, always available) first
+            txn.record_killer(txn.inbound_peer or txn.outbound_peer)
             raise TransactionAborted(
                 AbortCause.DANGEROUS_STRUCTURE, "pivot at commit")
         return cycles
@@ -173,7 +187,7 @@ class SerializableSITM(SnapshotIsolationTM):
         cycles = super().commit(txn, now)
         self._window.append(_CommittedRecord(
             start_ts, self.machine.clock.now, read_lines, write_lines,
-            inbound, outbound))
+            inbound, outbound, txn.identity()))
         metrics = self.machine.metrics
         if metrics is not None:
             # size of the committed-transaction window each dangerous-

@@ -68,7 +68,7 @@ class TwoPhaseLockingTM(TMSystem):
             cycles += self.machine.interconnect.broadcast_cost()
             for other in self.others(txn):
                 if line in other.write_lines:
-                    other.doom(AbortCause.READ_WRITE, line)
+                    other.doom(AbortCause.READ_WRITE, line, txn)
             txn.read_lines.add(line)
             self._charge_read_capacity(txn, line)
         return self.machine.plain_load(addr), cycles
@@ -81,9 +81,9 @@ class TwoPhaseLockingTM(TMSystem):
             cycles += self.machine.interconnect.broadcast_cost()
             for other in self.others(txn):
                 if line in other.write_lines:
-                    other.doom(AbortCause.WRITE_WRITE, line)
+                    other.doom(AbortCause.WRITE_WRITE, line, txn)
                 elif line in other.read_lines:
-                    other.doom(AbortCause.READ_WRITE, line)
+                    other.doom(AbortCause.READ_WRITE, line, txn)
             self.machine.caches.invalidate_everywhere(
                 line, except_core=txn.thread_id)
             txn.write_lines.add(line)

@@ -93,3 +93,37 @@ class TestSnapshot:
         reg.observe("depth", 2)
         snap = reg.snapshot()
         assert json.loads(json.dumps(snap)) == snap
+
+
+class TestProvenanceCounters:
+    """The new provenance counters: emitted on telemetry runs,
+    deterministic in the canonical snapshot."""
+
+    def _snapshot(self):
+        from repro.harness.runner import run_once
+        result = run_once("list", "2PL", 4, 2, profile="test",
+                          telemetry=True)
+        return result.metrics, result
+
+    def test_wasted_and_outcome_counters_emitted(self):
+        snap, result = self._snapshot()
+        wasted = {k: v for k, v in snap["counters"].items()
+                  if k.startswith("tm_wasted_cycles_total{")}
+        outcomes = {k: v for k, v in snap["counters"].items()
+                    if k.startswith("tm_aborts_by_outcome_total{")}
+        assert wasted and outcomes
+        assert all("system=2PL" in k for k in wasted)
+        assert all("cause=" in k for k in wasted)
+        # the outcome counter partitions the aborts exactly
+        assert sum(outcomes.values()) == result.aborts
+        # and the wasted ledger covers every abort span's cycles
+        spans = result.spans
+        assert sum(wasted.values()) == sum(
+            (row["end_cycle"] - row["begin_cycle"])
+            for row in spans if row.get("outcome") == "abort")
+
+    def test_snapshot_deterministic_across_identical_runs(self):
+        first, _ = self._snapshot()
+        second, _ = self._snapshot()
+        assert (json.dumps(first, sort_keys=True)
+                == json.dumps(second, sort_keys=True))

@@ -80,6 +80,46 @@ class TestConservation:
         with pytest.raises(SimulationError, match="overflow"):
             profiler.check_conservation([10])
 
+    @pytest.mark.parametrize("system", sorted(SYSTEMS))
+    def test_wasted_cycles_reconcile_with_span_ledger(self, system):
+        """Double-entry bookkeeping across observers: the profiler's
+        per-thread wasted-cycle tally (clock at abort minus clock at
+        begin) must equal the span ledger's per-victim-thread sum of
+        abort-span durations, exactly, for every backend.  The harness
+        enforces this via ``check_conservation(wasted_by_thread=...)``
+        on every telemetry+profiling run — which is what this exercises
+        end-to-end."""
+        result = run_once(workload="list", system=system, threads=4,
+                          seed=2, profile="test", telemetry=True,
+                          profiling=True)
+        by_thread = {}
+        for row in result.spans:
+            if row.get("outcome") == "abort":
+                by_thread[row["thread"]] = (
+                    by_thread.get(row["thread"], 0)
+                    + row["end_cycle"] - row["begin_cycle"])
+        assert by_thread, f"{system}: contended run should abort"
+        snapshot = result.phases
+        assert snapshot["version"] == 2
+        wasted = {int(tid): cycles
+                  for tid, cycles in snapshot["wasted_cycles"].items()}
+        assert wasted == by_thread
+
+    def test_check_conservation_rejects_wasted_overflow(self):
+        profiler = CycleProfiler()
+        profiler.account(0, "read", 10)
+        profiler._wasted[0] = 11  # more waste than the thread ran
+        with pytest.raises(SimulationError, match="wasted-cycle"):
+            profiler.check_conservation([10])
+
+    def test_check_conservation_rejects_ledger_mismatch(self):
+        profiler = CycleProfiler()
+        profiler.account(0, "read", 10)
+        profiler._wasted[0] = 4
+        with pytest.raises(SimulationError, match="reconciliation"):
+            profiler.check_conservation([10], wasted_by_thread={0: 5})
+        profiler.check_conservation([10], wasted_by_thread={0: 4})
+
     def test_backend_specific_sub_phases_observed(self):
         """Each instrumented layer's attribution actually fires: SI-TM
         installs, LogTM undo walks, 2PL backoff."""

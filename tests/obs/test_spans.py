@@ -8,7 +8,11 @@ perturbs.
 
 import json
 
-from repro.obs import MetricsRegistry, MultiTracer, Span, SpanRecorder
+import pytest
+
+from repro.obs import (MetricsRegistry, MultiTracer, Span, SpanRecorder,
+                       StreamingSpanRecorder, load_spans_jsonl,
+                       merge_span_aggregates, validate_span_log)
 from repro.oracle.fuzz import generate_schedule, run_schedule
 from repro.tm.ops import Compute, Read, Write
 
@@ -122,6 +126,144 @@ class TestMultiTracer:
         sentinel = object()
         multi.attach_engine(sentinel)
         assert recorder._engine is sentinel
+
+
+class TestStreamingSpanRecorder:
+    """Bounded-memory recording: cap held, aborts kept, exact aggregates."""
+
+    def _contended(self, machine, tracer, txns=25, threads=4,
+                   system="2PL"):
+        addr = machine.mvmalloc(1)
+        programs = [[spec(counter_body(addr)) for _ in range(txns)]
+                    for _ in range(threads)]
+        return run_program(machine, system, programs, tracer=tracer)
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StreamingSpanRecorder(cap=0)
+        with pytest.raises(ValueError):
+            StreamingSpanRecorder(cap=-4)
+
+    def test_memory_held_at_cap(self, machine):
+        streaming = StreamingSpanRecorder(cap=8, seed=1)
+        stats = self._contended(machine, streaming, txns=40)
+        closed = stats.total_commits + stats.total_aborts
+        assert closed > 4 * streaming.cap  # sampling actually engaged
+        # one cap-bounded buffer per retention class (commits + aborts)
+        assert streaming.max_retained <= 2 * streaming.cap
+        assert len(streaming) <= 2 * streaming.cap
+        # nothing lost from the books: every closed span is either
+        # retained, flushed, or counted as discarded
+        assert (len(streaming) + streaming.flushed_spans
+                + streaming.commits_sampled_out
+                + streaming.aborts_dropped) == closed
+        assert streaming.total_commits == stats.total_commits
+        assert streaming.total_aborts == stats.total_aborts
+
+    def test_aborts_always_kept(self, machine):
+        full = SpanRecorder()
+        streaming = StreamingSpanRecorder(cap=512, seed=0)
+        self._contended(machine, MultiTracer(full, streaming))
+        aborted = sorted(s.uid for s in full.spans if s.outcome == "abort")
+        assert aborted, "contended counter run should abort"
+        assert len(aborted) <= streaming.cap
+        retained_aborts = sorted(s.uid for s in streaming.retained()
+                                 if s.outcome == "abort")
+        assert retained_aborts == aborted
+        assert streaming.aborts_dropped == 0
+
+    def test_aggregate_exact_despite_sampling(self, machine):
+        full = SpanRecorder()
+        streaming = StreamingSpanRecorder(cap=4, seed=2)
+        self._contended(machine, MultiTracer(full, streaming), txns=30)
+        closed = [s for s in full.spans if s.outcome != "open"]
+        assert streaming.commits_sampled_out > 0
+        agg = streaming.aggregate()
+        assert agg["total_spans"] == len(closed)
+        for outcome in ("commit", "abort"):
+            matching = [s for s in closed if s.outcome == outcome]
+            if not matching:
+                assert outcome not in agg["outcomes"]
+                continue
+            cycles = agg["outcomes"][outcome]["cycles"]
+            assert cycles["count"] == len(matching)
+            assert cycles["sum"] == sum(s.duration for s in matching)
+            reads = agg["outcomes"][outcome]["reads"]
+            assert reads["sum"] == sum(s.reads for s in matching)
+
+    def test_merge_span_aggregates_sums_shards(self, machine):
+        shard_a = StreamingSpanRecorder(cap=4, seed=0)
+        self._contended(machine, shard_a, txns=10)
+        addr = machine.mvmalloc(1)
+        shard_b = StreamingSpanRecorder(cap=4, seed=0)
+        run_program(machine, "SI-TM",
+                    [[spec(counter_body(addr)) for _ in range(8)]
+                     for _ in range(2)],
+                    tracer=shard_b)
+        merged = merge_span_aggregates(shard_a.aggregate(),
+                                       shard_b.aggregate())
+        assert merged["total_spans"] == (shard_a.aggregate()["total_spans"]
+                                         + shard_b.aggregate()["total_spans"])
+        for outcome, stats in merged["outcomes"].items():
+            parts = [r.aggregate()["outcomes"].get(outcome)
+                     for r in (shard_a, shard_b)]
+            expected = sum(p["cycles"]["count"] for p in parts if p)
+            assert stats["cycles"]["count"] == expected
+
+    def test_sink_flush_round_trips_and_validates(self, machine, tmp_path):
+        sink = tmp_path / "spans.jsonl"
+        full = SpanRecorder()
+        streaming = StreamingSpanRecorder(cap=8, seed=3, sink=str(sink),
+                                          flush_every=16)
+        self._contended(machine, MultiTracer(full, streaming))
+        streaming.flush()
+        text = sink.read_text()
+        assert validate_span_log(text) == []
+        loaded = load_spans_jsonl(text)
+        assert len(loaded) == streaming.flushed_spans
+        # with a sink, the complete abort log reaches disk
+        aborted = sorted(s.uid for s in full.spans if s.outcome == "abort")
+        assert sorted(s.uid for s in loaded
+                      if s.outcome == "abort") == aborted
+        assert streaming.aborts_dropped == 0
+        by_uid = {s.uid: s for s in full.spans}
+        for span in loaded:
+            assert span == by_uid[span.uid]
+
+
+class TestStreamingComposition:
+    """Composing streaming next to full recording changes neither."""
+
+    def _run(self, tracer, system="2PL"):
+        schedule = generate_schedule(seed=5, index=2, threads=3, txns=3,
+                                     cells=2, ops=4)
+        from repro.common.errors import SimulationError
+        try:
+            run_schedule(schedule, system, seed=5, tracer=tracer)
+        except SimulationError:
+            pass
+
+    def test_legacy_output_byte_identical_when_composed(self):
+        alone = SpanRecorder()
+        self._run(alone)
+        composed = SpanRecorder()
+        streaming = StreamingSpanRecorder(cap=2, seed=0)
+        self._run(MultiTracer(composed, streaming))
+        assert [s.to_dict() for s in composed.spans] \
+            == [s.to_dict() for s in alone.spans]
+        # retained spans are a verbatim subset of the full recording
+        by_uid = {s.uid: s.to_dict() for s in alone.spans}
+        for span in streaming.retained():
+            assert span.to_dict() == by_uid[span.uid]
+
+    def test_reservoir_deterministic_for_equal_seeds(self):
+        first = StreamingSpanRecorder(cap=2, seed=7)
+        self._run(first)
+        second = StreamingSpanRecorder(cap=2, seed=7)
+        self._run(second)
+        assert [s.to_dict() for s in first.retained()] \
+            == [s.to_dict() for s in second.retained()]
+        assert first.aggregate() == second.aggregate()
 
 
 class TestHistoryUnperturbed:

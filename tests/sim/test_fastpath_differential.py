@@ -115,7 +115,12 @@ class RecordingTM:
 
     def abort(self, txn, cause):
         cycles = self._inner.abort(txn, cause)
-        self._log.append(("abort", txn.thread_id, cause.name, cycles))
+        # killer provenance is part of the observable TM state: the
+        # fast path must attribute every doomed transaction to the
+        # same killer the legacy path does
+        self._log.append(("abort", txn.thread_id, cause.name, cycles,
+                          txn.killer_tid, txn.killer_uid,
+                          txn.killer_label, txn.killer_ts))
         return cycles
 
 
