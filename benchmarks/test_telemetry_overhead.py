@@ -63,6 +63,8 @@ def _min_seconds(fn, reps=REPS):
 
 def test_disabled_run_constructs_no_telemetry_objects(monkeypatch):
     """telemetry=False/profiling=False must never touch repro.obs at all."""
+    import repro.obs.flight as flight_mod
+    import repro.obs.live as live_mod
     import repro.obs.metrics as metrics_mod
     import repro.obs.profile as profile_mod
     import repro.obs.spans as spans_mod
@@ -74,9 +76,11 @@ def test_disabled_run_constructs_no_telemetry_objects(monkeypatch):
     monkeypatch.setattr(spans_mod.SpanRecorder, "__init__", poison)
     monkeypatch.setattr(spans_mod.StreamingSpanRecorder, "__init__", poison)
     monkeypatch.setattr(profile_mod.CycleProfiler, "__init__", poison)
+    monkeypatch.setattr(live_mod.TimeSeriesSampler, "__init__", poison)
+    monkeypatch.setattr(flight_mod.FlightRecorder, "__init__", poison)
     result = run_once(WORKLOAD, SYSTEM, THREADS, seed=1, profile=PROFILE)
     assert result.metrics is None and result.spans is None
-    assert result.phases is None
+    assert result.phases is None and result.timeseries is None
 
 
 def test_streaming_holds_memory_at_cap_on_long_run():

@@ -219,6 +219,15 @@ class FaultPlan:
         return bool(self.squeeze_read_lines or self.squeeze_write_lines
                     or self.squeeze_buffer_entries)
 
+    def needs_worker(self) -> bool:
+        """True when the plan carries process-level faults.
+
+        ``crash_at_begin`` SIGKILLs and ``hang_at_begin`` wedges the
+        *executing process*: such plans must only ever run inside a
+        sacrificial pool worker, never inline in the harness process.
+        """
+        return bool(self.crash_at_begin or self.hang_at_begin)
+
     def to_dict(self) -> dict:
         """Canonical JSON-safe form (stable key set, tuple -> list)."""
         return {

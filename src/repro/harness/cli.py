@@ -18,6 +18,10 @@ Usage::
     sitm-harness trace   [--experiment figure7] [--backend sitm]
                          [--out trace.json]
     sitm-harness metrics [--experiment rbtree] [--backend sitm]
+                         [--format text|prom]
+    sitm-harness watch   [--experiment rbtree] [--backend sitm]
+                         [--seeds 2] [--jobs 2] [--headless]
+                         [--series-out series.jsonl] [--crash-cell]
     sitm-harness blame   [--experiment rbtree] [--backend sitm]
                          [--top N] [--dot graph.dot] [--json blame.json]
     sitm-harness profile [--experiment rbtree] [--backend sitm]
@@ -38,6 +42,15 @@ cached content-addressed under ``results/.cache`` so a re-run is served
 from disk.  ``--no-cache`` disables the cache, ``--refresh`` recomputes
 and overwrites it, and ``sitm-harness cache --stats/--clear`` inspects
 or empties it.  Results are byte-identical serial, parallel, or cached.
+
+Live monitoring: ``sitm-harness watch`` runs a telemetry grid under
+the campaign monitor (per-cell state, abort-rate sparklines, alerts,
+ETA; ``--headless`` for line-mode output, ``--series-out`` to persist
+the streamed time series, ``--crash-cell`` to add one deliberately
+crashing cell and exercise the flight recorder), and every grid
+command accepts ``--progress`` for periodic one-line status on stderr.
+See ``docs/observability.md`` ("Live monitoring") and
+``docs/timeseries-schema.md``.
 """
 
 from __future__ import annotations
@@ -401,6 +414,8 @@ def _trace(args) -> str:
 def _metrics(args) -> str:
     from repro.obs import (Span, abort_attribution, metrics_table,
                            version_occupancy)
+    if args.format == "prom":
+        return _metrics_prom(args)
     specs, results = _trace_results(args)
     sections = []
     for spec in specs:
@@ -415,6 +430,27 @@ def _metrics(args) -> str:
             metrics_table(result.metrics or {}),
         ]))
     return "\n\n".join(sections)
+
+
+def _metrics_prom(args) -> str:
+    """``sitm-harness metrics --format prom``: text exposition.
+
+    A Prometheus exposition is one flat sample namespace, so it must
+    come from exactly one run — ``--experiment <workload>`` (a figure
+    name would emit duplicate metric families).
+    """
+    from repro.obs import prometheus_exposition
+    specs, results = _trace_results(args)
+    if len(specs) != 1:
+        raise ConfigError(
+            "--format prom needs exactly one run; pass --experiment "
+            "<workload> (a figure name expands to "
+            f"{len(specs)} workloads)")
+    result = results[specs[0]]
+    if getattr(result, "failed", False):
+        raise ConfigError(f"telemetry run failed: {result.message}")
+    # exposition only: no table wrapper, scrape-ready on stdout
+    return prometheus_exposition(result.metrics or {}).rstrip("\n")
 
 
 def _blame(args) -> str:
@@ -481,6 +517,63 @@ def _profile(args) -> str:
         report += (f"\n\ncollapsed stacks written: {args.stacks} "
                    f"(render with flamegraph.pl or speedscope)")
     return report
+
+
+def _watch(args) -> str:
+    """``sitm-harness watch``: run a telemetry grid under live view.
+
+    Builds the watch specs (telemetry on, so every cell streams window
+    aggregates, alerts and lifecycle events), wires a
+    :class:`~repro.obs.monitor.CampaignMonitor` — plus an optional
+    ``--series-out`` JSONL sink — into the executor, and runs.  The
+    live view goes to stdout while the grid executes (full-screen when
+    interactive, status lines under ``--headless``/redirection); the
+    returned report is the final rendered view.
+    """
+    from repro.obs import CampaignMonitor, TimeSeriesWriter
+    system = args.backend if args.backend != "all" else "SI-TM"
+    specs = experiments.watch_specs(
+        args.experiment, system=system, threads=args.threads,
+        seeds=args.seeds, profile=args.profile,
+        workloads=args.workloads)
+    if args.crash_cell:
+        import dataclasses
+        from repro.faults import FaultPlan
+        # one deliberately doomed cell (SIGKILL at its 5th begin) on a
+        # reserved seed: demonstrates quarantine + the flight recorder;
+        # the invocation exits non-zero like any grid with failures
+        specs = specs + [dataclasses.replace(
+            specs[0], seed=97, faults=FaultPlan(crash_at_begin=5))]
+        if args.executor.jobs == 1:
+            # the executor already routes crash faults to a sacrificial
+            # worker; two workers keep the healthy cells flowing while
+            # the doomed one dies
+            args.executor.jobs = 2
+    headless = args.headless or not sys.stdout.isatty()
+    monitor = CampaignMonitor(
+        total=len(specs), stream=sys.stdout,
+        style="line" if headless else "screen",
+        interval=1.0 if headless else 0.25)
+    writer = (TimeSeriesWriter(args.series_out)
+              if args.series_out else None)
+
+    def sink(event: dict) -> None:
+        if writer is not None:
+            writer(event)
+        monitor.handle(event)
+
+    args.executor.monitor = sink
+    try:
+        args.executor.run(specs)
+    finally:
+        if writer is not None:
+            writer.close()
+        monitor.stream = None  # the final view goes via the report path
+    lines = [monitor.render()]
+    if writer is not None:
+        lines.append(f"time series written: {args.series_out} "
+                     f"({writer.rows_written} rows)")
+    return "\n".join(lines)
 
 
 def _bench(args) -> str:
@@ -589,7 +682,8 @@ def build_parser() -> argparse.ArgumentParser:
                                                    "metrics", "profile",
                                                    "blame", "bench",
                                                    "cache", "fuzz",
-                                                   "faults", "all"])
+                                                   "faults", "watch",
+                                                   "all"])
     parser.add_argument("--profile", default="quick",
                         choices=("test", "quick", "full"))
     parser.add_argument("--threads", type=int, default=16,
@@ -658,6 +752,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "cross-check; bench: restrict the suite to "
                              "one system's cells; case-insensitive "
                              "aliases like 'sitm' accepted")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "prom"),
+                        help="metrics: report format — text tables or "
+                             "Prometheus exposition (prom needs "
+                             "--experiment <workload>)")
+    parser.add_argument("--progress", action="store_true",
+                        help="grid commands: print periodic one-line "
+                             "status (done/running/cached/failed, ETA) "
+                             "to stderr — the non-TTY/CI companion of "
+                             "'watch'")
+    parser.add_argument("--headless", action="store_true",
+                        help="watch: line-mode status output instead of "
+                             "the full-screen view (implied when stdout "
+                             "is not a TTY)")
+    parser.add_argument("--series-out", default=None,
+                        help="watch: persist the streamed window/alert "
+                             "events as a time-series JSONL artifact "
+                             "(docs/timeseries-schema.md)")
+    parser.add_argument("--crash-cell", action="store_true",
+                        help="watch: append one deliberately crashing "
+                             "cell to demonstrate quarantine + the "
+                             "flight recorder (exits non-zero)")
     parser.add_argument("--stacks", default=None,
                         help="profile: write collapsed flamegraph stacks "
                              "to this file")
@@ -732,6 +848,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              refresh=args.refresh,
                              cache_dir=args.cache_dir,
                              timeout=args.timeout)
+    if args.progress and args.command != "watch":
+        # CI-friendly heartbeat: one-line campaign status on stderr,
+        # fed by the same event stream the watch view consumes
+        from repro.obs import CampaignMonitor
+        args.executor.monitor = CampaignMonitor(
+            stream=sys.stderr, style="line", prefix="[progress]")
     try:
         if args.command == "all":
             report = "\n\n".join(fn(args) for fn in _COMMANDS.values())
@@ -743,6 +865,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = _fuzz(args)
         elif args.command == "faults":
             report = _faults(args)
+        elif args.command == "watch":
+            report = _watch(args)
         elif args.command == "trace":
             report = _trace(args)
         elif args.command == "metrics":
@@ -783,6 +907,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for failure in failures:
             print(f"  {failure.spec} [{failure.kind}] after "
                   f"{failure.attempts} attempt(s): {failure.message}")
+            if failure.flight:
+                print(f"    flight recorder: {failure.flight}")
         return 1
     if getattr(args, "_fuzz_failed", False):
         return 1

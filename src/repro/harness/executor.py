@@ -44,9 +44,11 @@ import hashlib
 import json
 import os
 import pathlib
+import queue as queue_module
+import threading
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import repro
 from repro.common.errors import ConfigError
@@ -82,6 +84,16 @@ def code_fingerprint() -> str:
     return _code_fingerprint_cache
 
 
+def _result_summary(result: object) -> dict:
+    """The progress fields a spec-done event carries (best effort)."""
+    summary = {}
+    for key in ("commits", "aborts", "abort_rate", "makespan_cycles"):
+        value = getattr(result, key, None)
+        if value is not None:
+            summary[key] = value
+    return summary
+
+
 def _run_spec_payload(payload: dict) -> dict:
     """Worker entry point: spec dict in, result dict out.
 
@@ -89,11 +101,86 @@ def _run_spec_payload(payload: dict) -> dict:
     harness objects — results take the exact JSON path the cache uses.
     Dispatches on the payload's ``kind`` discriminator; experiment
     payloads carry no ``kind`` key (their canonical form predates it).
+
+    Publishes ``spec-start``/``spec-done`` live events through
+    :mod:`repro.obs.live`; with no monitor attached the worker has no
+    publisher installed and both are no-ops.
     """
+    from repro.obs import live
     if payload.get("kind") == "fuzz":
         from repro.oracle.fuzz import FuzzSpec
-        return FuzzSpec.from_dict(payload).run().to_dict()
-    return ExperimentSpec.from_dict(payload).run().to_dict()
+        spec = FuzzSpec.from_dict(payload)
+    else:
+        spec = ExperimentSpec.from_dict(payload)
+    live.publish({"event": "spec-start", "spec": str(spec)})
+    result = spec.run()
+    live.publish(dict(_result_summary(result),
+                      event="spec-done", spec=str(spec)))
+    return result.to_dict()
+
+
+def _monitor_init(event_queue) -> None:
+    """Pool initializer: route a worker's live events to the parent.
+
+    Installs the relay queue's ``put`` as the worker-process publisher
+    so every :func:`repro.obs.live.publish` — window closes, alerts,
+    spec lifecycle — streams back to the parent's campaign monitor.
+    """
+    from repro.obs import live
+    live.set_publisher(event_queue.put)
+
+
+class _MonitorRelay:
+    """Parent-side event pipe: manager queue plus a drain thread.
+
+    Workers ``put`` live events; the drain thread forwards them to the
+    executor's monitor as they arrive, so the watch view updates while
+    cells are still running.  ``close`` drains what is left and shuts
+    the manager down; a dead worker mid-``put`` at worst loses its own
+    last event, never the queue.
+    """
+
+    #: drain poll period (also bounds shutdown latency), seconds
+    POLL_S = 0.05
+
+    def __init__(self, emit: Callable[[dict], None]):
+        import multiprocessing
+        self._manager = multiprocessing.Manager()
+        self.queue = self._manager.Queue()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._drain, args=(emit,),
+            name="sitm-monitor-relay", daemon=True)
+        self._thread.start()
+
+    def _drain(self, emit: Callable[[dict], None]) -> None:
+        while True:
+            try:
+                event = self.queue.get(timeout=self.POLL_S)
+            except queue_module.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            except (EOFError, OSError):
+                return  # manager torn down under us
+            try:
+                emit(event)
+            except Exception:  # noqa: BLE001 - monitoring is best-effort
+                pass
+
+    def pool_kwargs(self) -> dict:
+        """Constructor kwargs wiring a pool's workers to this relay."""
+        return {"initializer": _monitor_init,
+                "initargs": (self.queue,)}
+
+    def close(self) -> None:
+        """Stop the drain thread (after one final sweep) and clean up."""
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        try:
+            self._manager.shutdown()
+        except Exception:  # noqa: BLE001 - already-dead manager
+            pass
 
 
 class ResultCache:
@@ -196,6 +283,10 @@ class RunFailure:
     kind: str
     message: str
     attempts: int
+    #: path of the crash flight-recorder artifact this cell left
+    #: behind (``flight-<spec_hash>.json``), or None when the spec ran
+    #: without telemetry / died before its first persist
+    flight: Optional[str] = None
 
     #: discriminator mirrored by callers via ``getattr(r, "failed",
     #: False)`` so plain RunResults need no counterpart attribute
@@ -234,7 +325,8 @@ class Executor:
     def __init__(self, jobs: int = 1, cache: bool = True,
                  refresh: bool = False,
                  cache_dir: Optional[os.PathLike] = None,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 monitor: Optional[Callable[[dict], None]] = None):
         if jobs < 0:
             raise ValueError("jobs must be >= 0 (0 = one per CPU)")
         if timeout is not None and timeout <= 0:
@@ -248,6 +340,10 @@ class Executor:
         self.misses = 0
         self.executed = 0
         self.failures: List[RunFailure] = []
+        #: live-event sink (:class:`repro.obs.monitor.CampaignMonitor`
+        #: or any callable); None — the default — publishes nothing
+        #: and adds nothing to the execution path
+        self.monitor = monitor
 
     def run(self, specs: Sequence[ExperimentSpec]
             ) -> Dict[ExperimentSpec, SpecOutcome]:
@@ -260,6 +356,7 @@ class Executor:
         cached — a failure is not a result).
         """
         ordered = list(dict.fromkeys(specs))
+        self._emit({"event": "grid-start", "total": len(ordered)})
         results: Dict[ExperimentSpec, SpecOutcome] = {}
         pending: List[ExperimentSpec] = []
         for spec in ordered:
@@ -269,6 +366,7 @@ class Executor:
             if cached is not None:
                 self.hits += 1
                 results[spec] = cached
+                self._emit({"event": "spec-cached", "spec": str(spec)})
             else:
                 self.misses += 1
                 pending.append(spec)
@@ -276,17 +374,54 @@ class Executor:
             self.executed += 1
             if isinstance(result, RunFailure):
                 self.failures.append(result)
+                self._emit({"event": "spec-failed", "spec": result.spec,
+                            "kind": result.kind,
+                            "message": result.message,
+                            "flight": result.flight})
             elif self.use_cache:
                 self.cache.store(spec, result)
             results[spec] = result
+        self._emit({"event": "grid-end", "total": len(ordered),
+                    "failed": len([r for r in results.values()
+                                   if getattr(r, "failed", False)])})
         return {spec: results[spec] for spec in ordered}
+
+    def _emit(self, event: dict) -> None:
+        """Hand one event to the monitor (never lets it break the grid)."""
+        if self.monitor is None:
+            return
+        try:
+            self.monitor(event)
+        except Exception:  # noqa: BLE001 - monitoring is best-effort
+            pass
+
+    def _flight_artifact(self, spec: ExperimentSpec) -> Optional[str]:
+        """Path of the flight artifact ``spec`` left behind, if any."""
+        from repro.obs.flight import flight_path
+        path = flight_path(spec.spec_hash())
+        return str(path) if path.exists() else None
 
     def _execute(self, pending: Sequence[ExperimentSpec]
                  ) -> List[SpecOutcome]:
         if not pending:
             return []
-        if self.jobs == 1 or len(pending) == 1:
-            return [self._run_inline(spec) for spec in pending]
+        # process-level faults (crash/hang) SIGKILL or wedge whatever
+        # process runs them: those specs must go to a sacrificial pool
+        # worker even when the batch would otherwise execute inline
+        sacrificial = any(getattr(spec, "faults", None) is not None
+                          and spec.faults.needs_worker()
+                          for spec in pending)
+        if not sacrificial and (self.jobs == 1 or len(pending) == 1):
+            if self.monitor is None:
+                return [self._run_inline(spec) for spec in pending]
+            # inline cells publish straight into the monitor: install
+            # it as this process's live-event sink for the duration
+            from repro.obs import live
+            previous = live.set_publisher(self._emit)
+            try:
+                return [self._run_inline(spec) for spec in pending]
+            finally:
+                live.set_publisher(previous)
         return self._run_pool(pending)
 
     def _run_inline(self, spec: ExperimentSpec) -> SpecOutcome:
@@ -297,17 +432,23 @@ class Executor:
         pool mode; in-run exceptions are still quarantined here.
         """
         last: Optional[BaseException] = None
+        self._emit({"event": "spec-start", "spec": str(spec)})
         for _ in range(self.MAX_ATTEMPTS):
             try:
-                return spec.run()
+                result = spec.run()
             except ConfigError:
                 raise  # a misconfigured spec is the caller's bug
             except Exception as exc:  # noqa: BLE001 - quarantine layer
                 last = exc
+            else:
+                self._emit(dict(_result_summary(result),
+                                event="spec-done", spec=str(spec)))
+                return result
         return RunFailure(
             spec=str(spec), spec_hash=spec.spec_hash(), kind="error",
             message=f"{type(last).__name__}: {last}",
-            attempts=self.MAX_ATTEMPTS)
+            attempts=self.MAX_ATTEMPTS,
+            flight=self._flight_artifact(spec))
 
     def _run_pool(self, pending: Sequence[ExperimentSpec]
                   ) -> List[SpecOutcome]:
@@ -327,49 +468,59 @@ class Executor:
         attempts: Dict[ExperimentSpec, int] = {s: 0 for s in pending}
         queue: List[ExperimentSpec] = list(pending)
         isolate = False
-        while queue:
-            if isolate:
-                batch, queue = [queue[0]], queue[1:]
-            else:
-                batch, queue = queue, []
-            workers = 1 if isolate else min(self.jobs, len(batch))
-            pool = concurrent.futures.ProcessPoolExecutor(workers)
-            requeue: List[ExperimentSpec] = []
-            dead = False
-            try:
-                futures = [(s, pool.submit(_run_spec_payload, s.to_dict()))
-                           for s in batch]
-                for spec, future in futures:
-                    if dead:
-                        requeue.append(spec)
-                        continue
-                    try:
-                        payload = future.result(timeout=self.timeout)
-                    except concurrent.futures.TimeoutError:
-                        self._kill_workers(pool)
-                        dead = isolate = True
-                        attempts[spec] += 1
-                        self._settle(spec, attempts[spec], "timeout",
-                                     f"no result within {self.timeout}s",
-                                     outcomes, requeue)
-                    except BrokenProcessPool:
-                        dead = isolate = True
-                        attempts[spec] += 1
-                        self._settle(spec, attempts[spec], "crash",
-                                     "worker process died mid-run",
-                                     outcomes, requeue)
-                    except ConfigError:
-                        raise  # a misconfigured spec is the caller's bug
-                    except Exception as exc:  # noqa: BLE001
-                        attempts[spec] += 1
-                        self._settle(spec, attempts[spec], "error",
-                                     f"{type(exc).__name__}: {exc}",
-                                     outcomes, requeue)
-                    else:
-                        outcomes[spec] = spec.result_from_dict(payload)
-            finally:
-                pool.shutdown(wait=not dead, cancel_futures=True)
-            queue = requeue + queue
+        relay = (_MonitorRelay(self._emit) if self.monitor is not None
+                 else None)
+        pool_kwargs = relay.pool_kwargs() if relay is not None else {}
+        try:
+            while queue:
+                if isolate:
+                    batch, queue = [queue[0]], queue[1:]
+                else:
+                    batch, queue = queue, []
+                workers = 1 if isolate else min(self.jobs, len(batch))
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    workers, **pool_kwargs)
+                requeue: List[ExperimentSpec] = []
+                dead = False
+                try:
+                    futures = [(s, pool.submit(_run_spec_payload,
+                                               s.to_dict()))
+                               for s in batch]
+                    for spec, future in futures:
+                        if dead:
+                            requeue.append(spec)
+                            continue
+                        try:
+                            payload = future.result(timeout=self.timeout)
+                        except concurrent.futures.TimeoutError:
+                            self._kill_workers(pool)
+                            dead = isolate = True
+                            attempts[spec] += 1
+                            self._settle(spec, attempts[spec], "timeout",
+                                         f"no result within "
+                                         f"{self.timeout}s",
+                                         outcomes, requeue)
+                        except BrokenProcessPool:
+                            dead = isolate = True
+                            attempts[spec] += 1
+                            self._settle(spec, attempts[spec], "crash",
+                                         "worker process died mid-run",
+                                         outcomes, requeue)
+                        except ConfigError:
+                            raise  # a misconfigured spec: caller's bug
+                        except Exception as exc:  # noqa: BLE001
+                            attempts[spec] += 1
+                            self._settle(spec, attempts[spec], "error",
+                                         f"{type(exc).__name__}: {exc}",
+                                         outcomes, requeue)
+                        else:
+                            outcomes[spec] = spec.result_from_dict(payload)
+                finally:
+                    pool.shutdown(wait=not dead, cancel_futures=True)
+                queue = requeue + queue
+        finally:
+            if relay is not None:
+                relay.close()
         return [outcomes[spec] for spec in pending]
 
     def _settle(self, spec: ExperimentSpec, attempts: int, kind: str,
@@ -379,7 +530,8 @@ class Executor:
         if attempts >= self.MAX_ATTEMPTS:
             outcomes[spec] = RunFailure(
                 spec=str(spec), spec_hash=spec.spec_hash(), kind=kind,
-                message=message, attempts=attempts)
+                message=message, attempts=attempts,
+                flight=self._flight_artifact(spec))
         else:
             requeue.append(spec)
 

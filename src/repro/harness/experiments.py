@@ -435,6 +435,28 @@ def trace_specs(experiment: str, system: str = "SI-TM", threads: int = 8,
             for name in names]
 
 
+def watch_specs(experiment: str, system: str = "SI-TM", threads: int = 8,
+                seeds: int = 1, seed0: int = 1, profile: str = "quick",
+                workloads: Optional[Sequence[str]] = None
+                ) -> List[ExperimentSpec]:
+    """Specs for ``sitm-harness watch``: a live-monitored telemetry grid.
+
+    The same workload resolution as :func:`trace_specs`, crossed with
+    ``seeds`` consecutive seeds — watch monitors a *campaign*, so it
+    wants enough cells to show per-cell state evolving, not a single
+    run.  Every spec carries ``telemetry=True``: that is what arms the
+    time-series sampler (the event stream) and the flight recorder.
+    """
+    if seeds < 1:
+        raise ConfigError(f"watch needs seeds >= 1, got {seeds}")
+    specs: List[ExperimentSpec] = []
+    for offset in range(seeds):
+        specs.extend(trace_specs(experiment, system=system,
+                                 threads=threads, seed=seed0 + offset,
+                                 profile=profile, workloads=workloads))
+    return specs
+
+
 # ----------------------------------------------------------------------
 # Table 2 / Appendix A — version-depth census
 

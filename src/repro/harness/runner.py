@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.config import SimConfig
-from repro.common.errors import AbortCause, ConfigError
+from repro.common.errors import AbortCause, ConfigError, SimulationError
 from repro.common.rng import SplitRandom, derive_seed
 from repro.sim.engine import Engine
 from repro.sim.machine import Machine
@@ -63,6 +63,11 @@ class RunResult:
     #: boundary byte-identically
     metrics: Optional[dict] = None
     spans: Optional[List[dict]] = None
+    #: telemetry-only payload (None when the spec ran without
+    #: telemetry): the windowed time-series export of
+    #: :class:`repro.obs.live.TimeSeriesSampler` — exact window
+    #: aggregates plus any online anomaly alerts, JSON-safe
+    timeseries: Optional[dict] = None
     #: profiling-only payload (None when the spec ran without
     #: profiling): the conservation-checked cycle-attribution snapshot
     #: (:meth:`repro.obs.profile.CycleProfiler.snapshot`)
@@ -199,18 +204,27 @@ def run_once(workload: str, system: str, threads: int, seed: int,
              profile: str = "quick",
              config: Optional[SimConfig] = None,
              telemetry: bool = False,
-             profiling: bool = False) -> RunResult:
+             profiling: bool = False,
+             flight_path=None,
+             window_cycles: Optional[int] = None) -> RunResult:
     """Run one simulation and collect its statistics.
 
     With ``telemetry=True`` the run carries a :class:`~repro.obs.metrics.
-    MetricsRegistry` (wired into the machine, MVM, and TM hot paths) and a
-    :class:`~repro.obs.spans.SpanRecorder` in the engine's tracer slot; the
-    result then includes the canonical metrics snapshot and per-attempt
-    span dicts.  With ``profiling=True`` a
+    MetricsRegistry` (wired into the machine, MVM, and TM hot paths), a
+    :class:`~repro.obs.spans.SpanRecorder` and a
+    :class:`~repro.obs.live.TimeSeriesSampler` in the engine's tracer
+    slot; the result then includes the canonical metrics snapshot, the
+    per-attempt span dicts and the windowed time-series export
+    (``window_cycles`` overrides the sampler's window width).
+    ``flight_path`` (telemetry runs only) additionally arms a
+    :class:`~repro.obs.flight.FlightRecorder` at that path: discarded
+    on a clean finish, dumped — and left on disk — when the run dies
+    of a :class:`~repro.common.errors.SimulationError` (including the
+    engine watchdog) or of anything harsher the recorder's periodic
+    persists already covered.  With ``profiling=True`` a
     :class:`~repro.obs.profile.CycleProfiler` rides in the same tracer
-    slot (composed via ``MultiTracer`` when both are on) and the result
-    carries the conservation-checked phase snapshot.  Neither perturbs
-    the simulation — schedules and statistics are identical either way —
+    slot (composed via ``MultiTracer``).  None of these perturb the
+    simulation — schedules and statistics are identical either way —
     so cached results from plain runs stay valid.
     """
     if system not in SYSTEMS:
@@ -220,30 +234,51 @@ def run_once(workload: str, system: str, threads: int, seed: int,
         config = config.replace(
             machine=dataclasses.replace(config.machine, cores=threads))
     machine = Machine(config)
-    registry = recorder = profiler = None
+    registry = recorder = profiler = sampler = flight = None
     if telemetry:
-        from repro.obs import MetricsRegistry, SpanRecorder
+        from repro.obs import (MetricsRegistry, SpanRecorder,
+                               TimeSeriesSampler)
+        from repro.obs.live import DEFAULT_WINDOW_CYCLES
         registry = MetricsRegistry()
         recorder = SpanRecorder(metrics=registry)
         machine.enable_telemetry(registry)
+        sampler = TimeSeriesSampler(
+            window_cycles=window_cycles or DEFAULT_WINDOW_CYCLES)
+        if flight_path is not None:
+            from repro.obs import FlightRecorder
+            from repro.obs.live import context
+            flight = FlightRecorder(flight_path, context=context())
+            sampler.flight = flight
+            flight.start()
     if profiling:
         from repro.obs import CycleProfiler
         profiler = CycleProfiler()
-    if recorder is not None and profiler is not None:
+    parts = [t for t in (recorder, sampler, profiler) if t is not None]
+    if len(parts) > 1:
         from repro.obs import MultiTracer
-        tracer = MultiTracer(recorder, profiler)
+        tracer = MultiTracer(*parts)
     else:
-        tracer = recorder if recorder is not None else profiler
+        tracer = parts[0] if parts else None
     rng = SplitRandom(derive_seed(seed, workload, system, threads))
     bench = REGISTRY.create(workload, profile=profile)
     instance = bench.setup(machine, threads, rng.split("workload"))
     tm = SYSTEMS[system](machine, rng.split("tm"))
     engine = Engine(tm, instance.programs, tracer=tracer)
-    stats: RunStats = engine.run()
+    try:
+        stats: RunStats = engine.run()
+    except SimulationError as exc:
+        # the run's last moments are already in the sampler/recorder:
+        # flush what closed and leave the flight artifact for the
+        # executor to attach to this spec's RunFailure cell
+        if sampler is not None:
+            sampler.finish()
+        if flight is not None:
+            flight.dump(reason=str(exc).splitlines()[0])
+        raise
     verified = instance.verify() if instance.verify is not None else None
     census_rows = (machine.mvm.census.rows()
                    if machine.mvm.census is not None else None)
-    metrics_snapshot = spans = phases = None
+    metrics_snapshot = spans = phases = timeseries = None
     if telemetry:
         from repro.obs import collect_run_metrics, record_provenance_metrics
         collect_run_metrics(registry, machine, tm, stats)
@@ -251,8 +286,13 @@ def run_once(workload: str, system: str, threads: int, seed: int,
         # span has closed, so provenance counters cost the hot path nothing
         provenance = record_provenance_metrics(registry, system,
                                                recorder.spans)
+        timeseries = sampler.export()
+        for alert in timeseries["alerts"]:
+            registry.inc("obs_alerts_total", rule=alert["rule"])
         metrics_snapshot = registry.snapshot()
         spans = [s.to_dict() for s in recorder.spans]
+        if flight is not None:
+            flight.discard()
     if profiling:
         # with telemetry on, reconcile the span ledger's per-victim-thread
         # wasted cycles against the profiler's independent clock-delta
@@ -278,6 +318,7 @@ def run_once(workload: str, system: str, threads: int, seed: int,
         commit_wait_cycles=sum(t.commit_wait_cycles for t in stats.threads),
         metrics=metrics_snapshot,
         spans=spans,
+        timeseries=timeseries,
         phases=phases,
         escalations=stats.escalations,
         max_attempts_seen=stats.max_attempts_seen,

@@ -115,14 +115,34 @@ class ExperimentSpec:
         return digest.hexdigest()[:24]
 
     def run(self) -> RunResult:
-        """Execute this spec in the current process."""
+        """Execute this spec in the current process.
+
+        Telemetry specs run under a live-publishing context (streamed
+        window/alert events carry this spec's identity) and with a
+        flight recorder armed at ``flight-<spec_hash>.json`` — the
+        artifact a quarantined cell's :class:`~repro.harness.executor.
+        RunFailure` points at when the run dies.
+        """
         config = self.config
         if self.faults is not None:
             config = (config or SimConfig()).replace(faults=self.faults)
-        return run_once(self.workload, self.system, self.threads,
-                        self.seed, self.profile, config,
-                        telemetry=self.telemetry,
-                        profiling=self.profiling)
+        flight = None
+        previous = _UNSET = object()
+        if self.telemetry:
+            from repro.obs import flight_path
+            from repro.obs.live import set_context
+            flight = flight_path(self.spec_hash())
+            previous = set_context(str(self))
+        try:
+            return run_once(self.workload, self.system, self.threads,
+                            self.seed, self.profile, config,
+                            telemetry=self.telemetry,
+                            profiling=self.profiling,
+                            flight_path=flight)
+        finally:
+            if previous is not _UNSET:
+                from repro.obs.live import set_context
+                set_context(previous)
 
     def __str__(self) -> str:
         base = (f"{self.workload}/{self.system}/t{self.threads}"

@@ -16,7 +16,19 @@ reproduction:
   wasted-work ledger and the decisive/cascading/self-inflicted abort
   classification behind ``sitm-harness blame``;
 * :mod:`repro.obs.report` — abort-attribution, conflict-heatmap,
-  cycle-attribution and version-occupancy text reports.
+  cycle-attribution and version-occupancy text reports;
+* :mod:`repro.obs.live` — online telemetry: windowed time-series
+  sampling (:class:`TimeSeriesSampler`), mergeable window aggregates,
+  the versioned JSONL time-series export, and online anomaly rules
+  (:class:`AnomalyDetector`);
+* :mod:`repro.obs.flight` — crash flight recorder
+  (:class:`FlightRecorder`): a bounded ring of recent windows and span
+  summaries persisted to ``flight-<digest>.json`` when a run dies;
+* :mod:`repro.obs.monitor` — live campaign monitoring
+  (:class:`CampaignMonitor`) behind ``sitm-harness watch`` and the
+  executor's ``--progress`` stream;
+* :mod:`repro.obs.prom` — Prometheus text exposition for any metrics
+  snapshot (``sitm-harness metrics --format prom``).
 
 Telemetry is disabled by default; enable it per run with
 ``ExperimentSpec(telemetry=True)``, ``run_once(..., telemetry=True)``
@@ -41,6 +53,15 @@ from repro.obs.provenance import (ProvenanceReport, blame_table,
 from repro.obs.report import (abort_attribution, conflict_heatmap,
                               metrics_table, phase_table,
                               version_occupancy)
+from repro.obs.live import (TIMESERIES_SCHEMA_VERSION, AnomalyDetector,
+                            TimeSeriesSampler, TimeSeriesWriter,
+                            load_timeseries_jsonl, merge_timeseries,
+                            merge_windows, timeseries_to_jsonl,
+                            validate_timeseries)
+from repro.obs.flight import (FLIGHT_SCHEMA_VERSION, FlightRecorder,
+                              flight_path, load_flight, validate_flight)
+from repro.obs.monitor import CampaignMonitor, sparkline
+from repro.obs.prom import prometheus_exposition
 
 __all__ = [
     "MetricsRegistry", "collect_run_metrics",
@@ -54,4 +75,11 @@ __all__ = [
     "merge_provenance", "record_provenance_metrics",
     "abort_attribution", "conflict_heatmap", "metrics_table",
     "phase_table", "version_occupancy",
+    "TIMESERIES_SCHEMA_VERSION", "AnomalyDetector", "TimeSeriesSampler",
+    "TimeSeriesWriter", "load_timeseries_jsonl", "merge_timeseries",
+    "merge_windows", "timeseries_to_jsonl", "validate_timeseries",
+    "FLIGHT_SCHEMA_VERSION", "FlightRecorder", "flight_path",
+    "load_flight", "validate_flight",
+    "CampaignMonitor", "sparkline",
+    "prometheus_exposition",
 ]

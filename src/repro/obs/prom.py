@@ -1,0 +1,129 @@
+"""Prometheus/OpenMetrics text exposition for metrics snapshots.
+
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` is the repo's
+canonical metrics form — sorted ``name{label=value,...}`` keys over
+counters, gauges and power-of-two histograms.  This module renders
+that snapshot in the Prometheus text exposition format (version
+0.0.4), so the same registry a simulation run fills today can be
+scraped by standard tooling when the upcoming live service serves it
+over HTTP:
+
+* counters and gauges become one sample each, with a ``# TYPE`` line
+  per family;
+* histograms become the conventional cumulative ``_bucket`` series
+  (``le`` upper bounds from the power-of-two buckets, plus
+  ``le="+Inf"``) with ``_sum`` and ``_count``;
+* metric names are sanitised to the Prometheus grammar and prefixed
+  (default ``sitm_``), label values are escaped, and **all ordering is
+  deterministic** — same snapshot, byte-identical exposition — which
+  the golden-file test (``tests/obs/golden/metrics.prom``) pins.
+
+Exposed on the CLI as ``sitm-harness metrics --format prom``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+__all__ = ["prometheus_exposition"]
+
+#: characters legal in a Prometheus metric name body
+_NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize_name(name: str) -> str:
+    """Coerce a snapshot metric name into the Prometheus grammar."""
+    clean = _NAME_ILLEGAL.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the text-format rules."""
+    return value.replace("\\", r"\\").replace('"', r'\"') \
+                .replace("\n", r"\n")
+
+
+def _split_key(key: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """Parse a canonical ``name{k=v,...}`` key into (name, labels)."""
+    if "{" not in key:
+        return key, []
+    name, _, inner = key.partition("{")
+    labels = []
+    for pair in inner.rstrip("}").split(","):
+        if not pair:
+            continue
+        label, _, value = pair.partition("=")
+        labels.append((label, value))
+    return name, labels
+
+
+def _format_labels(labels: List[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_sanitize_name(k)}="{_escape_label(str(v))}"'
+                     for k, v in sorted(labels))
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def prometheus_exposition(snapshot: dict, prefix: str = "sitm_") -> str:
+    """Render a metrics snapshot as Prometheus text exposition.
+
+    ``snapshot`` is the canonical three-section dict
+    (``counters``/``gauges``/``histograms``).  Families are emitted in
+    sorted-name order with one ``# TYPE`` line each; within a family,
+    samples follow sorted snapshot-key order (imposed here, not
+    assumed), so the output is a pure deterministic function of the
+    snapshot's *contents*, independent of dict ordering.
+    """
+    families: Dict[str, Tuple[str, List[str]]] = {}
+
+    def family(name: str, kind: str) -> List[str]:
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = (kind, [])
+        return entry[1]
+
+    for key, value in sorted(snapshot.get("counters", {}).items()):
+        name, labels = _split_key(key)
+        name = prefix + _sanitize_name(name)
+        family(name, "counter").append(
+            f"{name}{_format_labels(labels)} {_format_value(value)}")
+    for key, value in sorted(snapshot.get("gauges", {}).items()):
+        name, labels = _split_key(key)
+        name = prefix + _sanitize_name(name)
+        family(name, "gauge").append(
+            f"{name}{_format_labels(labels)} {_format_value(value)}")
+    for key, hist in sorted(snapshot.get("histograms", {}).items()):
+        name, labels = _split_key(key)
+        name = prefix + _sanitize_name(name)
+        samples = family(name, "histogram")
+        cumulative = 0
+        for bound in sorted(hist.get("buckets", {}),
+                            key=lambda b: int(b)):
+            cumulative += hist["buckets"][bound]
+            bucket_labels = _format_labels(labels + [("le", bound)])
+            samples.append(f"{name}_bucket{bucket_labels} {cumulative}")
+        inf_labels = _format_labels(labels + [("le", "+Inf")])
+        samples.append(f"{name}_bucket{inf_labels} {hist['count']}")
+        samples.append(f"{name}_sum{_format_labels(labels)} "
+                       f"{_format_value(hist['sum'])}")
+        samples.append(f"{name}_count{_format_labels(labels)} "
+                       f"{hist['count']}")
+
+    lines: List[str] = []
+    for name in sorted(families):
+        kind, samples = families[name]
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -438,5 +438,9 @@ class MultiTracer(Tracer):
         for tracer in self.tracers:
             tracer.on_abort(txn, cause)
 
+    def on_stall(self, thread_id: int, cycles: int) -> None:
+        for tracer in self.tracers:
+            tracer.on_stall(thread_id, cycles)
+
     def __len__(self) -> int:
         return len(self.tracers)

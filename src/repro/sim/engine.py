@@ -98,6 +98,12 @@ class Tracer:
     def on_abort(self, txn: Txn, cause: AbortCause) -> None:  # noqa: D102
         pass
 
+    def on_stall(self, thread_id: int, cycles: int) -> None:  # noqa: D102
+        # begin stall (Δ-protocol park, escalation quiesce, injected
+        # stall storm): there is no Txn yet, so the hook carries the
+        # thread id and the cycles charged
+        pass
+
 
 class _ThreadState:
     """Mutable execution state of one simulated thread."""
@@ -742,6 +748,7 @@ class Engine:
             self.metrics.inc("engine_begin_stalls")
             self.metrics.inc("engine_begin_stall_cycles",
                              self.STALL_CYCLES)
+        self.tracer.on_stall(thread.thread_id, self.STALL_CYCLES)
         thread.consecutive_stalls += 1
         policy = self.retry_policy
         if (policy is not None and policy.escalation

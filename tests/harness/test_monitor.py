@@ -1,0 +1,236 @@
+"""Campaign monitor and live watch plumbing.
+
+Covers the three layers separately and end to end: the
+:class:`CampaignMonitor` state machine on a synthetic event stream
+(injectable clock, no sleeping), the executor's event emission paths
+(inline, pool relay, cache hits), and the ``sitm-harness watch`` /
+``--progress`` CLI surfaces including the streamed time-series
+artifact.
+"""
+
+import io
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+from repro.harness.executor import Executor
+from repro.harness.spec import ExperimentSpec
+from repro.obs import CampaignMonitor, sparkline, validate_timeseries
+from repro.obs.monitor import SPARK_BLOCKS
+
+TELEMETRY_SPECS = [
+    ExperimentSpec("rbtree", "SI-TM", 2, seed, "test", telemetry=True)
+    for seed in (1, 2)]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def feed_lifecycle(monitor, spec="cell-a", clock=None, windows=2):
+    monitor({"event": "spec-start", "spec": spec})
+    if clock is not None:
+        clock.now += 2.0
+    for index in range(windows):
+        monitor({"event": "window", "spec": spec, "window": index,
+                 "commits": 10, "aborts": 2, "abort_rate": 2 / 12,
+                 "start_cycle": index * 500,
+                 "end_cycle": (index + 1) * 500})
+    monitor({"event": "spec-done", "spec": spec, "commits": 20,
+             "aborts": 4, "abort_rate": 4 / 24,
+             "makespan_cycles": 1_000})
+
+
+class TestSparkline:
+    def test_ramp(self):
+        assert sparkline([0.0, 1.0]) == SPARK_BLOCKS[0] + SPARK_BLOCKS[-1]
+        assert len(sparkline([0.2] * 10)) == 10
+
+    def test_clamps_out_of_range(self):
+        assert sparkline([-5.0, 5.0]) == SPARK_BLOCKS[0] + SPARK_BLOCKS[-1]
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            sparkline([0.5], lo=1.0, hi=1.0)
+
+
+class TestMonitorStateMachine:
+    def test_lifecycle_counts_and_eta(self):
+        clock = FakeClock()
+        monitor = CampaignMonitor(clock=clock)
+        monitor({"event": "grid-start", "total": 3})
+        assert monitor.total == 3
+        feed_lifecycle(monitor, "cell-a", clock)
+        monitor({"event": "spec-cached", "spec": "cell-b"})
+        counts = monitor.counts()
+        assert counts == {"done": 1, "running": 0, "cached": 1,
+                          "failed": 0, "pending": 1}
+        # one pending cell at ~2s per executed cell
+        assert monitor.eta_seconds() == pytest.approx(2.0)
+        cell = monitor.cells["cell-a"]
+        assert cell.state == "done"
+        assert cell.windows == 2
+        assert cell.commits == 20  # spec-done total wins over windows
+        assert cell.makespan == 1_000
+
+    def test_failure_and_alert_tracking(self):
+        monitor = CampaignMonitor(clock=FakeClock())
+        monitor({"event": "spec-start", "spec": "cell-x"})
+        monitor({"event": "alert", "spec": "cell-x", "rule":
+                 "LivelockSuspected", "window": 3, "detail": "stuck"})
+        monitor({"event": "spec-failed", "spec": "cell-x",
+                 "kind": "crash", "flight": "results/flight/f.json"})
+        cell = monitor.cells["cell-x"]
+        assert cell.state == "failed" and cell.kind == "crash"
+        assert cell.alerts == 1
+        view = monitor.render()
+        assert "failed:crash" in view
+        assert "flight: results/flight/f.json" in view
+        assert "ALERT LivelockSuspected @ window 3" in view
+        assert "1 alert(s)" in monitor.status_line()
+
+    def test_sparkline_tracks_recent_windows_only(self):
+        monitor = CampaignMonitor(clock=FakeClock())
+        for index in range(40):
+            monitor({"event": "window", "spec": "cell",
+                     "window": index, "commits": 1, "aborts": 0,
+                     "abort_rate": 0.0})
+        assert len(monitor.cells["cell"].rates) == 24
+
+    def test_ignores_junk_events(self):
+        monitor = CampaignMonitor(clock=FakeClock())
+        monitor("not a dict")
+        monitor({"event": "from-the-future"})
+        monitor({})
+        assert monitor.cells == {}
+
+    def test_rejects_bad_style_and_interval(self):
+        with pytest.raises(ValueError):
+            CampaignMonitor(style="holographic")
+        with pytest.raises(ValueError):
+            CampaignMonitor(interval=-1.0)
+
+
+class TestMonitorOutput:
+    def test_line_style_rate_limited_but_forced_events_print(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        monitor = CampaignMonitor(stream=stream, style="line",
+                                  interval=10.0, clock=clock)
+        feed_lifecycle(monitor, "cell-a", clock)  # within one interval
+        assert len(stream.getvalue().splitlines()) == 1
+        monitor({"event": "spec-failed", "spec": "cell-b",
+                 "kind": "timeout"})  # forced: bypasses the interval
+        assert len(stream.getvalue().splitlines()) == 2
+
+    def test_screen_style_redraws_the_table(self):
+        stream = io.StringIO()
+        monitor = CampaignMonitor(stream=stream, style="screen",
+                                  interval=0.0, clock=FakeClock())
+        feed_lifecycle(monitor, "cell-a")
+        output = stream.getvalue()
+        assert "\x1b[H" in output and "cell-a" in output
+
+    def test_broken_stream_silences_not_raises(self):
+        closed = io.StringIO()
+        closed.close()
+        monitor = CampaignMonitor(stream=closed, style="line",
+                                  interval=0.0, clock=FakeClock())
+        feed_lifecycle(monitor, "cell-a")  # must not raise
+        assert monitor.stream is None
+        assert monitor.events_seen > 0
+
+
+class TestExecutorEvents:
+    def collect(self):
+        events = []
+        return events, events.append
+
+    def test_inline_run_streams_lifecycle_and_windows(self):
+        events, sink = self.collect()
+        Executor(jobs=1, cache=False, monitor=sink).run(TELEMETRY_SPECS)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "grid-start" and kinds[-1] == "grid-end"
+        assert kinds.count("spec-start") == len(TELEMETRY_SPECS)
+        assert kinds.count("spec-done") == len(TELEMETRY_SPECS)
+        assert "window" in kinds
+        # every window/done event is stamped with its spec identity
+        specs = {str(spec) for spec in TELEMETRY_SPECS}
+        for event in events:
+            if event["event"] in ("window", "spec-done"):
+                assert event["spec"] in specs
+
+    def test_pool_run_relays_worker_events_to_parent(self):
+        events, sink = self.collect()
+        Executor(jobs=2, cache=False, monitor=sink).run(TELEMETRY_SPECS)
+        kinds = [event["event"] for event in events]
+        assert kinds.count("spec-done") == len(TELEMETRY_SPECS)
+        assert "window" in kinds  # crossed the process boundary
+
+    def test_cache_hits_are_announced(self, tmp_path):
+        events, sink = self.collect()
+        executor = Executor(jobs=1, cache=True, cache_dir=tmp_path,
+                            monitor=sink)
+        executor.run(TELEMETRY_SPECS)
+        events.clear()
+        executor.run(TELEMETRY_SPECS)
+        kinds = [event["event"] for event in events]
+        assert kinds.count("spec-cached") == len(TELEMETRY_SPECS)
+        assert "spec-start" not in kinds
+
+    def test_broken_monitor_never_breaks_the_grid(self):
+        def exploding(event):
+            raise RuntimeError("monitor bug")
+
+        results = Executor(jobs=1, cache=False,
+                           monitor=exploding).run(TELEMETRY_SPECS)
+        for spec in TELEMETRY_SPECS:
+            assert not getattr(results[spec], "failed", False)
+
+
+class TestWatchCli:
+    def test_parser_accepts_watch_flags(self):
+        args = build_parser().parse_args(
+            ["watch", "--experiment", "rbtree", "--headless",
+             "--series-out", "series.jsonl", "--crash-cell"])
+        assert args.command == "watch"
+        assert args.headless and args.crash_cell
+        assert args.series_out == "series.jsonl"
+
+    def test_headless_watch_writes_a_valid_series(self, tmp_path,
+                                                  capsys):
+        series = tmp_path / "series.jsonl"
+        code = main(["watch", "--experiment", "rbtree",
+                     "--profile", "test", "--threads", "2",
+                     "--seeds", "2", "--headless", "--no-cache",
+                     "--series-out", str(series)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 2 cell(s) seen of 2" in out
+        assert "time series written" in out
+        text = series.read_text()
+        assert validate_timeseries(text) == []
+        assert '"kind": "window"' in text
+
+    def test_watch_crash_cell_quarantines_with_flight(self, capsys):
+        code = main(["watch", "--experiment", "rbtree",
+                     "--profile", "test", "--threads", "2",
+                     "--headless", "--no-cache", "--crash-cell"])
+        assert code == 1  # a failed cell fails the invocation
+        out = capsys.readouterr().out
+        assert "failed:crash" in out
+        assert "[failures] 1 spec(s) quarantined" in out
+        assert "flight recorder:" in out
+
+    def test_progress_flag_reports_on_stderr(self, capsys):
+        code = main(["fig7", "--workloads", "array", "--profile",
+                     "test", "--threads", "2", "--seeds", "1",
+                     "--no-cache", "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[progress]" in err
+        assert "done" in err and "failed 0" in err

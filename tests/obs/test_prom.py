@@ -1,0 +1,114 @@
+"""Prometheus exposition: grammar, determinism, and the golden pin.
+
+The golden file (``tests/obs/golden/metrics.prom``) freezes the exact
+byte-for-byte rendering of a representative snapshot — names
+sanitised, labels sorted and escaped, histogram buckets cumulative —
+so any drift in the exposition format is a reviewed diff, not an
+accident a scraper discovers in production.
+"""
+
+import pathlib
+import re
+
+from repro.harness.runner import run_once
+from repro.obs.prom import prometheus_exposition
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "metrics.prom"
+
+#: a representative snapshot exercising every formatting rule: bare
+#: and labelled counters, float gauges, name sanitisation (the dash in
+#: SI-TM), label escaping (quote and backslash), multi-bucket and
+#: empty histograms, label sets differing within one family
+SNAPSHOT = {
+    "counters": {
+        "txn_commits_total{system=SI-TM}": 160,
+        "txn_aborts_total{cause=WW-CONFLICT,system=SI-TM}": 5,
+        "txn_aborts_total{cause=VALIDATION,system=SI-TM}": 2,
+        "obs_alerts_total{rule=AbortSpike}": 1,
+        "steps_total": 12345,
+    },
+    "gauges": {
+        "clock_now": 98765,
+        "mvm_occupancy_ratio": 0.375,
+        'weird_label{note=say "hi"\\now}': 1,
+    },
+    "histograms": {
+        "span_cycles{system=SI-TM}": {
+            "buckets": {"64": 3, "128": 10, "1024": 2},
+            "count": 15, "sum": 2211, "min": 40, "max": 900,
+        },
+        "9starts_with_digit": {
+            "buckets": {}, "count": 0, "sum": 0,
+            "min": None, "max": None,
+        },
+    },
+}
+
+
+class TestGolden:
+    def test_exposition_matches_golden_file(self):
+        assert prometheus_exposition(SNAPSHOT) == GOLDEN.read_text()
+
+    def test_rendering_is_deterministic(self):
+        first = prometheus_exposition(SNAPSHOT)
+        reordered = {section: dict(reversed(list(items.items())))
+                     for section, items in SNAPSHOT.items()}
+        assert prometheus_exposition(reordered) == first
+
+
+class TestFormat:
+    def test_type_line_per_family(self):
+        text = prometheus_exposition(SNAPSHOT)
+        assert "# TYPE sitm_txn_commits_total counter" in text
+        assert "# TYPE sitm_clock_now gauge" in text
+        assert "# TYPE sitm_span_cycles histogram" in text
+        # one TYPE line per family, even with several label sets
+        assert text.count("# TYPE sitm_txn_aborts_total") == 1
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = prometheus_exposition(SNAPSHOT)
+        assert 'sitm_span_cycles_bucket{le="64",system="SI-TM"} 3' \
+            in text
+        assert 'sitm_span_cycles_bucket{le="128",system="SI-TM"} 13' \
+            in text
+        assert 'sitm_span_cycles_bucket{le="1024",system="SI-TM"} 15' \
+            in text
+        assert 'sitm_span_cycles_bucket{le="+Inf",system="SI-TM"} 15' \
+            in text
+        assert 'sitm_span_cycles_count{system="SI-TM"} 15' in text
+
+    def test_names_are_sanitised(self):
+        text = prometheus_exposition(SNAPSHOT)
+        assert "sitm__9starts_with_digit" in text
+        name_re = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = re.split(r"[{ ]", line, maxsplit=1)[0]
+            assert name_re.match(name), line
+
+    def test_label_values_are_escaped(self):
+        text = prometheus_exposition(SNAPSHOT)
+        assert r'note="say \"hi\"\\now"' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert prometheus_exposition({}) == ""
+        assert prometheus_exposition(
+            {"counters": {}, "gauges": {}, "histograms": {}}) == ""
+
+
+class TestLiveSnapshot:
+    def test_real_run_exposition_is_stable_and_parseable(self):
+        """Two identical runs must scrape byte-identically."""
+        results = [run_once("rbtree", "SI-TM", 4, seed=1,
+                            profile="test", telemetry=True)
+                   for _ in range(2)]
+        first, second = (prometheus_exposition(r.metrics)
+                         for r in results)
+        assert first == second
+        assert "# TYPE sitm_txn_commits_total counter" in first
+        sample_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$')
+        for line in first.splitlines():
+            if not line.startswith("#"):
+                assert sample_re.match(line), line
