@@ -41,8 +41,31 @@ class TimestampOverflowError(MVMError):
     """
 
 
+class CheckpointRollbackError(MVMError):
+    """Checkpoint rollback was attempted with transactions in flight.
+
+    Rolling back truncates version history; an active transaction's
+    snapshot (or a commit's reserved end timestamp) would dangle.  The
+    caller must drain or abort every active transaction first — the
+    store's shard-crash recovery does exactly that before restoring.
+    """
+
+
 class TMError(ReproError):
     """Misuse of the transactional-memory API (e.g. read outside a txn)."""
+
+
+class StoreError(ReproError):
+    """A live-store (``repro.store``) server- or client-side failure."""
+
+
+class ProtocolError(StoreError):
+    """A malformed frame or request on the store's wire protocol.
+
+    Servers answer these with a structured ``BAD_REQUEST`` error (and
+    drop the connection when the framing itself is unparseable); clients
+    raise them when a peer violates the framing contract.
+    """
 
 
 class SimulationError(ReproError):

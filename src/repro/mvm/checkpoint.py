@@ -15,26 +15,40 @@ timestamp.  Release simply unpins.
 
 Limitations follow from the mechanism, as in the paper: only
 *multiversioned* memory is checkpointed (conventional-region data is
-updated in place), and rollback requires that no transactions are active.
+updated in place), and rollback requires that no transactions are active
+(attempting it raises the typed
+:class:`~repro.common.errors.CheckpointRollbackError`).
 
 **Configuration**: a long-lived checkpoint pins version history, so under
 the default 4-version ABORT_WRITER cap, transactions that keep writing a
 hot line will abort on VERSION_OVERFLOW for as long as the pin exists —
-potentially forever.  Run checkpointing workloads with
+potentially forever.  :meth:`CheckpointManager.create` emits a one-time
+warning when a checkpoint is created under that cap policy.  Run
+checkpointing workloads with
 ``MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED)`` (the paper's noted
 fallback for deep history is reverting to page-level copy-on-write, which
-unbounded versions model).
+unbounded versions model) — the live store's shards do exactly that, and
+sidestep the pin-retention cost by *advancing* their recovery checkpoint
+to every published commit (:meth:`CheckpointManager.advance`), so the GC
+watermark follows the publish frontier instead of freezing at shard
+start.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.common.errors import MVMError
+from repro.common.config import VersionCapPolicy
+from repro.common.errors import CheckpointRollbackError, MVMError
 
 if TYPE_CHECKING:  # avoid a circular import: sim.machine imports repro.mvm
+    from repro.mvm.controller import MVMController
     from repro.sim.machine import Machine
+
+#: process-wide one-shot latch for the capped-pin footgun warning
+_warned_capped_pin = False
 
 
 @dataclass(frozen=True)
@@ -48,15 +62,50 @@ class Checkpoint:
 class CheckpointManager:
     """Create, read through, roll back to, and release MVM checkpoints."""
 
-    def __init__(self, machine: "Machine"):
+    def __init__(self, machine: "Optional[Machine]" = None, *,
+                 controller: "Optional[MVMController]" = None):
+        if (machine is None) == (controller is None):
+            raise MVMError(
+                "CheckpointManager needs exactly one of a machine or a "
+                "bare MVM controller")
         self.machine = machine
-        self._mvm = machine.mvm
+        if machine is not None:
+            self._mvm = machine.mvm
+            self._clock = machine.clock
+        else:
+            self._mvm = controller
+            self._clock = controller.clock
         self._next_id = 0
         self._live: Dict[int, Checkpoint] = {}
 
+    @classmethod
+    def for_controller(cls, controller: "MVMController"
+                       ) -> "CheckpointManager":
+        """A manager over a bare controller (no simulated machine).
+
+        The live store's shards run :class:`MVMController` outside the
+        simulator; their crash-recovery checkpoints pin and truncate
+        through this manager using the controller's own clock.  The
+        :meth:`read` word accessor needs a machine's address map and is
+        unavailable in this mode.
+        """
+        return cls(controller=controller)
+
     def create(self) -> Checkpoint:
         """Capture the current committed state (O(1): a pinned timestamp)."""
-        timestamp = self.machine.clock.next_start()
+        global _warned_capped_pin
+        if (not _warned_capped_pin
+                and self._mvm.config.cap_policy
+                is VersionCapPolicy.ABORT_WRITER):
+            _warned_capped_pin = True
+            warnings.warn(
+                "checkpoint created under the ABORT_WRITER version cap "
+                f"(max_versions={self._mvm.config.max_versions}): while "
+                "the pin exists, writers to a hot line can abort on "
+                "VERSION_OVERFLOW forever (pin-induced livelock); use "
+                "VersionCapPolicy.UNBOUNDED for checkpointing workloads",
+                RuntimeWarning, stacklevel=2)
+        timestamp = self._clock.next_start()
         if timestamp is None:
             raise MVMError("cannot checkpoint while a commit is in flight")
         checkpoint = Checkpoint(self._next_id, timestamp)
@@ -65,9 +114,40 @@ class CheckpointManager:
         self._live[checkpoint.checkpoint_id] = checkpoint
         return checkpoint
 
+    def advance(self, checkpoint: Checkpoint,
+                timestamp: int) -> Checkpoint:
+        """Move a live checkpoint's pin forward to ``timestamp``.
+
+        Atomically (pin-new-then-unpin-old, so the GC watermark never
+        transiently regresses past both) re-pins the checkpoint at a
+        later timestamp.  The store's shards call this with each
+        published commit's end timestamp: the recovery checkpoint then
+        always equals the publish frontier, rollback after a crash
+        discards exactly the unpublished residue, and version GC keeps
+        collecting behind it.
+        """
+        self._require_live(checkpoint)
+        if timestamp < checkpoint.timestamp:
+            raise MVMError(
+                f"checkpoint pins only advance: {timestamp} < "
+                f"{checkpoint.timestamp}")
+        if timestamp == checkpoint.timestamp:
+            return checkpoint
+        self._mvm.active.add(timestamp)
+        self._mvm.active.remove(checkpoint.timestamp)
+        del self._live[checkpoint.checkpoint_id]
+        advanced = Checkpoint(self._next_id, timestamp)
+        self._next_id += 1
+        self._live[advanced.checkpoint_id] = advanced
+        return advanced
+
     def read(self, checkpoint: Checkpoint, addr: int) -> int:
         """Read one word as of the checkpoint."""
         self._require_live(checkpoint)
+        if self.machine is None:
+            raise MVMError(
+                "word reads need a machine address map; this manager "
+                "wraps a bare controller (for_controller)")
         amap = self.machine.address_map
         if not amap.is_mvm(addr):
             raise MVMError(
@@ -85,10 +165,17 @@ class CheckpointManager:
         Every version newer than the checkpoint's timestamp is removed —
         the pre-existing versions *are* the rollback data, so nothing is
         copied (the "no time-consuming undo" property of section 4.3).
+        Raises :class:`~repro.common.errors.CheckpointRollbackError`
+        when transactions are still in flight.
         """
         self._require_live(checkpoint)
         if len(self._mvm.active) > self.live_count:
-            raise MVMError("cannot roll back with transactions in flight")
+            raise CheckpointRollbackError(
+                f"cannot roll back to checkpoint "
+                f"{checkpoint.checkpoint_id}: "
+                f"{len(self._mvm.active) - self.live_count} "
+                "transaction(s) still in flight — drain or abort them "
+                "first")
         return self._mvm.truncate_after(checkpoint.timestamp)
 
     def release(self, checkpoint: Checkpoint) -> None:

@@ -26,7 +26,7 @@ from __future__ import annotations
 import re
 from typing import Dict, List, Tuple
 
-__all__ = ["prometheus_exposition"]
+__all__ = ["prometheus_exposition", "exposition_http_response"]
 
 #: characters legal in a Prometheus metric name body
 _NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
@@ -127,3 +127,23 @@ def prometheus_exposition(snapshot: dict, prefix: str = "sitm_") -> str:
         lines.append(f"# TYPE {name} {kind}")
         lines.extend(samples)
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: content type of the Prometheus text exposition format
+_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def exposition_http_response(snapshot: dict,
+                             prefix: str = "sitm_") -> bytes:
+    """A complete HTTP/1.0 response carrying the exposition.
+
+    Keeps this module pure (bytes in, bytes out — no sockets): the
+    store's ``/metrics`` listener writes exactly these bytes and closes
+    the connection, which is all a Prometheus scraper needs.
+    """
+    body = prometheus_exposition(snapshot, prefix=prefix).encode("utf-8")
+    headers = (f"HTTP/1.0 200 OK\r\n"
+               f"Content-Type: {_CONTENT_TYPE}\r\n"
+               f"Content-Length: {len(body)}\r\n"
+               f"Connection: close\r\n\r\n")
+    return headers.encode("ascii") + body

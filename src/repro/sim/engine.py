@@ -753,7 +753,7 @@ class Engine:
         policy = self.retry_policy
         if (policy is not None and policy.escalation
                 and not thread.queued
-                and thread.consecutive_stalls >= policy.stall_budget):
+                and policy.stall_starved(thread.consecutive_stalls)):
             self._enqueue(thread)
         self._no_progress += 1
         if self._no_progress >= self.WATCHDOG_STALL_STEPS:
@@ -868,11 +868,11 @@ class Engine:
         self.stats.max_attempts_seen = max(self.stats.max_attempts_seen,
                                            thread.retries)
         if (policy is not None and policy.escalation
-                and not thread.queued):
-            age = thread.clock - thread.first_attempt_clock
-            if (thread.retries >= policy.attempt_budget
-                    or age >= policy.starvation_age_cycles):
-                self._enqueue(thread)
+                and not thread.queued
+                and policy.abort_starved(
+                    thread.retries,
+                    thread.clock - thread.first_attempt_clock)):
+            self._enqueue(thread)
         limit = self.machine.config.tm.max_retries
         if limit and thread.retries > limit:
             raise SimulationError(

@@ -29,6 +29,22 @@ that hole at the engine layer, uniformly across all five backends:
 The policy is ``None`` by default — the engine's legacy behaviour
 (backend backoff only, unbounded retries) is byte-identical when no
 policy is configured, which keeps ``BENCH_baseline.json`` comparable.
+
+**Time-base-agnostic core.**  Nothing in the policy's arithmetic cares
+that the engine's unit is a simulated cycle: the thresholds and delays
+are plain ticks.  The live store (:mod:`repro.store`) reuses the same
+semantics against wall-clock milliseconds — backoff delays become
+``retry_after_ms`` hints, the starvation age is wall time since the
+first attempt, and escalation serializes the starving transaction on
+its home shard instead of draining the engine.  The shared core is:
+
+* :meth:`RetryPolicy.delay` — the capped exponential backoff;
+* :meth:`RetryPolicy.stall_starved` / :meth:`RetryPolicy.abort_starved`
+  — the two starvation predicates, exactly as the engine applies them
+  (stall budget at the begin site; attempt budget OR age watermark at
+  the abort site);
+* :class:`RetryState` — a per-transaction tracker that feeds those
+  predicates from whatever clock the caller supplies.
 """
 
 from __future__ import annotations
@@ -38,7 +54,7 @@ from dataclasses import dataclass
 from repro.common.errors import ConfigError
 from repro.common.rng import SplitRandom
 
-__all__ = ["RetryPolicy"]
+__all__ = ["RetryPolicy", "RetryState"]
 
 
 @dataclass(frozen=True)
@@ -78,12 +94,32 @@ class RetryPolicy:
             raise ConfigError("stall_budget must be >= 1")
 
     def delay(self, attempt: int, rng: SplitRandom) -> int:
-        """Backoff cycles to charge for a transaction's Nth abort."""
+        """Backoff ticks to charge for a transaction's Nth abort."""
         exponent = min(attempt, self.backoff_max_exponent)
         delay = self.backoff_base_cycles * (1 << exponent)
         if self.jitter_cycles:
             delay += rng.randrange(self.jitter_cycles)
         return delay
+
+    def stall_starved(self, consecutive_stalls: int) -> bool:
+        """Begin-site starvation: the stall budget is exhausted.
+
+        Stalls never abort, so the attempt budget alone cannot catch a
+        permanent begin-stall storm — this predicate runs on every
+        engine begin stall (and on every shed/parked begin in the live
+        store).
+        """
+        return consecutive_stalls >= self.stall_budget
+
+    def abort_starved(self, attempts: int, age: int) -> bool:
+        """Abort-site starvation: attempt budget or age watermark hit.
+
+        ``age`` is ticks since the transaction's first attempt began,
+        in whatever time base the caller uses (engine: cycles; store:
+        milliseconds).
+        """
+        return (attempts >= self.attempt_budget
+                or age >= self.starvation_age_cycles)
 
     def to_dict(self) -> dict:
         """Canonical JSON-safe form (stable key set)."""
@@ -102,3 +138,58 @@ class RetryPolicy:
         """Inverse of :meth:`to_dict` (tolerates missing keys)."""
         known = {f for f in cls.__dataclass_fields__}
         return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class RetryState:
+    """Per-transaction retry tracker over an arbitrary time base.
+
+    The engine keeps the equivalent state inline on its thread records
+    (``retries``/``first_attempt_clock``/``consecutive_stalls``); this
+    class packages the same bookkeeping for callers that live outside
+    the simulator — the store's sessions track one ``RetryState`` per
+    logical transaction with ``now`` in wall-clock milliseconds.  All
+    decisions delegate to the policy's shared predicates, so sim and
+    service starvation behaviour can only drift together.
+    """
+
+    __slots__ = ("policy", "attempts", "first_attempt_at",
+                 "consecutive_stalls", "_rng")
+
+    def __init__(self, policy: RetryPolicy, rng: SplitRandom,
+                 now: int = 0):
+        self.policy = policy
+        self._rng = rng
+        self.attempts = 0
+        self.first_attempt_at = now
+        self.consecutive_stalls = 0
+
+    def note_first_attempt(self, now: int) -> None:
+        """Record when the first attempt began (starvation age base)."""
+        if self.attempts == 0:
+            self.first_attempt_at = now
+
+    def note_stall(self) -> None:
+        """One begin-site stall (shed, parked, or Δ-protocol stall)."""
+        self.consecutive_stalls += 1
+
+    def note_progress(self) -> None:
+        """A begin succeeded: the stall streak resets."""
+        self.consecutive_stalls = 0
+
+    def note_abort(self) -> int:
+        """Record an abort; returns the backoff delay for this attempt."""
+        delay = self.policy.delay(self.attempts, self._rng)
+        self.attempts += 1
+        return delay
+
+    def starving(self, now: int) -> bool:
+        """Is this transaction starving (either predicate)?"""
+        return (self.policy.stall_starved(self.consecutive_stalls)
+                or self.policy.abort_starved(
+                    self.attempts, now - self.first_attempt_at))
+
+    def reset(self, now: int) -> None:
+        """The transaction committed: forget its retry history."""
+        self.attempts = 0
+        self.first_attempt_at = now
+        self.consecutive_stalls = 0

@@ -1,0 +1,40 @@
+"""``repro.store``: a fault-hardened concurrent transactional KV service.
+
+The simulator proves the SI-TM protocol under virtual time; this package
+runs the same multiversioned machinery — per-shard
+:class:`~repro.mvm.controller.MVMController` instances with their own
+commit clocks — against *wall-clock* concurrency: an asyncio front-end
+speaking a length-prefixed JSON protocol (``BEGIN``/``READ``/``WRITE``/
+``COMMIT``/``ABORT``), begin-timestamp snapshots and first-committer-wins
+validation per shard, and robustness as a first-class feature:
+
+* per-transaction **deadlines** with structured ``TIMEOUT`` errors;
+* **retry/backoff** reusing the simulator's
+  :class:`~repro.sim.retry.RetryPolicy` semantics over milliseconds,
+  including golden-token escalation of starving transactions;
+* **admission control** — bounded in-flight transactions and bounded
+  shard queues, shed with explicit ``OVERLOADED`` responses, never
+  silent queueing;
+* **session GC** — client disconnects mid-transaction unpin their
+  snapshots so the active-transaction table cannot leak and wedge
+  version GC;
+* **shard crash/restart recovery** on
+  :mod:`repro.mvm.checkpoint` pinned snapshots advanced to the publish
+  frontier;
+* a seeded :class:`~repro.store.chaos.ChaosPlan` injecting disconnects,
+  slow-loris clients, shard stalls and forced crashes; and
+* a **live oracle monitor** (:mod:`repro.oracle.live`) replaying every
+  completed transaction through the SI checker while the server runs.
+
+Entry point: the ``sitm-store`` console script
+(:mod:`repro.store.cli`).  See ``docs/store.md`` for the wire protocol
+and semantics.
+"""
+
+from repro.store.chaos import ChaosPlan, run_chaos_campaign
+from repro.store.loadgen import StoreClient, ZipfKeys, run_load
+from repro.store.server import StoreServer
+from repro.store.session import StoreConfig
+
+__all__ = ["ChaosPlan", "StoreClient", "StoreConfig", "StoreServer",
+           "ZipfKeys", "run_chaos_campaign", "run_load"]

@@ -1,0 +1,571 @@
+"""The store server: asyncio front-end, commit coordinator, monitor feed.
+
+One :class:`StoreServer` owns the shard set, the session table, the
+admission counters, and (optionally) a live oracle monitor.  The
+robustness contract, end to end:
+
+* **Admission**: a ``BEGIN`` past ``max_inflight`` open transactions is
+  shed immediately with ``OVERLOADED`` plus a backoff hint — the server
+  never queues work it has not admitted.
+* **Deadlines**: every transaction carries an absolute deadline.  It is
+  enforced at command arrival, inside shard queues, and around every
+  shard wait; expiry aborts the transaction server-side and answers
+  ``TIMEOUT``.
+* **Commit protocol**: writes prepare on each touched shard in sorted
+  shard order (pending-lock check, first-committer-wins validation,
+  end-timestamp reservation, line locks); once every shard prepared,
+  the apply runs **synchronously with no awaits** — in a single-threaded
+  event loop that publishes a multi-shard commit atomically.  Prepares
+  carry shard generations, so a crash between prepare and apply is
+  detected and turned into a clean ``shard-crashed`` abort.
+* **Retry/escalation**: every abort response carries ``retry_after_ms``
+  from the session's :class:`~repro.sim.retry.RetryState`; a starving
+  session's next transaction takes the server-wide **golden token**,
+  and other commits touching its home shard wait until it finishes —
+  the store-side analogue of the engine's serial escalation.
+* **Session GC**: a disconnect mid-transaction aborts it in the
+  ``finally`` path of the connection handler, unpinning its snapshots
+  so the active-transaction table cannot leak and wedge version GC.
+* **Monitoring**: every completed transaction is fed to the
+  :class:`~repro.oracle.live.LiveHistoryMonitor` as a span-schema-
+  compatible session row (also persisted when ``record_path`` is set),
+  and the per-shard GC watermark is reported after each completion so
+  the monitor can fold its windows.
+
+A second tiny listener serves the Prometheus exposition of the metrics
+registry on ``/metrics`` (:func:`repro.obs.prom.exposition_http_response`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ProtocolError
+from repro.obs.export import SPAN_SCHEMA_VERSION
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import exposition_http_response
+from repro.oracle.live import LiveHistoryMonitor
+from repro.sim.retry import RetryState
+from repro.store import protocol
+from repro.store.session import Session, StoreConfig, Txn, shard_of
+from repro.store.shard import (CONFLICT, CRASHED, OK, OVERLOADED, SHUTDOWN,
+                               TIMEOUT, Shard)
+from repro.common.rng import SplitRandom
+
+__all__ = ["StoreServer"]
+
+
+class StoreServer:
+    """A sharded SI transactional KV service over asyncio streams."""
+
+    def __init__(self, config: Optional[StoreConfig] = None,
+                 monitor: Optional[LiveHistoryMonitor] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 record_path: Optional[object] = None):
+        self.config = config or StoreConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.monitor = monitor
+        self.shards = [Shard(i, self.config)
+                       for i in range(self.config.shards)]
+        self.sessions: Dict[int, Session] = {}
+        self.open_txns: Dict[int, Txn] = {}
+        self._next_session = 0
+        self._next_txn = 0
+        self._seq = 0
+        self._rng = SplitRandom(self.config.seed, ("store", "retry"))
+        # golden-token escalation state
+        self._golden_holder: Optional[int] = None  # txn uid
+        self._golden_home: Optional[int] = None    # shard id
+        self._golden_free = asyncio.Event()
+        self._golden_free.set()
+        self.escalations = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        self._record = None
+        self._record_path = record_path
+        self._shutting_down = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Start shards and the listener; returns the bound port."""
+        if self._record_path is not None:
+            import pathlib
+            path = pathlib.Path(self._record_path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._record = path.open("w", encoding="utf-8")
+        for shard in self.shards:
+            shard.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host, port)
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start_metrics(self, host: str = "127.0.0.1",
+                            port: int = 0) -> int:
+        """Start the ``/metrics`` exposition listener; returns its port."""
+        self._metrics_server = await asyncio.start_server(
+            self._handle_metrics, host, port)
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop listeners and shard tasks; final monitor check runs."""
+        self._shutting_down = True
+        for server in (self._server, self._metrics_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        for shard in self.shards:
+            await shard.stop()
+        if self.monitor is not None:
+            self.monitor.check()
+        if self._record is not None:
+            self._record.close()
+            self._record = None
+
+    # ------------------------------------------------------------------
+    # connection handling
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        # seed first_attempt_at with the current clock: the starvation
+        # age is wall time since the session's first attempt, not since
+        # the epoch
+        session = Session(self._next_session,
+                          RetryState(self.config.retry,
+                                     self._rng.split(self._next_session),
+                                     now=self._now_ms()))
+        self._next_session += 1
+        self.sessions[session.session_id] = session
+        idle = self.config.idle_timeout_ms / 1000.0
+        try:
+            while True:
+                try:
+                    request = await protocol.read_frame(reader, idle)
+                except ProtocolError:
+                    break  # framing violation or slow-loris: drop peer
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                response = await self._dispatch(session, request)
+                writer.write(protocol.encode_frame(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            if session.txn is not None:
+                self._abort_txn(session, session.txn, "disconnect")
+                self.metrics.inc("store_disconnects_total")
+            del self.sessions[session.session_id]
+            writer.close()
+
+    async def _handle_metrics(self, reader: asyncio.StreamReader,
+                              writer: asyncio.StreamWriter) -> None:
+        try:
+            await asyncio.wait_for(reader.readline(), 5.0)
+        except (asyncio.TimeoutError, ConnectionError):
+            writer.close()
+            return
+        self._refresh_gauges()
+        writer.write(exposition_http_response(self.metrics.snapshot(),
+                                              prefix="sitm_"))
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()
+
+    def _refresh_gauges(self) -> None:
+        self.metrics.set_gauge("store_sessions", len(self.sessions))
+        self.metrics.set_gauge("store_inflight", len(self.open_txns))
+        for shard in self.shards:
+            stats = shard.stats()
+            self.metrics.set_gauge("store_shard_generation",
+                                   stats["generation"],
+                                   shard=shard.shard_id)
+            self.metrics.set_gauge("store_shard_queue_depth",
+                                   stats["queue_depth"],
+                                   shard=shard.shard_id)
+            self.metrics.set_gauge("store_shard_pinned_txns",
+                                   stats["pinned_transactions"],
+                                   shard=shard.shard_id)
+            self.metrics.set_gauge("store_shard_watermark",
+                                   stats["watermark"] or 0,
+                                   shard=shard.shard_id)
+
+    # ------------------------------------------------------------------
+    # request dispatch
+
+    async def _dispatch(self, session: Session, request: dict) -> dict:
+        op = request.get("op")
+        if op not in protocol.OPS:
+            return protocol.error_response(
+                "BAD_REQUEST", f"unknown op {op!r}")
+        if self._shutting_down:
+            return protocol.error_response("SERVER_SHUTDOWN",
+                                           "server is draining")
+        if op == "PING":
+            return protocol.ok_response(
+                pong=True,
+                generations=[s.generation for s in self.shards])
+        if op == "BEGIN":
+            return await self._do_begin(session, request)
+        txn = session.txn
+        if txn is None:
+            return protocol.error_response("NO_TXN",
+                                           f"{op} outside a transaction")
+        if self._expired(txn):
+            self._abort_txn(session, txn, "timeout")
+            return protocol.error_response("TIMEOUT",
+                                           "transaction deadline expired")
+        if txn.doomed is not None:
+            cause = txn.doomed
+            self._abort_txn(session, txn, cause)
+            return self._aborted_response(session, cause)
+        if op == "READ":
+            return await self._do_read(session, txn, request)
+        if op == "WRITE":
+            return self._do_write(session, txn, request)
+        if op == "COMMIT":
+            return await self._do_commit(session, txn)
+        # ABORT
+        self._abort_txn(session, txn, "explicit")
+        return protocol.ok_response()
+
+    def _expired(self, txn: Txn) -> bool:
+        return asyncio.get_running_loop().time() > txn.deadline
+
+    def _now_ms(self) -> int:
+        return int(asyncio.get_running_loop().time() * 1000)
+
+    def _aborted_response(self, session: Session, cause: str) -> dict:
+        delay = session.retry.note_abort()
+        return protocol.error_response(
+            "ABORTED", f"transaction aborted ({cause})",
+            retry_after_ms=delay, cause=cause)
+
+    # ------------------------------------------------------------------
+    # operations
+
+    async def _do_begin(self, session: Session, request: dict) -> dict:
+        if session.txn is not None:
+            return protocol.error_response(
+                "TXN_OPEN", "session already has an open transaction")
+        if len(self.open_txns) >= self.config.max_inflight:
+            session.retry.note_stall()
+            self.metrics.inc("store_shed_total", reason="admission")
+            return protocol.error_response(
+                "OVERLOADED",
+                f"{len(self.open_txns)} transactions in flight "
+                f"(limit {self.config.max_inflight})",
+                retry_after_ms=self.config.retry.delay(
+                    session.retry.consecutive_stalls, self._rng))
+        # starving? — judged before note_progress resets the stall
+        # streak the sheds built up
+        starving = session.retry.starving(self._now_ms())
+        session.retry.note_progress()
+        session.retry.note_first_attempt(self._now_ms())
+        deadline_ms = request.get("deadline_ms", self.config.deadline_ms)
+        if not isinstance(deadline_ms, int) or deadline_ms < 1:
+            return protocol.error_response(
+                "BAD_REQUEST", f"bad deadline_ms {deadline_ms!r}")
+        deadline_ms = min(deadline_ms, self.config.max_deadline_ms)
+        label = request.get("label", f"session-{session.session_id}")
+        self._seq += 1
+        txn = Txn(uid=self._next_txn, session_id=session.session_id,
+                  label=str(label),
+                  deadline=(asyncio.get_running_loop().time()
+                            + deadline_ms / 1000.0),
+                  begin_seq=self._seq)
+        self._next_txn += 1
+        session.txn = txn
+        self.open_txns[txn.uid] = txn
+        # golden-token escalation: a starving session's transaction
+        # serializes against other commits on its home shard
+        policy = self.config.retry
+        if (policy.escalation and self._golden_holder is None
+                and starving):
+            self._golden_holder = txn.uid
+            self._golden_home = None  # set at first shard touch
+            self._golden_free.clear()
+            self.escalations += 1
+            self.metrics.inc("store_escalations_total")
+        return protocol.ok_response(txn=txn.uid)
+
+    async def _shard_call(self, session: Session, txn: Txn, shard: Shard,
+                          kind: str, payload: object = None
+                          ) -> Tuple[str, object]:
+        """Submit to a shard and await, bounded by the txn deadline."""
+        remaining = txn.deadline - asyncio.get_running_loop().time()
+        if remaining <= 0:
+            return (TIMEOUT, None)
+        future = shard.submit(kind, txn, payload)
+        try:
+            return await asyncio.wait_for(future, remaining)
+        except asyncio.TimeoutError:
+            txn.doom("timeout")
+            # the command may still run later; doom makes it a no-op,
+            # and any side effects a prepare already took are reverted
+            # by the caller's cleanup path
+            return (TIMEOUT, None)
+
+    async def _ensure_snapshot(self, session: Session, txn: Txn,
+                               shard: Shard) -> Tuple[str, object]:
+        if shard.shard_id in txn.snapshots:
+            pin = txn.snapshots[shard.shard_id]
+            if pin[1] != shard.generation:
+                return (CRASHED, None)
+            return (OK, pin[0])
+        status, data = await self._shard_call(session, txn, shard,
+                                              "snapshot")
+        if status == OK and self._golden_holder == txn.uid \
+                and self._golden_home is None:
+            self._golden_home = shard.shard_id
+        return status, data
+
+    async def _do_read(self, session: Session, txn: Txn,
+                       request: dict) -> dict:
+        key = request.get("key")
+        if not isinstance(key, str) or not key:
+            return protocol.error_response("BAD_REQUEST",
+                                           f"bad key {key!r}")
+        sid = shard_of(key, self.config.shards)
+        shard = self.shards[sid]
+        # read-your-writes from the buffered write set
+        if (sid, key) in txn.writes:
+            value = txn.writes[(sid, key)]
+            txn.ops.append(("r", sid, key, value))
+            txn.reads += 1
+            return protocol.ok_response(value=value)
+        status, _ = await self._ensure_snapshot(session, txn, shard)
+        if status != OK:
+            return self._shard_failure(session, txn, status)
+        status, value = await self._shard_call(session, txn, shard,
+                                               "read", key)
+        if status != OK:
+            return self._shard_failure(session, txn, status)
+        txn.ops.append(("r", sid, key, value))
+        txn.reads += 1
+        return protocol.ok_response(value=value)
+
+    def _do_write(self, session: Session, txn: Txn,
+                  request: dict) -> dict:
+        key = request.get("key")
+        if not isinstance(key, str) or not key:
+            return protocol.error_response("BAD_REQUEST",
+                                           f"bad key {key!r}")
+        if "value" not in request or request["value"] is None:
+            return protocol.error_response(
+                "BAD_REQUEST", "null is the never-written sentinel, "
+                "not a storable value")
+        value = request["value"]
+        sid = shard_of(key, self.config.shards)
+        txn.writes[(sid, key)] = value
+        txn.ops.append(("w", sid, key, value))
+        return protocol.ok_response()
+
+    def _shard_failure(self, session: Session, txn: Txn,
+                       status: str) -> dict:
+        """Translate a failed shard command into a structured response."""
+        if status == OVERLOADED:
+            self.metrics.inc("store_shed_total", reason="shard-queue")
+            self._abort_txn(session, txn, "overloaded")
+            return self._overloaded_aborted(session)
+        if status == TIMEOUT:
+            self._abort_txn(session, txn, "timeout")
+            self.metrics.inc("store_timeouts_total")
+            return protocol.error_response(
+                "TIMEOUT", "transaction deadline expired in a shard")
+        if status == SHUTDOWN:
+            self._abort_txn(session, txn, "explicit")
+            return protocol.error_response("SERVER_SHUTDOWN",
+                                           "server is draining")
+        if status == CONFLICT:
+            # a shard refuses commands for an already-doomed transaction
+            # with CONFLICT; surface the original doom cause (e.g. a
+            # crash on another shard), not the refusal itself
+            cause = txn.doomed or "write-write"
+        else:
+            cause = "shard-crashed" if status == CRASHED else str(status)
+        self._abort_txn(session, txn, cause)
+        return self._aborted_response(session, cause)
+
+    def _overloaded_aborted(self, session: Session) -> dict:
+        delay = session.retry.note_abort()
+        return protocol.error_response(
+            "OVERLOADED", "shard queue full; transaction aborted",
+            retry_after_ms=delay, cause="overloaded")
+
+    async def _do_commit(self, session: Session, txn: Txn) -> dict:
+        if not txn.writes:
+            self._finish_txn(session, txn, committed=True)
+            return protocol.ok_response(commit_ts=None, read_only=True)
+        by_shard: Dict[int, Dict[str, object]] = {}
+        for (sid, key), value in txn.writes.items():
+            by_shard.setdefault(sid, {})[key] = value
+        # golden-token gate: while a starving transaction holds the
+        # token, other commits touching its home shard wait
+        gate_ok = await self._golden_gate(txn)
+        if not gate_ok:
+            self._abort_txn(session, txn, "timeout")
+            self.metrics.inc("store_timeouts_total")
+            return protocol.error_response(
+                "TIMEOUT", "deadline expired waiting for escalation")
+        # phase 1: pin write-only shards, then prepare in shard order
+        for sid in sorted(by_shard):
+            status, _ = await self._ensure_snapshot(session, txn,
+                                                    self.shards[sid])
+            if status != OK:
+                return self._shard_failure(session, txn, status)
+        prepared: List[Tuple[Shard, int, int]] = []
+        for sid in sorted(by_shard):
+            shard = self.shards[sid]
+            status, data = await self._shard_call(session, txn, shard,
+                                                  "prepare", by_shard[sid])
+            if status != OK:
+                for other, _, gen in prepared:
+                    if other.generation == gen:
+                        other.abort_prepare(txn)
+                if status == CONFLICT:
+                    cause = data if isinstance(data, str) else "write-write"
+                    self._abort_txn(session, txn, cause)
+                    return self._aborted_response(session, cause)
+                return self._shard_failure(session, txn, status)
+            end_ts, generation = data
+            prepared.append((shard, end_ts, generation))
+        # phase 2: atomic apply — NO awaits from here to _finish_txn
+        if any(shard.generation != gen for shard, _, gen in prepared):
+            for shard, _, gen in prepared:
+                if shard.generation == gen:
+                    shard.abort_prepare(txn)
+            self._abort_txn(session, txn, "shard-crashed")
+            return self._aborted_response(session, "shard-crashed")
+        for shard, end_ts, _ in prepared:
+            shard.apply(txn, end_ts, by_shard[shard.shard_id])
+        self._finish_txn(session, txn, committed=True)
+        return protocol.ok_response(
+            commit_ts={str(s): ts for s, ts in txn.commit_ts.items()},
+            read_only=False)
+
+    async def _golden_gate(self, txn: Txn) -> bool:
+        """Wait while another txn's golden token covers our shards."""
+        while (self._golden_holder is not None
+               and self._golden_holder != txn.uid
+               and self._golden_home is not None
+               and self._golden_home in txn.touched_shards):
+            remaining = txn.deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                return False
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(self._golden_free.wait()), remaining)
+            except asyncio.TimeoutError:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # completion (synchronous: safe inside the atomic apply step)
+
+    def _release_golden(self, txn: Txn) -> None:
+        if self._golden_holder == txn.uid:
+            self._golden_holder = None
+            self._golden_home = None
+            self._golden_free.set()
+
+    def _abort_txn(self, session: Session, txn: Txn, cause: str) -> None:
+        """Server-side abort: shard cleanup, unpin, session bookkeeping."""
+        for shard in self.shards:
+            shard.abort_prepare(txn)
+        txn.doom(cause)
+        self._finish_txn(session, txn, committed=False, cause=cause)
+
+    def _finish_txn(self, session: Session, txn: Txn, committed: bool,
+                    cause: Optional[str] = None) -> None:
+        self._seq += 1
+        # build the monitor row BEFORE releasing: release_snapshot pops
+        # txn.snapshots, and the row needs the per-shard start_ts
+        row = None
+        if self.monitor is not None or self._record is not None:
+            row = self._session_row(session, txn, committed, cause)
+        for sid in list(txn.snapshots):
+            self.shards[sid].release_snapshot(txn)
+        self.open_txns.pop(txn.uid, None)
+        if session.txn is txn:
+            session.txn = None
+        self._release_golden(txn)
+        if committed:
+            session.committed += 1
+            session.retry.reset(self._now_ms())
+            self.metrics.inc("store_txn_commits_total")
+        else:
+            session.aborted += 1
+            self.metrics.inc("store_txn_aborts_total",
+                             cause=cause or "unknown")
+        if row is not None:
+            self._emit_row(row)
+
+    def _emit_row(self, row: dict) -> None:
+        if self._record is not None:
+            self._record.write(json.dumps(row, sort_keys=True) + "\n")
+            self._record.flush()
+        if self.monitor is not None:
+            self.monitor.feed_row(row)
+            for shard in self.shards:
+                self.monitor.note_watermark(shard.shard_id,
+                                            shard.watermark)
+
+    def _session_row(self, session: Session, txn: Txn, committed: bool,
+                     cause: Optional[str]) -> dict:
+        """The span-schema-compatible record of one completed txn."""
+        shards_meta = {}
+        seen = set(txn.snapshots) | set(txn.commit_ts) \
+            | {s for s, _ in txn.writes}
+        for sid in sorted(seen):
+            pin = txn.snapshots.get(sid)
+            shards_meta[str(sid)] = {
+                "start_ts": pin[0] if pin else None,
+                "commit_ts": txn.commit_ts.get(sid)}
+        home = min(seen) if seen else None
+        home_meta = shards_meta.get(str(home), {}) if home is not None \
+            else {}
+        return {
+            "uid": txn.uid,
+            "thread": session.session_id,
+            "label": txn.label,
+            "begin_cycle": txn.begin_seq,
+            "end_cycle": self._seq,
+            "outcome": "commit" if committed else "abort",
+            "cause": None if committed else (cause or "explicit"),
+            "retries": session.retry.attempts,
+            "reads": txn.reads,
+            "writes": len(txn.writes),
+            "start_ts": home_meta.get("start_ts"),
+            "commit_ts": home_meta.get("commit_ts"),
+            "schema_version": SPAN_SCHEMA_VERSION,
+            "store": {
+                "shards": shards_meta,
+                "ops": [[k, s, key, v] for k, s, key, v in txn.ops],
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # chaos hooks
+
+    def crash_shard(self, shard_id: int) -> List[Txn]:
+        """Force-crash one shard; dooms and returns affected txns."""
+        shard = self.shards[shard_id]
+        doomed = shard.crash_now(list(self.open_txns.values()))
+        self.metrics.inc("store_shard_crashes_total", shard=shard_id)
+        return doomed
+
+    def stall_shard(self, shard_id: int, ms: float) -> None:
+        """Inject a stall into one shard's command task."""
+        self.shards[shard_id].inject_stall(ms)
+        self.metrics.inc("store_shard_stalls_total", shard=shard_id)
+
+    @property
+    def golden_holder(self) -> Optional[int]:
+        """Txn uid currently holding the golden token (or None)."""
+        return self._golden_holder

@@ -1,0 +1,157 @@
+"""Store configuration and per-connection session/transaction state.
+
+A **session** is one client connection: it owns at most one open
+transaction at a time and a :class:`~repro.sim.retry.RetryState`
+(milliseconds time base) that survives across that client's transaction
+attempts — the server's backoff hints, starvation age, and golden-token
+escalation all key off it, reusing the simulator's retry semantics
+verbatim (:mod:`repro.sim.retry`).
+
+A **transaction** (:class:`Txn`) is begin-timestamp state spread across
+the shards it touched: per-shard ``(start_ts, generation)`` snapshot
+pins, the buffered write set, and the ordered operation log the live
+oracle monitor replays.  Cross-shard transactions pin each shard's
+snapshot lazily at first touch (write-only shards at commit time), so
+the isolation contract is *per-shard* snapshot isolation — see
+``docs/store.md`` for the honest statement of what that does and does
+not guarantee.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.sim.retry import RetryPolicy, RetryState
+
+__all__ = ["StoreConfig", "Session", "Txn", "shard_of"]
+
+
+def shard_of(key: str, shards: int) -> int:
+    """Stable key→shard placement (CRC32 of the UTF-8 key)."""
+    return zlib.crc32(key.encode("utf-8")) % shards
+
+
+#: retry policy tuned for a millisecond time base: ~2ms base backoff
+#: doubling to ~128ms, starving after 6 aborts or 2s of age
+DEFAULT_RETRY_MS = RetryPolicy(
+    backoff_base_cycles=2, backoff_max_exponent=6, jitter_cycles=3,
+    attempt_budget=6, starvation_age_cycles=2_000, stall_budget=16)
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Service-level configuration (validated, JSON round-trippable)."""
+
+    #: number of independent SI shards
+    shards: int = 4
+    #: admission control: maximum concurrently open transactions;
+    #: further ``BEGIN``s are shed with ``OVERLOADED``
+    max_inflight: int = 64
+    #: per-shard command-queue bound; a full queue sheds the command
+    shard_queue_depth: int = 128
+    #: default per-transaction deadline (``BEGIN`` may lower/raise it
+    #: up to ``max_deadline_ms``)
+    deadline_ms: int = 2_000
+    #: ceiling a client may request via ``deadline_ms`` on BEGIN
+    max_deadline_ms: int = 30_000
+    #: whole-frame read timeout: a peer that cannot deliver one frame
+    #: within this budget (slow-loris) is disconnected
+    idle_timeout_ms: int = 10_000
+    #: Δ for each shard's commit clock (section 4.2 race protocol)
+    commit_delta: int = 64
+    #: first-committer-wins validation at prepare; disabled only by the
+    #: ``--broken no-fcw`` self-test proving the live monitor catches
+    #: real violations
+    validate_fcw: bool = True
+    #: retry/backoff/escalation policy over milliseconds
+    retry: RetryPolicy = DEFAULT_RETRY_MS
+    #: seed for backoff jitter streams
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if self.max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1")
+        if self.shard_queue_depth < 1:
+            raise ConfigError("shard_queue_depth must be >= 1")
+        for name in ("deadline_ms", "max_deadline_ms", "idle_timeout_ms"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if self.deadline_ms > self.max_deadline_ms:
+            raise ConfigError("deadline_ms must not exceed max_deadline_ms")
+        if self.commit_delta < 1:
+            raise ConfigError("commit_delta must be >= 1")
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe form (stable key set)."""
+        return {
+            "shards": self.shards,
+            "max_inflight": self.max_inflight,
+            "shard_queue_depth": self.shard_queue_depth,
+            "deadline_ms": self.deadline_ms,
+            "max_deadline_ms": self.max_deadline_ms,
+            "idle_timeout_ms": self.idle_timeout_ms,
+            "commit_delta": self.commit_delta,
+            "validate_fcw": self.validate_fcw,
+            "retry": self.retry.to_dict(),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoreConfig":
+        """Inverse of :meth:`to_dict` (tolerates missing keys)."""
+        kwargs = {k: v for k, v in data.items()
+                  if k in cls.__dataclass_fields__}
+        if "retry" in kwargs and isinstance(kwargs["retry"], dict):
+            kwargs["retry"] = RetryPolicy.from_dict(kwargs["retry"])
+        return cls(**kwargs)
+
+
+@dataclass
+class Txn:
+    """One open transaction: per-shard snapshots plus buffered writes."""
+
+    uid: int
+    session_id: int
+    label: str
+    #: absolute event-loop deadline (seconds, ``loop.time()`` base)
+    deadline: float
+    #: monitor sequence number stamped at BEGIN
+    begin_seq: int
+    #: shard -> (start_ts, shard generation at pin time)
+    snapshots: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: buffered write set: (shard, key) -> value (last write wins)
+    writes: Dict[Tuple[int, str], object] = field(default_factory=dict)
+    #: ordered operation log for the oracle: (kind, shard, key, value)
+    ops: List[Tuple[str, int, str, object]] = field(default_factory=list)
+    #: per-shard commit timestamps, filled at apply
+    commit_ts: Dict[int, int] = field(default_factory=dict)
+    #: set when the transaction can no longer commit (abort cause)
+    doomed: Optional[str] = None
+    reads: int = 0
+
+    def doom(self, cause: str) -> None:
+        """Mark the transaction unable to commit (first cause sticks)."""
+        if self.doomed is None:
+            self.doomed = cause
+
+    @property
+    def touched_shards(self) -> set:
+        """Shards this transaction has pinned or buffered writes on."""
+        return set(self.snapshots) | {s for s, _ in self.writes}
+
+
+@dataclass
+class Session:
+    """One client connection's server-side state."""
+
+    session_id: int
+    retry: RetryState
+    txn: Optional[Txn] = None
+    #: transactions this session completed (monitor bookkeeping)
+    committed: int = 0
+    aborted: int = 0

@@ -1,0 +1,347 @@
+"""One store shard: a single-writer task over an `MVMController`.
+
+Each shard is an independent snapshot-isolation domain — its own
+:class:`~repro.mvm.timestamps.GlobalClock`, its own
+:class:`~repro.mvm.controller.MVMController` (one key per line,
+``words_per_line=1``, unbounded version cap — the recovery checkpoint
+pins history, and a pinned checkpoint under the ABORT_WRITER cap is
+exactly the livelock footgun :mod:`repro.mvm.checkpoint` warns about).
+
+Concurrency model: **all mutation is serialized through one asyncio
+task** draining a bounded command queue (``snapshot``/``read``/
+``prepare``).  A full queue sheds the command with a structured
+``overloaded`` status — never silent queueing.  The commit *apply*
+phase, by contrast, is a synchronous method the coordinator calls with
+no intervening ``await``: in a single-threaded event loop that makes a
+multi-shard apply atomic — no reader anywhere can observe a
+half-applied cross-shard commit.
+
+Crash/recovery (:meth:`Shard.crash_now`): the shard holds a recovery
+checkpoint pinned at the *publish frontier* — advanced to every
+committed end timestamp inside the atomic apply.  A forced crash bumps
+the generation counter, fails queued commands with ``shard-crashed``,
+abandons in-flight prepare reservations, dooms and unpins every
+transaction with state on the shard, and rolls the MVM back to the
+checkpoint — discarding exactly the unpublished residue.  Prepares are
+tagged with the generation so a coordinator racing a crash detects the
+mismatch and aborts instead of applying onto the recovered state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from collections import deque
+
+from repro.common.config import MVMConfig, VersionCapPolicy
+from repro.mem.address import AddressMap
+from repro.mvm.checkpoint import CheckpointManager
+from repro.mvm.controller import MVMController
+from repro.store.session import StoreConfig, Txn
+
+__all__ = ["Shard", "ShardCommand"]
+
+#: statuses a shard command future can resolve to
+OK, CONFLICT, OVERLOADED, TIMEOUT, CRASHED, SHUTDOWN = (
+    "ok", "conflict", "overloaded", "timeout", "shard-crashed", "shutdown")
+
+
+class ShardCommand:
+    """One queued shard operation, resolved through a future."""
+
+    __slots__ = ("kind", "txn", "payload", "future")
+
+    def __init__(self, kind: str, txn: Txn, payload: object,
+                 future: "asyncio.Future"):
+        self.kind = kind
+        self.txn = txn
+        self.payload = payload
+        self.future = future
+
+    def resolve(self, status: str, data: object = None) -> None:
+        """Resolve the caller's future unless it already gave up."""
+        if not self.future.done():
+            self.future.set_result((status, data))
+
+
+class Shard:
+    """A single-writer snapshot-isolation domain over one controller."""
+
+    def __init__(self, shard_id: int, config: StoreConfig):
+        self.shard_id = shard_id
+        self.config = config
+        self.mvm = MVMController(
+            MVMConfig(cap_policy=VersionCapPolicy.UNBOUNDED,
+                      commit_delta=config.commit_delta),
+            AddressMap(words_per_line=1))
+        #: key -> line interning (one key per line, words_per_line=1)
+        self.keys: Dict[str, int] = {}
+        #: bumped by every crash; prepares carry it for race detection
+        self.generation = 0
+        self.checkpoints = CheckpointManager.for_controller(self.mvm)
+        #: pinned at the publish frontier (advanced inside every apply)
+        self.recovery = self.checkpoints.create()
+        self._queue: Deque[ShardCommand] = deque()
+        self._wakeup = asyncio.Event()
+        self._closed = False
+        #: txn uid -> reserved end_ts (prepare outstanding)
+        self._prepared: Dict[int, int] = {}
+        #: line -> txn uid holding the prepare lock
+        self._locks: Dict[int, int] = {}
+        #: chaos: milliseconds the task sleeps before its next command
+        self._stall_ms = 0.0
+        self._task: Optional[asyncio.Task] = None
+        # counters (scraped into the server's metrics registry)
+        self.commits = 0
+        self.shed = 0
+        self.crashes = 0
+        self.stalls = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> None:
+        """Spawn the single-writer command task."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Drain and stop the command task; queued commands get SHUTDOWN."""
+        self._closed = True
+        while self._queue:
+            self._queue.popleft().resolve(SHUTDOWN)
+        self._wakeup.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    # ------------------------------------------------------------------
+    # submission (coordinator side)
+
+    def submit(self, kind: str, txn: Txn,
+               payload: object = None) -> "asyncio.Future":
+        """Enqueue a command; a full queue sheds it as ``overloaded``."""
+        future = asyncio.get_running_loop().create_future()
+        command = ShardCommand(kind, txn, payload, future)
+        if self._closed:
+            command.resolve(SHUTDOWN)
+        elif len(self._queue) >= self.config.shard_queue_depth:
+            self.shed += 1
+            command.resolve(OVERLOADED)
+        else:
+            self._queue.append(command)
+            self._wakeup.set()
+        return future
+
+    def line_for(self, key: str) -> int:
+        """Intern ``key`` to its line identifier."""
+        line = self.keys.get(key)
+        if line is None:
+            line = self.keys[key] = len(self.keys)
+        return line
+
+    # ------------------------------------------------------------------
+    # the single-writer loop
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._queue:
+                if self._closed:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            if self._stall_ms:
+                delay, self._stall_ms = self._stall_ms, 0.0
+                self.stalls += 1
+                await asyncio.sleep(delay / 1000.0)
+            command = self._queue.popleft()
+            if command.future.done():
+                continue
+            if command.txn.doomed is not None:
+                command.resolve(CONFLICT, command.txn.doomed)
+                continue
+            if loop.time() > command.txn.deadline:
+                command.resolve(TIMEOUT)
+                continue
+            if command.kind == "snapshot":
+                if not self._do_snapshot(command):
+                    # Δ-stall: a commit reservation is in flight; yield
+                    # so the coordinator can finish it, then retry
+                    self._queue.append(command)
+                    await asyncio.sleep(0)
+            elif command.kind == "read":
+                self._do_read(command)
+            elif command.kind == "prepare":
+                if not self._do_prepare(command):
+                    # another commit holds this shard's reservation;
+                    # serializing prepares keeps applies in timestamp
+                    # order (prepares run in sorted shard order, so the
+                    # cross-shard wait-for graph stays acyclic, and the
+                    # deadline bounds the wait regardless)
+                    self._queue.append(command)
+                    await asyncio.sleep(0)
+            else:  # pragma: no cover - commands are created in-package
+                command.resolve(CONFLICT, f"unknown command {command.kind}")
+
+    def _do_snapshot(self, command: ShardCommand) -> bool:
+        start_ts = self.mvm.clock.next_start()
+        if start_ts is None:
+            return False
+        self.mvm.active.add(start_ts)
+        command.txn.snapshots[self.shard_id] = (start_ts, self.generation)
+        command.resolve(OK, start_ts)
+        return True
+
+    def _do_read(self, command: ShardCommand) -> None:
+        key = command.payload
+        pin = command.txn.snapshots.get(self.shard_id)
+        if pin is None or pin[1] != self.generation:
+            command.resolve(CRASHED)
+            return
+        line = self.keys.get(key)
+        if line is None:
+            command.resolve(OK, None)
+            return
+        data = self.mvm.snapshot_read(line, pin[0])
+        command.resolve(OK, data[0] if data is not None else None)
+
+    def _do_prepare(self, command: ShardCommand) -> bool:
+        """Phase 1 of commit: validate, reserve end_ts, lock lines.
+
+        Returns False (defer) while another transaction holds this
+        shard's commit reservation: one reservation at a time keeps
+        applies in timestamp order, so the recovery checkpoint only
+        ever advances and no version is installed in the published
+        past.
+        """
+        txn = command.txn
+        if self._prepared:
+            return False
+        writes: Dict[str, object] = command.payload
+        pin = txn.snapshots.get(self.shard_id)
+        if pin is None or pin[1] != self.generation:
+            command.resolve(CRASHED)
+            return True
+        lines = sorted(self.line_for(key) for key in writes)
+        for line in lines:
+            holder = self._locks.get(line)
+            if holder is not None and holder != txn.uid:
+                command.resolve(CONFLICT, "write-write")
+                return True
+        if self.config.validate_fcw:
+            conflict = self.mvm.validate_many(lines, pin[0])
+            if conflict is not None:
+                command.resolve(CONFLICT, "write-write")
+                return True
+        end_ts = self.mvm.clock.begin_commit()
+        self._prepared[txn.uid] = end_ts
+        for line in lines:
+            self._locks[line] = txn.uid
+        command.resolve(OK, (end_ts, self.generation))
+        return True
+
+    # ------------------------------------------------------------------
+    # synchronous coordinator-side phases (atomic: no awaits)
+
+    def apply(self, txn: Txn, end_ts: int,
+              writes: Dict[str, object]) -> None:
+        """Phase 2 of commit: install, publish, advance recovery.
+
+        Runs synchronously from the coordinator after every touched
+        shard prepared — with no ``await`` between the generation checks
+        and the last shard's apply, the whole multi-shard publish is one
+        atomic step of the event loop.
+        """
+        items = [(self.line_for(key), (value,))
+                 for key, value in sorted(writes.items())]
+        self.mvm.install_many(end_ts, items,
+                              installer=(txn.uid, txn.label))
+        self.mvm.clock.finish_commit(end_ts)
+        self._prepared.pop(txn.uid, None)
+        self._release_locks(txn.uid)
+        self.recovery = self.checkpoints.advance(self.recovery, end_ts)
+        self.commits += 1
+        txn.commit_ts[self.shard_id] = end_ts
+
+    def abort_prepare(self, txn: Txn) -> None:
+        """Abandon a prepare's reservation and locks (idempotent)."""
+        end_ts = self._prepared.pop(txn.uid, None)
+        if end_ts is not None:
+            self.mvm.clock.abandon_commit(end_ts)
+        self._release_locks(txn.uid)
+
+    def release_snapshot(self, txn: Txn) -> None:
+        """Unpin a transaction's snapshot unless a crash already did."""
+        pin = txn.snapshots.pop(self.shard_id, None)
+        if pin is not None and pin[1] == self.generation:
+            self.mvm.active.remove(pin[0])
+
+    def _release_locks(self, uid: int) -> None:
+        for line in [ln for ln, holder in self._locks.items()
+                     if holder == uid]:
+            del self._locks[line]
+
+    # ------------------------------------------------------------------
+    # chaos hooks
+
+    def inject_stall(self, ms: float) -> None:
+        """Make the command task sleep ``ms`` before its next command."""
+        self._stall_ms += ms
+
+    def crash_now(self, open_txns: Iterable[Txn]) -> List[Txn]:
+        """Forced crash + restart from the recovery checkpoint.
+
+        Synchronous and atomic: bumps the generation (outstanding
+        prepares become detectably stale), fails queued commands,
+        abandons reservations, dooms/unpins every open transaction with
+        state here, and truncates the MVM back to the publish frontier.
+        Returns the transactions doomed.
+        """
+        self.generation += 1
+        self.crashes += 1
+        while self._queue:
+            self._queue.popleft().resolve(CRASHED)
+        for end_ts in self._prepared.values():
+            self.mvm.clock.abandon_commit(end_ts)
+        self._prepared.clear()
+        self._locks.clear()
+        doomed = []
+        for txn in open_txns:
+            pin = txn.snapshots.pop(self.shard_id, None)
+            if pin is not None and pin[1] == self.generation - 1:
+                self.mvm.active.remove(pin[0])
+            if pin is not None or any(
+                    shard == self.shard_id for shard, _ in txn.writes):
+                txn.doom("shard-crashed")
+                doomed.append(txn)
+        self.checkpoints.rollback(self.recovery)
+        return doomed
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def watermark(self) -> Optional[int]:
+        """Oldest pinned snapshot (bounds what version GC must keep)."""
+        return self.mvm.active.oldest()
+
+    def pinned_transactions(self) -> int:
+        """Active-table entries beyond the recovery checkpoint's pin."""
+        return len(self.mvm.active) - self.checkpoints.live_count
+
+    def stats(self) -> dict:
+        """Shard counters for the metrics registry."""
+        return {
+            "commits": self.commits,
+            "shed": self.shed,
+            "crashes": self.crashes,
+            "stalls": self.stalls,
+            "generation": self.generation,
+            "keys": len(self.keys),
+            "queue_depth": len(self._queue),
+            "pinned_transactions": self.pinned_transactions(),
+            "watermark": self.watermark,
+        }

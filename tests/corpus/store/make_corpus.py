@@ -1,0 +1,102 @@
+"""Regenerate the golden store-session corpus from a live server.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/corpus/store/make_corpus.py
+
+Each JSONL file is the server's own ``record_path`` output (span-schema-
+compatible session rows), so the corpus pins the real wire-to-monitor
+format, not a hand-written imitation:
+
+* ``clean_sessions.jsonl`` — a seeded Zipfian run plus a choreographed
+  **write-skew** pair (A reads x/writes y, B reads y/writes x, both
+  commit): legal under SI, so the checker must stay quiet;
+* ``fcw_abort.jsonl`` — a same-key race where first-committer-wins
+  aborts the second writer (a clean history containing a legal
+  ``write-write`` abort);
+* ``broken_no_fcw.jsonl`` — the same race with validation disabled:
+  both commit, and the replay test asserts the checker flags
+  ``first-committer-wins``.
+
+All runs use 2 shards and fixed seeds.
+"""
+
+import asyncio
+import pathlib
+
+from repro.store.loadgen import StoreClient, run_load
+from repro.store.server import StoreServer
+from repro.store.session import StoreConfig
+
+HERE = pathlib.Path(__file__).parent
+SHARDS = 2
+
+
+async def _race(port: int, prefix: str) -> None:
+    """Two clients racing a commit on the same key."""
+    a = await StoreClient.connect(port)
+    b = await StoreClient.connect(port)
+    try:
+        await a.begin(label=f"{prefix}-a")
+        await b.begin(label=f"{prefix}-b")
+        await a.read("contested")
+        await b.read("contested")
+        await a.write("contested", "from-a")
+        await a.commit()
+        await b.write("contested", "from-b")
+        await b.commit()
+    finally:
+        a.close()
+        b.close()
+
+
+async def _write_skew(port: int) -> None:
+    """A legal-under-SI write skew: disjoint write sets, crossed reads."""
+    a = await StoreClient.connect(port)
+    b = await StoreClient.connect(port)
+    try:
+        setup = await StoreClient.connect(port)
+        await setup.begin(label="skew-setup")
+        await setup.write("skew-x", 1)
+        await setup.write("skew-y", 1)
+        await setup.commit()
+        setup.close()
+        await a.begin(label="skew-a")
+        await b.begin(label="skew-b")
+        await a.read("skew-x")
+        await b.read("skew-y")
+        await a.write("skew-y", 0)
+        await b.write("skew-x", 0)
+        await a.commit()
+        await b.commit()
+    finally:
+        a.close()
+        b.close()
+
+
+async def _make(name: str, scenario, validate_fcw: bool = True) -> None:
+    config = StoreConfig(shards=SHARDS, seed=42,
+                         validate_fcw=validate_fcw)
+    server = StoreServer(config, record_path=HERE / name)
+    port = await server.start()
+    try:
+        await scenario(port)
+    finally:
+        await server.stop()
+    print(f"wrote {name}")
+
+
+async def main() -> None:
+    async def clean(port: int) -> None:
+        await run_load(port, sessions=3, txns_per_session=8, keys=16,
+                       seed=42)
+        await _write_skew(port)
+
+    await _make("clean_sessions.jsonl", clean)
+    await _make("fcw_abort.jsonl", lambda port: _race(port, "fcw"))
+    await _make("broken_no_fcw.jsonl",
+                lambda port: _race(port, "broken"), validate_fcw=False)
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

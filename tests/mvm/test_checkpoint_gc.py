@@ -1,0 +1,225 @@
+"""Checkpoint pinning vs install/coalesce/GC interleavings.
+
+Property: a pinned checkpoint is a *stable* snapshot — no interleaving
+of later installs (which GC and coalesce on write), background sweeps,
+or other checkpoints' lifecycles may change what it reads.  Release
+unpins: the GC watermark advances and the pinned history becomes
+collectable.  Plus the typed rollback error and the one-time
+ABORT_WRITER pin warning from :mod:`repro.mvm.checkpoint`.
+"""
+
+import warnings
+
+import pytest
+
+import repro.mvm.checkpoint as checkpoint_mod
+from repro.common.config import MVMConfig, VersionCapPolicy
+from repro.common.errors import CheckpointRollbackError, MVMError
+from repro.common.rng import SplitRandom
+from repro.mem.address import AddressMap
+from repro.mvm.checkpoint import CheckpointManager
+from repro.mvm.controller import MVMController
+from repro.tm.ops import Write
+
+from tests.conftest import run_program, spec
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+LINES = 4
+
+
+def mutate(machine, addr, value, system="SI-TM", seed=1):
+    def body():
+        yield Write(addr, value)
+    run_program(machine, system, [[spec(body, "w")]], seed=seed)
+
+
+def bare(cap_policy=VersionCapPolicy.UNBOUNDED) -> MVMController:
+    """A store-shard-style controller: one word per line, no machine."""
+    return MVMController(MVMConfig(cap_policy=cap_policy, commit_delta=8),
+                         AddressMap(words_per_line=1))
+
+
+def install(mvm: MVMController, line: int, value: int) -> int:
+    """Commit one single-line write through the real clock protocol."""
+    end_ts = mvm.clock.begin_commit()
+    mvm.install_many(end_ts, [(line, (value,))])
+    mvm.clock.finish_commit(end_ts)
+    return end_ts
+
+
+def snapshot_value(mvm: MVMController, line: int, ts: int):
+    data = mvm.snapshot_read(line, ts)
+    return None if data is None else data[0]
+
+
+def view(mvm: MVMController, ts: int) -> dict:
+    return {line: snapshot_value(mvm, line, ts) for line in range(LINES)}
+
+
+_INSTALL = st.tuples(st.just("install"), st.integers(0, LINES - 1),
+                     st.integers(1, 50))
+_OPS = st.lists(st.one_of(_INSTALL, st.just(("sweep",)),
+                          st.just(("pin",)), st.just(("unpin",))),
+                max_size=40)
+
+
+@given(prefix=st.lists(_INSTALL, max_size=12), suffix=_OPS)
+@settings(max_examples=60, deadline=None)
+def test_pinned_reads_stable_under_any_interleaving(prefix, suffix):
+    """The paper's O(1) checkpoint: a pin, not a copy — yet immutable.
+
+    ``suffix`` interleaves installs (GC-on-write + coalescing fire per
+    install), background sweeps, and the create/release lifecycle of
+    *other* checkpoints.  The checkpoint under test must read the same
+    image throughout, and releasing it must leave history collectable
+    down to one live version per line.
+    """
+    mvm = bare()
+    manager = CheckpointManager.for_controller(mvm)
+    for _, line, value in prefix:
+        install(mvm, line, value)
+    checkpoint = manager.create()
+    expected = view(mvm, checkpoint.timestamp)
+    others = []
+    for op in suffix:
+        if op[0] == "install":
+            install(mvm, op[1], op[2])
+        elif op[0] == "sweep":
+            mvm.collect_all()
+        elif op[0] == "pin":
+            others.append(manager.create())
+        elif others:
+            manager.release(others.pop())
+        assert view(mvm, checkpoint.timestamp) == expected
+    for other in others:
+        manager.release(other)
+    assert view(mvm, checkpoint.timestamp) == expected
+    # release unpins: the GC watermark advances past the checkpoint and
+    # every version except each line's newest becomes collectable
+    manager.release(checkpoint)
+    assert manager.live_count == 0
+    assert mvm.active.oldest() is None
+    mvm.collect_all()
+    for line in range(LINES):
+        assert mvm.live_version_count(line) <= 1
+
+
+def test_release_advances_watermark_and_frees_history():
+    mvm = bare()
+    manager = CheckpointManager.for_controller(mvm)
+    install(mvm, 0, 1)
+    checkpoint = manager.create()
+    for value in range(2, 8):
+        install(mvm, 0, value)
+    # the pin holds the GC watermark and the pinned version
+    assert mvm.active.oldest() == checkpoint.timestamp
+    assert snapshot_value(mvm, 0, checkpoint.timestamp) == 1
+    before = mvm.live_version_count(0)
+    assert before > 1
+    manager.release(checkpoint)
+    assert mvm.active.oldest() is None
+    assert mvm.collect_all() >= before - 1
+    assert mvm.live_version_count(0) == 1
+
+
+def test_advance_repins_forward_only():
+    """`advance` is how the store's shards track the publish frontier."""
+    mvm = bare()
+    manager = CheckpointManager.for_controller(mvm)
+    checkpoint = manager.create()
+    first = install(mvm, 0, 1)
+    advanced = manager.advance(checkpoint, first)
+    assert advanced.timestamp == first
+    assert manager.live_count == 1
+    assert mvm.active.oldest() == first
+    # the superseded handle is dead
+    with pytest.raises(MVMError):
+        manager.release(checkpoint)
+    # pins only move forward
+    with pytest.raises(MVMError):
+        manager.advance(advanced, first - 1)
+    # advancing to the same timestamp is a no-op returning the handle
+    assert manager.advance(advanced, first) is advanced
+    second = install(mvm, 0, 2)
+    final = manager.advance(advanced, second)
+    manager.release(final)
+    assert mvm.active.oldest() is None
+
+
+def test_for_controller_rejects_word_reads():
+    mvm = bare()
+    manager = CheckpointManager.for_controller(mvm)
+    checkpoint = manager.create()
+    with pytest.raises(MVMError, match="machine address map"):
+        manager.read(checkpoint, 0)
+
+
+def test_manager_needs_exactly_one_substrate():
+    with pytest.raises(MVMError):
+        CheckpointManager()
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+def test_rollback_error_is_typed(machine):
+    """In-flight transactions refuse rollback with the typed error."""
+    from repro.tm import SnapshotIsolationTM
+
+    manager = CheckpointManager(machine)
+    checkpoint = manager.create()
+    tm = SnapshotIsolationTM(machine, SplitRandom(1))
+    tm.begin(0, "t", 0)
+    with pytest.raises(CheckpointRollbackError, match="in flight"):
+        manager.rollback(checkpoint)
+    # the typed error stays catchable as plain MVMError for old callers
+    assert issubclass(CheckpointRollbackError, MVMError)
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+def test_rollback_allowed_with_other_checkpoints_pinned(machine):
+    """Only *transactions* block rollback; sibling pins do not."""
+    manager = CheckpointManager(machine)
+    addr = machine.mvmalloc(1)
+    mutate(machine, addr, 1)
+    checkpoint = manager.create()
+    sibling = manager.create()
+    mutate(machine, addr, 2)
+    manager.rollback(checkpoint)
+    assert machine.plain_load(addr) == 1
+    manager.release(sibling)
+
+
+def test_capped_pin_warns_exactly_once():
+    """The ABORT_WRITER + pin livelock footgun warns once per process."""
+    saved = checkpoint_mod._warned_capped_pin
+    try:
+        checkpoint_mod._warned_capped_pin = False
+        mvm = bare(cap_policy=VersionCapPolicy.ABORT_WRITER)
+        manager = CheckpointManager.for_controller(mvm)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            manager.create()
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, RuntimeWarning)
+        assert "ABORT_WRITER" in str(caught[0].message)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            manager.create()
+        assert caught == []
+    finally:
+        checkpoint_mod._warned_capped_pin = saved
+
+
+def test_unbounded_pin_does_not_warn():
+    saved = checkpoint_mod._warned_capped_pin
+    try:
+        checkpoint_mod._warned_capped_pin = False
+        manager = CheckpointManager.for_controller(bare())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            manager.create()
+        assert caught == []
+    finally:
+        checkpoint_mod._warned_capped_pin = saved

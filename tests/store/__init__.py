@@ -1,0 +1,1 @@
+"""Tests for the live transactional KV store (``repro.store``)."""

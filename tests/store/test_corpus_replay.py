@@ -1,0 +1,82 @@
+"""Golden-corpus replay: recorded sessions re-check deterministically.
+
+The JSONL files under ``tests/corpus/store/`` are real server
+recordings (see ``make_corpus.py`` there for regeneration).  They pin
+the wire-to-monitor row format: every row must stay span-schema valid,
+clean recordings must replay quietly, and the deliberately-broken
+recording must keep tripping the first-committer-wins check.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.export import validate_span_log
+from repro.oracle.live import check_rows
+
+CORPUS = pathlib.Path(__file__).parent.parent / "corpus" / "store"
+SHARDS = 2  # every corpus run used 2 shards (make_corpus.py)
+
+FILES = ("clean_sessions.jsonl", "fcw_abort.jsonl",
+         "broken_no_fcw.jsonl")
+
+
+def load(name: str):
+    text = (CORPUS / name).read_text(encoding="utf-8")
+    return text, [json.loads(line) for line in text.splitlines() if line]
+
+
+class TestCorpusShape:
+    @pytest.mark.parametrize("name", FILES)
+    def test_rows_are_span_schema_valid(self, name):
+        text, rows = load(name)
+        assert rows, f"{name} is empty"
+        assert validate_span_log(text) == []
+
+    @pytest.mark.parametrize("name", FILES)
+    def test_rows_carry_the_store_section(self, name):
+        _, rows = load(name)
+        for row in rows:
+            assert row["outcome"] in ("commit", "abort")
+            store = row["store"]
+            assert set(store) == {"shards", "ops"}
+            for op in store["ops"]:
+                kind, shard, key, _ = op
+                assert kind in ("r", "w")
+                assert 0 <= shard < SHARDS
+                assert isinstance(key, str) and key
+
+    def test_clean_corpus_contains_the_write_skew_pair(self):
+        _, rows = load("clean_sessions.jsonl")
+        labels = {row["label"] for row in rows}
+        assert {"skew-a", "skew-b"} <= labels
+
+    def test_fcw_corpus_records_the_loser(self):
+        _, rows = load("fcw_abort.jsonl")
+        outcomes = {row["label"]: row["outcome"] for row in rows}
+        assert outcomes == {"fcw-a": "commit", "fcw-b": "abort"}
+        losers = [row for row in rows if row["outcome"] == "abort"]
+        assert losers[0]["cause"] == "write-write"
+
+
+class TestReplay:
+    def test_clean_sessions_replay_quietly(self):
+        _, rows = load("clean_sessions.jsonl")
+        assert check_rows(rows, shards=SHARDS) == []
+
+    def test_legal_fcw_abort_replays_quietly(self):
+        _, rows = load("fcw_abort.jsonl")
+        assert check_rows(rows, shards=SHARDS) == []
+
+    def test_broken_corpus_trips_first_committer_wins(self):
+        _, rows = load("broken_no_fcw.jsonl")
+        violations = check_rows(rows, shards=SHARDS)
+        assert any(v.rule == "first-committer-wins" for v in violations)
+
+    @pytest.mark.parametrize("name", FILES)
+    def test_replay_is_deterministic(self, name):
+        _, rows = load(name)
+        first = [v.to_dict() for v in check_rows(rows, shards=SHARDS)]
+        second = [v.to_dict() for v in check_rows(rows, shards=SHARDS)]
+        assert first == second

@@ -1,0 +1,109 @@
+"""Wire-protocol framing tests: the server/client/chaos shared layer."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.store.protocol import (ERROR_CODES, MAX_FRAME, OPS, encode_frame,
+                                  error_response, ok_response, read_frame)
+
+
+def feed(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    """A StreamReader preloaded with ``data`` (call under a running loop)."""
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return reader
+
+
+def read_one(data: bytes, timeout=None, eof: bool = True) -> dict:
+    async def runner() -> dict:
+        return await read_frame(feed(data, eof=eof), timeout)
+
+    return asyncio.run(runner())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "BEGIN", "label": "t", "deadline_ms": 250}
+        assert read_one(encode_frame(message)) == message
+
+    def test_round_trip_unicode_payload(self):
+        message = {"op": "WRITE", "key": "k", "value": "héllo ☃"}
+        assert read_one(encode_frame(message)) == message
+
+    def test_two_frames_back_to_back(self):
+        async def runner():
+            reader = feed(encode_frame({"op": "PING"})
+                          + encode_frame({"op": "ABORT"}))
+            first = await read_frame(reader)
+            second = await read_frame(reader)
+            return first, second
+
+        first, second = asyncio.run(runner())
+        assert first == {"op": "PING"}
+        assert second == {"op": "ABORT"}
+
+    def test_eof_mid_frame_raises(self):
+        with pytest.raises((ProtocolError, asyncio.IncompleteReadError)):
+            read_one(encode_frame({"op": "PING"})[:-2])
+
+    def test_oversize_announcement_rejected(self):
+        header = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(ProtocolError, match="limit"):
+            read_one(header)
+
+    def test_junk_payload_rejected(self):
+        body = b"\xff\xfe not json"
+        with pytest.raises(ProtocolError, match="not JSON"):
+            read_one(struct.pack(">I", len(body)) + body)
+
+    def test_non_object_payload_rejected(self):
+        body = b"[1,2,3]"
+        with pytest.raises(ProtocolError, match="object"):
+            read_one(struct.pack(">I", len(body)) + body)
+
+    def test_oversize_encode_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME + 1)})
+
+    def test_slow_loris_header_times_out(self):
+        """A trickled header must not hold the read open past timeout."""
+        with pytest.raises(ProtocolError, match="stalled"):
+            read_one(b"\x00\x00", timeout=0.05, eof=False)
+
+    def test_slow_loris_body_times_out(self):
+        """The timeout covers the whole frame, not just the header."""
+        partial = struct.pack(">I", 64) + b'{"op":'
+        with pytest.raises(ProtocolError, match="stalled"):
+            read_one(partial, timeout=0.05, eof=False)
+
+
+class TestResponses:
+    def test_ok_response_merges_fields(self):
+        assert ok_response(value=3) == {"ok": True, "value": 3}
+
+    def test_error_response_shape(self):
+        response = error_response("ABORTED", "write-write conflict",
+                                  retry_after_ms=7, cause="write-write")
+        assert response == {"ok": False, "error": "ABORTED",
+                            "detail": "write-write conflict",
+                            "retry_after_ms": 7, "cause": "write-write"}
+
+    def test_error_response_omits_absent_fields(self):
+        assert error_response("NO_TXN") == \
+            {"ok": False, "error": "NO_TXN", "detail": ""}
+
+    def test_unknown_error_code_rejected(self):
+        with pytest.raises(ProtocolError):
+            error_response("EXPLODED")
+
+    def test_every_declared_code_encodes(self):
+        for code in ERROR_CODES:
+            assert error_response(code)["error"] == code
+
+    def test_declared_ops_are_canonical(self):
+        assert OPS == ("BEGIN", "READ", "WRITE", "COMMIT", "ABORT", "PING")

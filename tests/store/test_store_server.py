@@ -1,0 +1,415 @@
+"""End-to-end server tests over the real asyncio wire path.
+
+Every test stands up a :class:`StoreServer` on an ephemeral port,
+drives it with the shared :class:`StoreClient`, and checks both the
+structured responses and the server-side bookkeeping (session GC,
+snapshot pins, watermarks, crash generations).
+"""
+
+import asyncio
+
+from repro.oracle.live import LiveHistoryMonitor
+from repro.store.loadgen import StoreClient, run_load
+from repro.store.server import StoreServer
+from repro.store.session import StoreConfig, shard_of
+
+
+def config(**overrides) -> StoreConfig:
+    defaults = dict(shards=2, seed=7)
+    defaults.update(overrides)
+    return StoreConfig(**defaults)
+
+
+def drive(scenario, cfg=None, monitor=None, record_path=None):
+    """Run ``scenario(server, port)`` against a live server."""
+    async def runner():
+        server = StoreServer(cfg or config(), monitor=monitor,
+                             record_path=record_path)
+        port = await server.start()
+        try:
+            return await scenario(server, port)
+        finally:
+            await server.stop()
+
+    return asyncio.run(runner())
+
+
+async def settle_sessions(server, timeout=2.0):
+    """Wait for disconnected sessions to be garbage-collected."""
+    waited = 0.0
+    while server.sessions and waited < timeout:
+        await asyncio.sleep(0.005)
+        waited += 0.005
+
+
+class TestTransactions:
+    def test_commit_then_read_back(self):
+        async def scenario(server, port):
+            client = await StoreClient.connect(port)
+            begun = await client.begin(label="writer")
+            assert begun["ok"] and isinstance(begun["txn"], int)
+            assert (await client.write("alpha", {"n": 1}))["ok"]
+            committed = await client.commit()
+            assert committed["ok"]
+            sid = shard_of("alpha", server.config.shards)
+            assert str(sid) in committed["commit_ts"]
+            await client.begin(label="reader")
+            read = await client.read("alpha")
+            assert read == {"ok": True, "value": {"n": 1}}
+            await client.commit()
+            client.close()
+
+        drive(scenario)
+
+    def test_read_your_own_buffered_writes(self):
+        async def scenario(server, port):
+            client = await StoreClient.connect(port)
+            await client.begin()
+            await client.write("k", "draft")
+            assert (await client.read("k"))["value"] == "draft"
+            await client.write("k", "final")
+            assert (await client.read("k"))["value"] == "final"
+            await client.abort()
+            # the abort discarded the buffer
+            await client.begin()
+            assert (await client.read("k"))["value"] is None
+            await client.commit()
+            client.close()
+
+        drive(scenario)
+
+    def test_missing_key_reads_null(self):
+        async def scenario(server, port):
+            client = await StoreClient.connect(port)
+            await client.begin()
+            assert (await client.read("never-written"))["value"] is None
+            await client.commit()
+            client.close()
+
+        drive(scenario)
+
+    def test_read_only_commit_is_fast_path(self):
+        async def scenario(server, port):
+            client = await StoreClient.connect(port)
+            await client.begin()
+            await client.read("x")
+            committed = await client.commit()
+            assert committed["ok"] and committed["read_only"]
+            assert committed["commit_ts"] is None
+            client.close()
+
+        drive(scenario)
+
+    def test_snapshot_isolation_across_concurrent_writer(self):
+        """A pinned snapshot never sees a commit that happened after it."""
+        async def scenario(server, port):
+            setup = await StoreClient.connect(port)
+            await setup.begin()
+            await setup.write("si-key", "old")
+            await setup.commit()
+            reader = await StoreClient.connect(port)
+            await reader.begin(label="reader")
+            assert (await reader.read("si-key"))["value"] == "old"
+            writer = await StoreClient.connect(port)
+            await writer.begin(label="writer")
+            await writer.write("si-key", "new")
+            assert (await writer.commit())["ok"]
+            # the reader's pinned snapshot still reads the old value
+            assert (await reader.read("si-key"))["value"] == "old"
+            await reader.commit()
+            await setup.begin()
+            assert (await setup.read("si-key"))["value"] == "new"
+            await setup.commit()
+            for client in (setup, reader, writer):
+                client.close()
+
+        drive(scenario)
+
+    def test_first_committer_wins_aborts_second(self):
+        async def scenario(server, port):
+            a = await StoreClient.connect(port)
+            b = await StoreClient.connect(port)
+            await a.begin(label="a")
+            await b.begin(label="b")
+            await a.read("contested")
+            await b.read("contested")
+            await a.write("contested", "from-a")
+            assert (await a.commit())["ok"]
+            await b.write("contested", "from-b")
+            failed = await b.commit()
+            assert not failed["ok"]
+            assert failed["error"] == "ABORTED"
+            assert failed["cause"] == "write-write"
+            assert failed["retry_after_ms"] >= 0
+            # the winner's value is durable
+            await a.begin()
+            assert (await a.read("contested"))["value"] == "from-a"
+            await a.commit()
+            a.close()
+            b.close()
+
+        drive(scenario)
+
+
+class TestStructuredErrors:
+    def test_op_outside_txn_is_no_txn(self):
+        async def scenario(server, port):
+            client = await StoreClient.connect(port)
+            for request in ({"op": "READ", "key": "k"},
+                            {"op": "WRITE", "key": "k", "value": 1},
+                            {"op": "COMMIT"}, {"op": "ABORT"}):
+                response = await client.request(**request)
+                assert response["error"] == "NO_TXN"
+            client.close()
+
+        drive(scenario)
+
+    def test_double_begin_is_txn_open(self):
+        async def scenario(server, port):
+            client = await StoreClient.connect(port)
+            await client.begin()
+            assert (await client.begin())["error"] == "TXN_OPEN"
+            await client.abort()
+            client.close()
+
+        drive(scenario)
+
+    def test_bad_requests(self):
+        async def scenario(server, port):
+            client = await StoreClient.connect(port)
+            assert (await client.request(op="EXPLODE"))["error"] == \
+                "BAD_REQUEST"
+            assert (await client.request(
+                op="BEGIN", deadline_ms="soon"))["error"] == "BAD_REQUEST"
+            await client.begin()
+            assert (await client.request(
+                op="READ", key=7))["error"] == "BAD_REQUEST"
+            null_write = await client.request(op="WRITE", key="k",
+                                              value=None)
+            assert null_write["error"] == "BAD_REQUEST"
+            assert "sentinel" in null_write["detail"]
+            await client.abort()
+            client.close()
+
+        drive(scenario)
+
+    def test_ping_reports_generations(self):
+        async def scenario(server, port):
+            client = await StoreClient.connect(port)
+            pong = await client.ping()
+            assert pong["ok"] and pong["generations"] == [0, 0]
+            client.close()
+
+        drive(scenario)
+
+
+class TestRobustness:
+    def test_admission_control_sheds_overloaded(self):
+        async def scenario(server, port):
+            a = await StoreClient.connect(port)
+            b = await StoreClient.connect(port)
+            await a.begin()
+            shed = await b.begin()
+            assert shed["error"] == "OVERLOADED"
+            assert shed["retry_after_ms"] >= 0
+            await a.commit()
+            # capacity freed: the shed session gets in now
+            assert (await b.begin())["ok"]
+            await b.abort()
+            a.close()
+            b.close()
+
+        drive(scenario, cfg=config(max_inflight=1))
+
+    def test_deadline_expiry_is_structured_timeout(self):
+        async def scenario(server, port):
+            client = await StoreClient.connect(port)
+            assert (await client.begin(deadline_ms=1))["ok"]
+            await asyncio.sleep(0.02)
+            expired = await client.read("k")
+            assert expired["error"] == "TIMEOUT"
+            # the transaction is gone; the session can begin anew
+            assert (await client.read("k"))["error"] == "NO_TXN"
+            assert (await client.begin())["ok"]
+            await client.abort()
+            client.close()
+
+        drive(scenario)
+
+    def test_disconnect_aborts_and_unpins(self):
+        async def scenario(server, port):
+            client = await StoreClient.connect(port)
+            await client.begin()
+            await client.read("pin-me")  # pins a shard snapshot
+            await client.write("pin-me", 1)
+            client.close()
+            await settle_sessions(server)
+            assert server.sessions == {}
+            assert server.open_txns == {}
+            assert all(s.pinned_transactions() == 0
+                       for s in server.shards)
+
+        drive(scenario)
+
+    def test_crash_dooms_open_txns_but_keeps_published_data(self):
+        async def scenario(server, port):
+            writer = await StoreClient.connect(port)
+            await writer.begin()
+            await writer.write("crash-key", "survives")
+            await writer.commit()
+            sid = shard_of("crash-key", server.config.shards)
+
+            victim = await StoreClient.connect(port)
+            await victim.begin(label="victim")
+            assert (await victim.read("crash-key"))["value"] == "survives"
+
+            doomed = server.crash_shard(sid)
+            assert [t.label for t in doomed] == ["victim"]
+            failed = await victim.read("crash-key")
+            assert not failed["ok"]
+            assert failed["cause"] == "shard-crashed"
+            assert (await victim.ping())["generations"][sid] == 1
+
+            # recovery rolled back to the publish frontier: committed
+            # data survives and new transactions proceed normally
+            await victim.begin()
+            assert (await victim.read("crash-key"))["value"] == "survives"
+            await victim.write("crash-key", "again")
+            assert (await victim.commit())["ok"]
+            assert server.shards[sid].pinned_transactions() == 0
+            writer.close()
+            victim.close()
+
+        drive(scenario)
+
+    def test_commit_racing_crash_aborts_cleanly(self):
+        """A prepare taken before a crash must not apply after it.
+
+        The crash fires while the coordinator awaits the *second*
+        shard's prepare — exactly the window the generation tags guard:
+        the first shard's reservation is stale, so the whole multi-shard
+        commit must abort instead of applying onto the recovered state.
+        """
+        async def scenario(server, port):
+            keys = {}
+            counter = 0
+            while len(keys) < 2:
+                key = f"race-{counter}"
+                keys.setdefault(shard_of(key, server.config.shards), key)
+                counter += 1
+            client = await StoreClient.connect(port)
+            await client.begin()
+            for key in keys.values():
+                await client.write(key, 1)
+            second = server.shards[1]
+            real_prepare = second._do_prepare
+
+            def crash_then_prepare(command):
+                server.crash_shard(0)
+                return real_prepare(command)
+
+            second._do_prepare = crash_then_prepare
+            try:
+                failed = await client.commit()
+            finally:
+                second._do_prepare = real_prepare
+            assert not failed["ok"]
+            assert failed["cause"] == "shard-crashed"
+            # neither shard published anything
+            await client.begin()
+            for key in keys.values():
+                assert (await client.read(key))["value"] is None
+            await client.commit()
+            assert all(not shard._prepared for shard in server.shards)
+            client.close()
+
+        drive(scenario)
+
+
+class TestObservability:
+    def test_metrics_endpoint_serves_prometheus_text(self):
+        async def scenario(server, port):
+            metrics_port = await server.start_metrics()
+            client = await StoreClient.connect(port)
+            await client.begin()
+            await client.write("m", 1)
+            await client.commit()
+            client.close()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", metrics_port)
+            writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            text = raw.decode("utf-8")
+            assert text.startswith("HTTP/1.0 200")
+            assert "sitm_store_txn_commits_total" in text
+            assert "sitm_store_shard_generation" in text
+
+        drive(scenario)
+
+    def test_monitor_sees_every_completed_txn(self):
+        monitor = LiveHistoryMonitor(shards=2, check_every=4)
+
+        async def scenario(server, port):
+            stats = await run_load(port, sessions=2, txns_per_session=6,
+                                   keys=8, seed=11)
+            await settle_sessions(server)
+            return stats
+
+        stats = drive(scenario, monitor=monitor)
+        assert stats["commits"] == 12
+        assert monitor.rows_seen >= 12
+        assert monitor.checks_run >= 1
+        assert monitor.violations == []
+
+    def test_record_path_persists_replayable_rows(self, tmp_path):
+        import json
+
+        from repro.obs.export import validate_span_log
+        from repro.oracle.live import check_rows
+
+        path = tmp_path / "sessions.jsonl"
+
+        async def scenario(server, port):
+            await run_load(port, sessions=2, txns_per_session=4,
+                           keys=8, seed=3)
+            await settle_sessions(server)
+
+        drive(scenario, record_path=path)
+        text = path.read_text(encoding="utf-8")
+        assert validate_span_log(text) == []
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert len(rows) >= 8
+        assert check_rows(rows, shards=2) == []
+
+
+class TestLoadGenerator:
+    def test_closed_loop_zipf_run_is_clean(self):
+        monitor = LiveHistoryMonitor(shards=2, check_every=16)
+
+        async def scenario(server, port):
+            stats = await run_load(port, sessions=4, txns_per_session=10,
+                                   keys=16, zipf_theta=0.9, seed=5)
+            await settle_sessions(server)
+            return stats
+
+        stats = drive(scenario, monitor=monitor)
+        assert stats["commits"] == 40
+        assert stats["throughput_txn_s"] > 0
+        assert 0.0 <= stats["abort_rate"] < 1.0
+        assert monitor.violations == []
+
+    def test_bench_artifact_validates(self):
+        from repro.perf.bench import validate_artifact
+        from repro.store.loadgen import bench_artifact
+
+        async def scenario(server, port):
+            return await run_load(port, sessions=2, txns_per_session=5,
+                                  keys=8, seed=1)
+
+        stats = drive(scenario)
+        artifact = bench_artifact(stats, label="unit", seed=1)
+        assert validate_artifact(artifact) == []
+        cell = artifact["deterministic"]["store/kv/t2"]
+        assert cell["commits"] == stats["commits"]
